@@ -1,0 +1,62 @@
+"""Figure 5: residual-update time per method per DBMS backend.
+
+Paper shape: Naive is slowest everywhere; CREATE-k grows with k; UPDATE is
+prohibitive on the row store but fine on columnar stores; column swap
+(DP / D-Swap) is orders of magnitude faster and lands near the LightGBM
+raw-array reference line.
+"""
+
+from repro.bench.harness import FIG5_BACKENDS, FIG5_METHODS, fig05_residual_updates
+from repro.bench.report import format_table
+
+_NUM_ROWS = 1_000_000
+
+
+def test_fig05_residual_updates(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig05_residual_updates,
+        kwargs={"num_rows": _NUM_ROWS},
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for backend in FIG5_BACKENDS:
+        row = [backend]
+        for method in FIG5_METHODS:
+            value = results[backend][method]
+            row.append("n/a" if value is None else value)
+        rows.append(row)
+    reference = results["lightgbm-ref"]["array-write"]
+    rows.append(["lightgbm-ref"] + [reference] * len(FIG5_METHODS))
+    figure_report(
+        "fig05",
+        format_table(
+            f"Figure 5 — residual update seconds ({_NUM_ROWS:,} rows)",
+            ["backend"] + list(FIG5_METHODS),
+            rows,
+        ),
+    )
+
+    # Shape assertions from the paper (EXPERIMENTS.md discusses the one
+    # divergence: our engine's dense-int bucket join makes the naive
+    # U-join cheap at microbenchmark scale, so "naive slowest" does not
+    # transfer; every other ordering does).
+    for backend in ("x-col", "d-disk", "d-mem"):
+        # CREATE cost grows with the number of extra columns k.
+        assert results[backend]["create-10"] > results[backend]["create-0"]
+        # UPDATE-in-place pays WAL/MVCC/compression per statement and
+        # loses to CREATE on stock backends (the paper's SET result).
+        assert results[backend]["update"] > results[backend]["create-0"]
+        # Stock backends cannot swap.
+        assert results[backend]["swap"] is None
+    # Disk-resident UPDATE (synced WAL) dwarfs in-memory UPDATE.
+    assert results["d-disk"]["update"] > results["d-mem"]["update"]
+    # Column swap beats UPDATE on its backend and ties/bests CREATE-0.
+    swap = results["d-swap"]["swap"]
+    assert swap < results["d-swap"]["update"]
+    assert swap <= results["d-swap"]["create-0"] * 1.4
+    # Swap lands within a small factor of the raw-array reference line.
+    reference = results["lightgbm-ref"]["array-write"]
+    assert swap < 8 * reference
+    # DP (external store) swap sidesteps the disk backends' write path.
+    assert results["dp"]["swap"] < results["d-disk"]["update"]

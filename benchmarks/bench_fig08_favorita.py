@@ -1,0 +1,66 @@
+"""Figure 8: Favorita training time and rmse vs iterations.
+
+Paper shape: JoinBoost random forests finish before the single-table
+libraries complete their join-materialize/export/load step (~3× overall);
+JoinBoost gradient boosting edges out LightGBM (~1.1×) thanks to the
+avoided export; final rmse is nearly identical across systems; the exact
+(Sklearn-like) learner is far slower than everything else.
+"""
+
+from repro.bench.harness import fig08_favorita
+from repro.bench.report import format_series, format_table
+
+_ROWS = 400_000
+_ITER = 12
+
+
+def test_fig08_favorita(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig08_favorita,
+        kwargs={"num_fact_rows": _ROWS, "iterations": _ITER},
+        rounds=1, iterations=1,
+    )
+
+    text = format_series(
+        f"Figure 8a/8b — cumulative training seconds ({_ROWS:,} fact rows)",
+        "iteration",
+        results["iterations"],
+        {
+            "jb-gbm": results["gbm"]["joinboost"],
+            "lgbm-gbm": results["gbm"]["lightgbm"],
+            "xgb-gbm": results["gbm"]["xgboost"],
+            "jb-rf": results["rf"]["joinboost"],
+            "lgbm-rf": results["rf"]["lightgbm"],
+        },
+    )
+    text += "\n" + format_table(
+        "Figure 8c — final rmse parity",
+        ["system", "rmse"],
+        [[k, v] for k, v in results["final_rmse"].items()]
+        + [["join+export seconds", results["join_export_seconds"]]],
+    )
+    figure_report("fig08", text)
+
+    jb_gbm = results["gbm"]["joinboost"][-1]
+    lgbm_gbm = results["gbm"]["lightgbm"][-1]
+    jb_rf = results["rf"]["joinboost"][-1]
+    lgbm_rf = results["rf"]["lightgbm"][-1]
+    export = results["join_export_seconds"]
+
+    # RF: JoinBoost wins by avoiding materialize/export/load (paper: ~3x;
+    # here a smaller factor — EXPERIMENTS.md discusses the compression).
+    assert jb_rf < lgbm_rf
+    # The export cost alone is a large share of the baseline's total.
+    assert export > 0.2 * lgbm_rf
+    # GBM: JoinBoost competitive within a small factor (paper: 1.1x faster;
+    # our Python engine's per-row throughput vs the baseline's NumPy
+    # histogram kernels shifts the balance — see EXPERIMENTS.md).
+    assert jb_gbm < 3.0 * lgbm_gbm
+    # Sklearn-like exact training is the slowest per iteration.
+    sk = results["gbm"]["sklearn(partial)"]
+    per_iter_sk = (sk[-1] - export) / len(sk)
+    per_iter_lgbm = (lgbm_gbm - export) / _ITER
+    assert per_iter_sk > per_iter_lgbm
+    # Final model quality parity (paper: "nearly identical").
+    rmse = results["final_rmse"]
+    assert abs(rmse["joinboost"] - rmse["lightgbm"]) < 0.25 * rmse["lightgbm"]

@@ -1,0 +1,45 @@
+"""Figure 9: query census of JoinBoost's first gradient-boosting iteration.
+
+Paper shape: with 8 leaves (15 tree nodes) and 18 features there are
+270 = 15 x 18 best-split queries and one message request per join edge per
+node; split queries are fast, message queries (join + aggregate +
+materialize) form the slow tail of the latency histogram.
+"""
+
+from repro.bench.harness import fig09_query_census
+from repro.bench.report import format_table
+
+_FEATURES = 18
+_LEAVES = 8
+
+
+def test_fig09_query_census(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig09_query_census,
+        kwargs={"num_features": _FEATURES, "num_leaves": _LEAVES},
+        rounds=1, iterations=1,
+    )
+
+    counts, edges = results["latency_histogram_ms"]
+    rows = [
+        ["feature (best-split)", results["num_feature_queries"]],
+        ["message (passing)", results["num_message_queries"]],
+        ["expected feature queries", results["expected_feature_queries"]],
+    ]
+    text = format_table("Figure 9a — query counts, 1st iteration",
+                        ["query type", "count"], rows)
+    text += "\n" + format_table(
+        "Figure 9b — query latency histogram",
+        ["bucket >= (ms)", "queries"],
+        [[edges[i], counts[i]] for i in range(len(counts))],
+    )
+    figure_report("fig09", text)
+
+    # 15 nodes x 18 features best-split queries, exactly as the paper counts.
+    assert results["num_feature_queries"] == results["expected_feature_queries"]
+    assert results["num_feature_queries"] == (2 * _LEAVES - 1) * _FEATURES
+    # Messages exist and are far fewer than split queries (caching).
+    assert 0 < results["num_message_queries"] < results["num_feature_queries"]
+    # The slowest message query dominates the slowest split query
+    # (join+materialize vs scan of a per-value aggregate).
+    assert max(results["message_ms"]) > max(results["feature_ms"]) * 0.5

@@ -1,0 +1,37 @@
+"""Figure 10: gradient-boosting time vs number of features.
+
+Paper shape: JoinBoost scales roughly linearly in the feature count with a
+much lower slope; the single-table baseline degrades faster and runs out
+of memory at 50 features (its materialized matrix exceeds the budget —
+scaled down here in proportion to the data).
+"""
+
+from repro.bench.harness import fig10_feature_scaling
+from repro.bench.report import format_table
+
+
+def test_fig10_feature_scaling(benchmark, figure_report):
+    results = benchmark.pedantic(fig10_feature_scaling, rounds=1, iterations=1)
+    rows = [
+        [count, jb, "OOM" if baseline is None else baseline]
+        for count, jb, baseline in results["rows"]
+    ]
+    figure_report(
+        "fig10",
+        format_table(
+            "Figure 10 — GBM seconds (10 iters) vs #features "
+            f"(baseline budget {results['budget_bytes']:,} bytes)",
+            ["#features", "joinboost", "lightgbm"],
+            rows,
+        ),
+    )
+
+    counts = [r[0] for r in results["rows"]]
+    jb = {r[0]: r[1] for r in results["rows"]}
+    baseline = {r[0]: r[2] for r in results["rows"]}
+    # The baseline hits the paper's OOM wall at 50 features.
+    assert baseline[50] is None
+    assert baseline[5] is not None and baseline[25] is not None
+    # JoinBoost keeps training at 50 features and scales sub-quadratically.
+    assert jb[50] is not None
+    assert jb[50] < jb[5] * (50 / 5) * 2.0

@@ -1,0 +1,38 @@
+"""Figure 11: gradient-boosting time vs TPC-DS scale factor.
+
+Paper shape: both systems scale linearly in the database size, JoinBoost
+with the lower slope; the single-table baseline runs out of memory at
+SF=25 (replicated budget, scaled down).
+"""
+
+from repro.bench.harness import fig11_tpcds_scaling
+from repro.bench.report import format_table
+
+
+def test_fig11_tpcds_scaling(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig11_tpcds_scaling,
+        kwargs={"rows_per_sf": 1_500},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [sf, jb, "OOM" if baseline is None else baseline]
+        for sf, jb, baseline in results["rows"]
+    ]
+    figure_report(
+        "fig11",
+        format_table(
+            "Figure 11 — GBM seconds (10 iters) vs TPC-DS scale factor",
+            ["SF", "joinboost", "lightgbm"],
+            rows,
+        ),
+    )
+
+    jb = {r[0]: r[1] for r in results["rows"]}
+    baseline = {r[0]: r[2] for r in results["rows"]}
+    # OOM wall at the largest scale factor (paper: SF=25).
+    assert baseline[25] is None
+    assert baseline[10] is not None
+    # JoinBoost keeps scaling: roughly linear growth, not blow-up.
+    assert jb[25] is not None
+    assert jb[25] < jb[10] * (25 / 10) * 2.0

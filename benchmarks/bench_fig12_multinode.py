@@ -1,0 +1,46 @@
+"""Figure 12: multi-node gradient boosting (simulated network).
+
+Paper shape: on 4 machines JoinBoost outruns Dask-LightGBM by a large
+factor at every scale factor; at the largest SF the baseline cannot run
+even on 4 machines (its data is replicated, so more machines do not
+relieve memory), while JoinBoost trains on a single machine and speeds up
+with more.
+"""
+
+from repro.bench.harness import fig12_multinode
+from repro.bench.report import format_table
+
+
+def test_fig12_multinode(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig12_multinode,
+        kwargs={"iterations": 5},
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        "Figure 12a — simulated seconds on 4 machines vs SF",
+        ["SF", "joinboost", "dask-lightgbm"],
+        [
+            [sf, jb, "OOM" if baseline is None else baseline]
+            for sf, jb, baseline in results["by_sf"]
+        ],
+    )
+    text += "\n" + format_table(
+        f"Figure 12b — simulated seconds vs #machines (SF={results['sf_fixed']})",
+        ["machines", "joinboost", "dask-lightgbm"],
+        [
+            [m, jb, "OOM" if baseline is None else baseline]
+            for m, jb, baseline in results["by_machines"]
+        ],
+    )
+    figure_report("fig12", text)
+
+    # The baseline is OOM at the largest SF (replication, paper §6.2).
+    largest_sf = results["by_sf"][-1]
+    assert largest_sf[2] is None
+    # JoinBoost runs at that SF even on one machine.
+    one_machine = results["by_machines"][0]
+    assert one_machine[1] is not None
+    # More machines help JoinBoost (4 faster than 1).
+    by_machines = {m: jb for m, jb, _ in results["by_machines"]}
+    assert by_machines[4] < by_machines[1]

@@ -1,0 +1,42 @@
+"""Figure 15: train vs residual-update time per DBMS backend.
+
+Paper shape: columnar backends train fastest; the row store pays on
+scans; gradient boosting's update cost dominates on stock backends and
+collapses under column swap (DP / D-Swap), with X-Swap* showing what the
+commercial store would gain from the same patch.
+"""
+
+from repro.bench.harness import FIG15_BACKENDS, fig15_backends
+from repro.bench.report import format_table
+
+
+def test_fig15_backends(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig15_backends, kwargs={"num_fact_rows": 150_000}, rounds=1, iterations=1
+    )
+    rows = [
+        [backend, train, update, train + update]
+        for backend, (train, update) in results.items()
+    ]
+    figure_report(
+        "fig15",
+        format_table(
+            "Figure 15 — one GBM iteration: train vs update seconds",
+            ["backend", "train", "update", "total"],
+            rows,
+        ),
+    )
+
+    totals = {b: t + u for b, (t, u) in results.items()}
+    updates = {b: u for b, (_, u) in results.items()}
+    # The row store is the slowest trainer (strided scans).
+    trains = {b: t for b, (t, _) in results.items()}
+    assert trains["x-row"] > trains["d-mem"]
+    # Column swap turns updates into near-noise vs the synced-WAL backends.
+    assert updates["d-swap"] < updates["d-disk"]
+    assert updates["dp"] < updates["d-disk"]
+    # The simulated X-Swap* improves on stock X-col's update path.
+    assert updates["x-swap*"] < updates["x-col"] * 1.05
+    # Best overall backend is one of the swap-capable ones (paper: D-Swap).
+    best = min(totals, key=totals.get)
+    assert best in ("d-swap", "dp", "d-mem")

@@ -1,0 +1,44 @@
+"""Figure 17 (Appendix C): TPC-DS and TPC-H gradient boosting / forests.
+
+Paper shape: on TPC-DS JoinBoost behaves like Favorita (RF well ahead,
+GBM competitive).  On TPC-H the large Orders dimension makes fact-to-
+dimension messages expensive, narrowing JoinBoost's edge — the appendix
+calls this out explicitly.
+"""
+
+from repro.bench.harness import fig17_tpc
+from repro.bench.report import format_table
+
+
+def test_fig17_tpc(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig17_tpc, kwargs={"iterations": 8, "rows": 25_000},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for schema in ("tpcds", "tpch"):
+        data = results[schema]
+        rows.append([
+            schema, data["joinboost_gbm"], data["joinboost_rf"],
+            data["lightgbm_gbm"], data["join_export"],
+        ])
+    figure_report(
+        "fig17",
+        format_table(
+            "Figure 17 — training seconds (8 iterations)",
+            ["schema", "jb-gbm", "jb-rf", "lgbm-gbm", "join+export"],
+            rows,
+        ),
+    )
+
+    # Both schemas train end to end; RF (sampled trees) beats GBM per the
+    # paper's Figure 17 ordering.
+    for schema in ("tpcds", "tpch"):
+        assert results[schema]["joinboost_rf"] < results[schema]["joinboost_gbm"]
+        assert results[schema]["join_export"] > 0
+    # TPC-H's big Orders dimension keeps JoinBoost's GBM from improving on
+    # its TPC-DS ratio (the appendix's observation, loosely normalized —
+    # at laptop scale the effect is small, see EXPERIMENTS.md).
+    tpcds_ratio = results["tpcds"]["joinboost_gbm"] / results["tpcds"]["lightgbm_gbm"]
+    tpch_ratio = results["tpch"]["joinboost_gbm"] / results["tpch"]["lightgbm_gbm"]
+    assert tpch_ratio > tpcds_ratio * 0.5

@@ -1,0 +1,36 @@
+"""Figure 20: histogram bins and the data-cube (cuboid) optimization.
+
+Paper shape: with few bins the cuboid is tiny and training speeds up
+dramatically (>100x at 5 bins in the paper); more bins trade speed for
+accuracy, tracing a Pareto frontier where coarse cuboids converge fastest
+to a slightly worse rmse.
+"""
+
+from repro.bench.harness import fig20_cuboid
+from repro.bench.report import format_table
+
+
+def test_fig20_cuboid(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig20_cuboid,
+        kwargs={"num_fact_rows": 120_000, "iterations": 10},
+        rounds=1, iterations=1,
+    )
+    figure_report(
+        "fig20",
+        format_table(
+            "Figure 20 — cuboid training: seconds and rmse vs #bins",
+            ["bins", "seconds", "rmse"],
+            [list(r) for r in results["rows"]],
+        ),
+    )
+
+    by_bins = {r[0]: (r[1], r[2]) for r in results["rows"]}
+    # bins=1000 exceeds the cuboid threshold and runs the exact path.
+    exact = by_bins[1000]
+    # Fewer bins -> faster training (the cuboid shrinks).
+    assert by_bins[5][0] < exact[0]
+    assert by_bins[5][0] <= by_bins[10][0] * 1.25
+    # Accuracy cost is bounded: coarse bins lose some rmse but stay sane.
+    assert by_bins[10][1] <= by_bins[5][1] * 1.05
+    assert exact[1] <= by_bins[5][1]

@@ -1,0 +1,46 @@
+"""Section 6.1 quality claim: JoinBoost returns models with rmse nearly
+identical to the LightGBM stand-in (and the exact reference is matched
+tree-for-tree by construction — tested in the unit suite)."""
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.baselines.export import load_feature_matrix
+from repro.baselines.histgbm import HistGradientBoosting
+from repro.core.predict import rmse_on_join
+from repro.datasets import favorita
+import repro
+
+
+def _run():
+    db, graph = favorita(num_fact_rows=60_000, num_extra_features=8)
+    iterations, leaves, lr = 20, 8, 0.1
+    ours = repro.train_gradient_boosting(
+        db, graph,
+        {"num_iterations": iterations, "num_leaves": leaves,
+         "learning_rate": lr, "min_data_in_leaf": 3},
+    )
+    X, y, _ = load_feature_matrix(db, graph)
+    theirs = HistGradientBoosting(
+        num_iterations=iterations, num_leaves=leaves, learning_rate=lr,
+        max_bin=1000, min_child_samples=3,
+    ).fit(X, y)
+    return {
+        "joinboost": rmse_on_join(db, graph, ours),
+        "lightgbm": float(np.sqrt(np.mean((theirs.predict(X) - y) ** 2))),
+        "target std": float(y.std()),
+    }
+
+
+def test_quality_parity(benchmark, figure_report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    figure_report(
+        "quality_parity",
+        format_table(
+            "Section 6.1 — final rmse parity (20 iterations, Favorita)",
+            ["system", "rmse"],
+            [[k, v] for k, v in results.items()],
+        ),
+    )
+    assert abs(results["joinboost"] - results["lightgbm"]) < 0.1 * results["lightgbm"]
+    assert results["joinboost"] < 0.6 * results["target std"]

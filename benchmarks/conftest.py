@@ -1,0 +1,32 @@
+"""Benchmark support: figure reports are printed in the terminal summary
+(so they land in bench_output.txt) and mirrored to benchmarks/results/."""
+
+import os
+
+import pytest
+
+_REPORTS = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def figure_report():
+    """Call with (name, text) to register a figure's reproduction rows."""
+
+    def record(name: str, text: str) -> None:
+        _REPORTS.append((name, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper figure reproductions")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,50 @@
+"""Galaxy-schema boosting on IMDB with Clustered Predicate Trees.
+
+The five fact tables of the Figure 3 schema are pairwise M-N through the
+Movie and Person hubs: the full join is orders of magnitude larger than
+the base data and cannot be materialized.  CPT restricts each boosted
+tree's splits to one cluster so residual updates stay exact semi-joins on
+that cluster's fact table (Section 4.2).
+
+Run:  python examples/imdb_galaxy_cpt.py
+"""
+
+import time
+
+import repro as joinboost
+from repro.datasets import imdb
+from repro.joingraph.clusters import cluster_graph
+
+
+def main() -> None:
+    db, graph = imdb(rows_per_fact=20_000)
+
+    # Show the CPT clustering of Figure 3.
+    clusters = cluster_graph(graph)
+    print("CPT clusters (fact table -> members):")
+    for cluster in clusters:
+        print(f"  {cluster.fact:12s} -> {sorted(cluster.members)}")
+
+    base_rows = sum(db.table(n).num_rows() for n in graph.relations)
+    print(f"\nbase tables: {base_rows:,} rows total;"
+          " the full join would be ~10^3-10^4x larger (never materialized)")
+
+    start = time.perf_counter()
+    model = joinboost.train_gradient_boosting(
+        db, graph,
+        {"objective": "regression", "num_iterations": 10,
+         "num_leaves": 8, "learning_rate": 0.2, "min_data_in_leaf": 3},
+    )
+    seconds = time.perf_counter() - start
+
+    print(f"\ntrained {len(model.trees)} trees in {seconds:.2f}s "
+          f"({seconds / len(model.trees):.2f}s per tree — Figure 14's linear scaling)")
+    for i, tree in enumerate(model.trees[:3]):
+        split_relations = sorted(
+            {n.relation for n in tree.nodes() if n.relation is not None}
+        )
+        print(f"  tree {i}: splits confined to {split_relations}")
+
+
+if __name__ == "__main__":
+    main()

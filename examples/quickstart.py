@@ -1,0 +1,62 @@
+"""Quickstart: the paper's Example 6, end to end.
+
+Defines a two-table schema (sales fact + date dimension), trains gradient
+boosting over the *normalized* tables — no join is ever materialized —
+and scores the fact rows.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro as joinboost
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    num_sales, num_dates = 20_000, 365
+
+    holiday = rng.integers(0, 2, num_dates)
+    weekend = rng.integers(0, 2, num_dates)
+    date_id = rng.integers(0, num_dates, num_sales)
+    net_profit = (
+        50.0 * holiday[date_id]
+        - 20.0 * weekend[date_id]
+        + rng.normal(0.0, 5.0, num_sales)
+    )
+
+    # 1. Connect and load the normalized tables.
+    conn = joinboost.connect(
+        sales={"date_id": date_id, "net_profit": net_profit},
+        date={
+            "date_id": np.arange(num_dates),
+            "holiday": holiday,
+            "weekend": weekend,
+        },
+    )
+
+    # 2. Define the training dataset as a join graph (Figure 4 API).
+    train_set = joinboost.join_graph(conn)
+    train_set.add_node("sales", Y=["net_profit"])
+    train_set.add_node("date", X=["holiday", "weekend"])
+    train_set.add_edge("sales", "date", ["date_id"])
+
+    # 3. Train with LightGBM-style parameters.
+    model = joinboost.train(
+        {"objective": "regression", "num_iterations": 20,
+         "num_leaves": 4, "learning_rate": 0.3},
+        train_set,
+    )
+
+    # 4. Score and evaluate.
+    scores = joinboost.predict(model, train_set)
+    rmse = joinboost.evaluate_rmse(model, train_set)
+    print(f"trained {len(model.trees)} trees")
+    print(f"first tree:\n{model.trees[0].dump()}")
+    print(f"predictions: {scores[:5].round(2)}")
+    print(f"training rmse: {rmse:.3f} (noise floor ~5.0)")
+    assert rmse < 7.0
+
+
+if __name__ == "__main__":
+    main()

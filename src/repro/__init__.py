@@ -1,0 +1,66 @@
+"""JoinBoost reproduction: grow trees over normalized data using only SQL.
+
+Reproduction of Huang, Sen, Liu and Wu, *JoinBoost: Grow Trees Over
+Normalized Data Using Only SQL* (VLDB 2023), including the DBMS substrate
+it runs on.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the per-figure reproduction results.
+
+Quick start::
+
+    import repro as joinboost
+    from repro.datasets import favorita
+
+    db, graph = favorita(num_fact_rows=50_000)
+    model = joinboost.train_gradient_boosting(
+        db, graph, {"objective": "regression", "num_iterations": 10}
+    )
+    print(joinboost.rmse_on_join(db, graph, model))
+"""
+
+from repro.api import (
+    TrainSet,
+    connect,
+    evaluate_rmse,
+    join_graph,
+    predict,
+    train,
+    train_decision_tree,
+)
+from repro.core.boosting import (
+    GradientBoostingModel,
+    MulticlassBoostingModel,
+    train_gradient_boosting,
+)
+from repro.core.forest import RandomForestModel, train_random_forest
+from repro.core.params import TrainParams
+from repro.core.predict import feature_frame, predict_join, rmse_on_join
+from repro.core.tree import DecisionTreeModel
+from repro.engine.database import Database
+from repro.joingraph.graph import JoinGraph
+from repro.storage.table import StorageConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "connect",
+    "join_graph",
+    "train",
+    "train_decision_tree",
+    "train_gradient_boosting",
+    "train_random_forest",
+    "predict",
+    "evaluate_rmse",
+    "predict_join",
+    "rmse_on_join",
+    "feature_frame",
+    "TrainSet",
+    "TrainParams",
+    "Database",
+    "JoinGraph",
+    "StorageConfig",
+    "DecisionTreeModel",
+    "GradientBoostingModel",
+    "MulticlassBoostingModel",
+    "RandomForestModel",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baselines the paper compares against, rebuilt from scratch.
+
+* :mod:`repro.baselines.histgbm` — histogram GBDT / random forest over a
+  single in-memory table (the LightGBM / XGBoost stand-in);
+* :mod:`repro.baselines.exactgbm` — pre-sorted exact GBDT (Sklearn-like);
+* :mod:`repro.baselines.export` — the join-materialize / export / load
+  pipeline every single-table library must pay, with a real memory budget;
+* :mod:`repro.baselines.lmfao` — factorized decision-tree variants that
+  isolate the paper's Figure 16 ablation (Naive / Batch / JoinBoost);
+* :mod:`repro.baselines.madlib` — non-factorized in-DB training over a
+  row store (the MADLib stand-in).
+"""
+
+from repro.baselines.histgbm import (
+    HistGradientBoosting,
+    HistRandomForest,
+)
+from repro.baselines.exactgbm import ExactGradientBoosting, ExactDecisionTree
+from repro.baselines.export import ExportedDataset, materialize_and_export
+from repro.baselines.lmfao import train_tree_variant
+from repro.baselines.madlib import train_madlib_tree
+
+__all__ = [
+    "HistGradientBoosting",
+    "HistRandomForest",
+    "ExactGradientBoosting",
+    "ExactDecisionTree",
+    "ExportedDataset",
+    "materialize_and_export",
+    "train_tree_variant",
+    "train_madlib_tree",
+]

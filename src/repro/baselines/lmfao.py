@@ -1,0 +1,149 @@
+"""Figure 16a's in-DB decision-tree ablation variants.
+
+Four ways to train the same tree, isolating where JoinBoost's speedups
+come from:
+
+* ``naive``     — materialize R⋈ as a wide table, group-by per feature
+  per node.  No factorization.
+* ``batch``     — LMFAO's logical optimizations: factorized message
+  passing with work shared *within* one node's batch of per-feature
+  queries, but messages recomputed from scratch for every node.
+* ``joinboost`` — batch plus the inter-node message cache (§5.5.1).
+
+The real LMFAO adds a compiled execution engine on top of ``batch``;
+running both through the same SQL engine isolates the *algorithmic*
+difference, which is what Figure 16a's "benefit of message sharing among
+nodes" bracket measures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import TrainingError
+from repro.core.params import TrainParams
+from repro.core.split import VarianceCriterion
+from repro.core.trainer import DecisionTreeTrainer
+from repro.core.tree import DecisionTreeModel
+from repro.factorize.executor import Factorizer
+from repro.joingraph.graph import JoinGraph
+from repro.joingraph.hypertree import edge_between, rooted_tree
+from repro.semiring.variance import VarianceSemiRing
+
+VARIANTS = ("naive", "batch", "joinboost")
+
+
+def train_tree_variant(
+    db,
+    graph: JoinGraph,
+    variant: str,
+    params: Optional[dict] = None,
+    **overrides,
+) -> Tuple[DecisionTreeModel, float]:
+    """Train one decision tree with the chosen ablation variant.
+
+    Returns (model, seconds).
+    """
+    if variant not in VARIANTS:
+        raise TrainingError(f"unknown variant {variant!r}; choose {VARIANTS}")
+    train_params = TrainParams.from_dict(params, **overrides)
+    start = time.perf_counter()
+    if variant == "naive":
+        model = _train_naive(db, graph, train_params)
+    else:
+        model = _train_factorized(
+            db, graph, train_params, share_across_nodes=(variant == "joinboost")
+        )
+    return model, time.perf_counter() - start
+
+
+def _train_factorized(
+    db, graph: JoinGraph, params: TrainParams, share_across_nodes: bool
+) -> DecisionTreeModel:
+    ring = VarianceSemiRing()
+    factorizer = Factorizer(db, graph, ring, cache_enabled=True)
+    factorizer.lift()
+    criterion = VarianceCriterion()
+    if share_across_nodes:
+        trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, params)
+        model = trainer.train()
+    else:
+        trainer = _PerNodeCacheTrainer(db, graph, factorizer, criterion, params)
+        model = trainer.train()
+    factorizer.cleanup()
+    return model
+
+
+class _PerNodeCacheTrainer(DecisionTreeTrainer):
+    """LMFAO-style: flush the message cache before every GetBestSplit.
+
+    Work is still shared across the per-feature queries *within* a node
+    (the batch optimization), but nothing carries over between nodes.
+    """
+
+    def _best_split(self, node, predicates, features):
+        self.factorizer.invalidate_all()
+        return super()._best_split(node, predicates, features)
+
+
+def _train_naive(db, graph: JoinGraph, params: TrainParams) -> DecisionTreeModel:
+    """Materialize the wide table, then train over the single relation."""
+    fact = graph.target_relation
+    wide_name = db.temp_name("wide")
+    sql, feature_names = _wide_table_sql(db, graph, fact)
+    db.execute(f"CREATE TABLE {wide_name} AS {sql}", tag="materialize")
+
+    wide_graph = JoinGraph(db)
+    categorical = [
+        feat
+        for rel, feat in graph.all_features()
+        if graph.is_categorical(rel, feat)
+    ]
+    wide_graph.add_relation(
+        wide_name,
+        features=feature_names,
+        y=graph.target_column,
+        categorical=categorical,
+    )
+    ring = VarianceSemiRing()
+    factorizer = Factorizer(db, wide_graph, ring, cache_enabled=False)
+    factorizer.lift()
+    trainer = DecisionTreeTrainer(
+        db, wide_graph, factorizer, VarianceCriterion(), params
+    )
+    model = trainer.train()
+    factorizer.cleanup()
+    db.drop_table(wide_name, if_exists=True)
+    return model
+
+
+def _wide_table_sql(db, graph: JoinGraph, fact: str) -> Tuple[str, list]:
+    parent_map, children, _ = rooted_tree(graph, fact)
+    aliases = {fact: "t"}
+    joins = []
+    frontier = [fact]
+    while frontier:
+        current = frontier.pop(0)
+        for child in children[current]:
+            aliases[child] = f"r{len(aliases)}"
+            edge = edge_between(graph, current, child)
+            condition = " AND ".join(
+                f"{aliases[current]}.{a} = {aliases[child]}.{b}"
+                for a, b in zip(edge.keys_for(current), edge.keys_for(child))
+            )
+            joins.append(f"JOIN {child} AS {aliases[child]} ON {condition}")
+            frontier.append(child)
+    select_parts = []
+    feature_names = []
+    for relation, feature in graph.all_features():
+        select_parts.append(f"{aliases[relation]}.{feature} AS {feature}")
+        feature_names.append(feature)
+    target_rel = graph.target_relation
+    select_parts.append(
+        f"{aliases[target_rel]}.{graph.target_column} AS {graph.target_column}"
+    )
+    return (
+        f"SELECT {', '.join(select_parts)} FROM {fact} AS t {' '.join(joins)}",
+        feature_names,
+    )

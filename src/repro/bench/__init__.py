@@ -1,0 +1,5 @@
+"""Benchmark harness: one runner per paper figure, plus text reporting."""
+
+from repro.bench.report import format_series, format_table
+
+__all__ = ["format_series", "format_table"]

@@ -1,0 +1,56 @@
+"""Paper-style text rendering of benchmark rows and series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title banner."""
+    widths = [len(str(h)) for h in headers]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [_fmt(cell) for cell in row]
+        rendered_rows.append(rendered)
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[i].ljust(widths[i]) for i in range(len(widths))))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[object]],
+) -> str:
+    """One column per named series, one row per x value."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.01:
+            return f"{cell:.3f}"
+        return f"{cell:.2e}"
+    return str(cell)

@@ -1,0 +1,22 @@
+"""Core ML: factorized decision trees, random forests, gradient boosting."""
+
+from repro.core.params import TrainParams
+from repro.core.tree import DecisionTreeModel, TreeNode
+from repro.core.trainer import DecisionTreeTrainer
+from repro.core.boosting import GradientBoostingModel, train_gradient_boosting
+from repro.core.forest import RandomForestModel, train_random_forest
+from repro.core.predict import predict_join, rmse_on_join, feature_frame
+
+__all__ = [
+    "TrainParams",
+    "TreeNode",
+    "DecisionTreeModel",
+    "DecisionTreeTrainer",
+    "GradientBoostingModel",
+    "train_gradient_boosting",
+    "RandomForestModel",
+    "train_random_forest",
+    "predict_join",
+    "rmse_on_join",
+    "feature_frame",
+]

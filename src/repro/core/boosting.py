@@ -1,0 +1,490 @@
+"""Factorized gradient boosting (Section 4) — the paper's headline feature.
+
+Each iteration trains a decision tree on the (h, g) gradient annotations,
+then updates those annotations in place of the residuals:
+
+* **snowflake** schemas update the lifted fact table directly (1-1 with
+  R⋈; Section 4.1), supporting every Table 3 loss;
+* **galaxy** schemas use Clustered Predicate Trees (Section 4.2.2): every
+  cluster fact carries an identity-initialized update annotation, each
+  tree's splits are confined to one cluster, and the update multiplies
+  that cluster's annotation by lift(lr·p) — valid exactly because the L2
+  lift is addition-to-multiplication preserving (Definition 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.core.params import TrainParams
+from repro.core.predict import feature_frame, rmse_on_join
+from repro.core.residual import ResidualUpdater
+from repro.core.split import GradientCriterion
+from repro.core.trainer import DecisionTreeTrainer
+from repro.core.tree import DecisionTreeModel
+from repro.factorize.executor import Factorizer
+from repro.joingraph.clusters import Cluster, cluster_graph
+from repro.joingraph.graph import JoinGraph
+from repro.joingraph.hypertree import rooted_tree
+from repro.semiring.gradient import GradientSemiRing
+from repro.semiring.losses import Loss, SoftmaxLoss, get_loss
+from repro.semiring.variance import VarianceSemiRing
+
+
+@dataclasses.dataclass
+class IterationRecord:
+    """Per-iteration bookkeeping for the figure benches."""
+
+    iteration: int
+    train_seconds: float
+    update_seconds: float
+    rmse: Optional[float] = None
+
+
+class GradientBoostingModel:
+    """Trees + init score; identical scoring rule to LightGBM."""
+
+    def __init__(
+        self,
+        trees: List[DecisionTreeModel],
+        init_score: float,
+        learning_rate: float,
+        loss: Loss,
+        history: Optional[List[IterationRecord]] = None,
+    ):
+        self.trees = trees
+        self.init_score = init_score
+        self.learning_rate = learning_rate
+        self.loss = loss
+        self.history = history if history is not None else []
+
+    @property
+    def required_features(self) -> List[str]:
+        seen: List[str] = []
+        for tree in self.trees:
+            for _, column in tree.referenced_attributes():
+                if column not in seen:
+                    seen.append(column)
+        return seen
+
+    def predict_arrays(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(features.values()))) if features else 0
+        score = np.full(n, self.init_score, dtype=np.float64)
+        for tree in self.trees:
+            score += self.learning_rate * tree.predict_arrays(features)
+        return self.loss.predict_transform(score)
+
+    def raw_scores(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(features.values()))) if features else 0
+        score = np.full(n, self.init_score, dtype=np.float64)
+        for tree in self.trees:
+            score += self.learning_rate * tree.predict_arrays(features)
+        return score
+
+
+class MulticlassBoostingModel:
+    """K parallel boosting chains with softmax scoring."""
+
+    def __init__(
+        self,
+        trees_per_class: List[List[DecisionTreeModel]],
+        init_scores: List[float],
+        learning_rate: float,
+        loss: SoftmaxLoss,
+    ):
+        self.trees_per_class = trees_per_class
+        self.init_scores = init_scores
+        self.learning_rate = learning_rate
+        self.loss = loss
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.trees_per_class)
+
+    @property
+    def required_features(self) -> List[str]:
+        seen: List[str] = []
+        for chain in self.trees_per_class:
+            for tree in chain:
+                for _, column in tree.referenced_attributes():
+                    if column not in seen:
+                        seen.append(column)
+        return seen
+
+    def scores(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(features.values()))) if features else 0
+        out = np.zeros((n, self.num_classes), dtype=np.float64)
+        for k, chain in enumerate(self.trees_per_class):
+            out[:, k] = self.init_scores[k]
+            for tree in chain:
+                out[:, k] += self.learning_rate * tree.predict_arrays(features)
+        return out
+
+    def predict_proba(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        return SoftmaxLoss.softmax(self.scores(features))
+
+    def predict_arrays(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        return np.argmax(self.scores(features), axis=1).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Schema classification
+# ---------------------------------------------------------------------------
+def is_snowflake(graph: JoinGraph, fact: str) -> bool:
+    """True when every edge directed away from ``fact`` is N-to-1."""
+    if any(e.multiplicity is None for e in graph.edges):
+        graph.analyze()
+    parent_map, children, _ = rooted_tree(graph, fact)
+    for relation, kids in children.items():
+        for child in kids:
+            edge = next(
+                e for e in graph.edges_of(relation) if e.other(relation) == child
+            )
+            mult = edge.multiplicity or "m-n"
+            if edge.left == relation and mult not in ("n-1", "1-1"):
+                return False
+            if edge.right == relation and mult not in ("1-n", "1-1"):
+                return False
+    return True
+
+
+def _init_score_sql(db, fact_table: str, y: str, loss: Loss) -> float:
+    """Base prediction via one aggregate query over the fact table."""
+    name = loss.name
+    if name in ("l1", "mape"):
+        value = db.execute(f"SELECT MEDIAN({y}) AS v FROM {fact_table}").scalar()
+        return float(value)
+    mean = float(db.execute(f"SELECT AVG({y}) AS v FROM {fact_table}").scalar())
+    if name in ("poisson", "gamma", "tweedie"):
+        return float(np.log(max(mean, 1e-9)))
+    if name == "quantile":
+        frame = db.execute(f"SELECT {y} FROM {fact_table}")
+        return float(np.quantile(frame.column(y).as_float(), loss.alpha))
+    return mean
+
+
+def _join_mean(db, graph: JoinGraph) -> float:
+    """Mean of Y over the non-materialized join (galaxy init score)."""
+    ring = VarianceSemiRing()
+    factorizer = Factorizer(db, graph, ring)
+    factorizer.lift()
+    totals = factorizer.totals()
+    factorizer.cleanup()
+    if totals.get("c", 0.0) <= 0:
+        raise TrainingError("join result is empty")
+    return totals["s"] / totals["c"]
+
+
+# ---------------------------------------------------------------------------
+# Training driver
+# ---------------------------------------------------------------------------
+def train_gradient_boosting(
+    db,
+    graph: JoinGraph,
+    params: Optional[dict] = None,
+    evaluate_every: int = 0,
+    clusters: Optional[Sequence[Cluster]] = None,
+    **overrides,
+):
+    """Train gradient boosting over a join graph (LightGBM-style entry).
+
+    ``evaluate_every=k`` records training rmse every k iterations in the
+    model history (used by the Figure 8c bench).  ``clusters`` forces the
+    galaxy/CPT path with the given clustering.
+    """
+    train_params = TrainParams.from_dict(params, **overrides)
+    loss = get_loss(train_params.objective, **train_params.loss_kwargs())
+    graph.validate()
+    if isinstance(loss, SoftmaxLoss):
+        return _train_multiclass(db, graph, train_params, loss)
+
+    fact = graph.target_relation
+    snowflake = is_snowflake(graph, fact) and clusters is None
+    if not snowflake and not loss.supports_galaxy:
+        raise TrainingError(
+            f"objective {loss.name!r} requires a snowflake schema; galaxy "
+            "schemas support rmse only (Section 5.1)"
+        )
+    if snowflake:
+        return _train_snowflake(db, graph, train_params, loss, evaluate_every)
+    return _train_galaxy(db, graph, train_params, loss, clusters, evaluate_every)
+
+
+def _train_snowflake(
+    db,
+    graph: JoinGraph,
+    params: TrainParams,
+    loss: Loss,
+    evaluate_every: int,
+) -> GradientBoostingModel:
+    fact = graph.target_relation
+    y = graph.target_column
+    init = _init_score_sql(db, fact, y, loss)
+    ring = GradientSemiRing()
+    factorizer = Factorizer(db, graph, ring)
+
+    init_lit = repr(float(init))
+    hessian_constant = loss.hessian_sql("y", "p") == "1"
+    lift_exprs: List[Tuple[str, str]] = [("pred", init_lit)]
+    lift_exprs += ring.lift_pair_sql(
+        loss.hessian_sql(f"t.{y}", init_lit),
+        loss.gradient_sql(f"t.{y}", init_lit),
+    )
+    fact_table = factorizer.lift(lift_exprs)
+    updater = ResidualUpdater(
+        db, graph, fact, fact_table, loss, strategy=params.update_strategy
+    )
+    criterion = GradientCriterion(reg_lambda=params.reg_lambda)
+    trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, params)
+    rng = np.random.default_rng(params.seed)
+
+    trees: List[DecisionTreeModel] = []
+    history: List[IterationRecord] = []
+    model = GradientBoostingModel([], init, params.learning_rate, loss, history)
+    for iteration in range(params.num_iterations):
+        features = _sample_features(graph, params, rng)
+        start = time.perf_counter()
+        tree = trainer.train(feature_subset=features)
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if loss.supports_galaxy:
+            # L2: the gradient shifts additively by lr·p* — one column.
+            updater.apply_additive(tree, params.learning_rate, component="g")
+        else:
+            updater.apply_general(
+                tree, params.learning_rate, y_column=y,
+                hessian_constant=hessian_constant,
+            )
+        factorizer.invalidate_for_relation(fact)
+        update_seconds = time.perf_counter() - start
+
+        trees.append(tree)
+        model.trees = trees
+        record = IterationRecord(iteration, train_seconds, update_seconds)
+        if evaluate_every and (iteration + 1) % evaluate_every == 0:
+            record.rmse = rmse_on_join(db, graph, model)
+        history.append(record)
+    factorizer.cleanup()
+    return model
+
+
+def _train_galaxy(
+    db,
+    graph: JoinGraph,
+    params: TrainParams,
+    loss: Loss,
+    clusters: Optional[Sequence[Cluster]],
+    evaluate_every: int,
+) -> GradientBoostingModel:
+    if clusters is None:
+        clusters = cluster_graph(graph)
+    target = graph.target_relation
+    y = graph.target_column
+    init = _join_mean(db, graph)
+    ring = GradientSemiRing()
+    factorizer = Factorizer(db, graph, ring)
+    # Target lift: g = p0 - y (the L2 gradient at the base score).
+    factorizer.lift(ring.lift_pair_sql("1", f"({init!r} - t.{y})"))
+    updaters: Dict[str, ResidualUpdater] = {}
+    for cluster in clusters:
+        if cluster.fact == target:
+            updaters[cluster.fact] = ResidualUpdater(
+                db, graph, cluster.fact, factorizer.lifted[target], loss,
+                strategy=params.update_strategy,
+            )
+        else:
+            table = factorizer.lift_identity(cluster.fact)
+            updaters[cluster.fact] = ResidualUpdater(
+                db, graph, cluster.fact, table, loss,
+                strategy=params.update_strategy,
+            )
+
+    criterion = GradientCriterion(reg_lambda=params.reg_lambda)
+    trainer = DecisionTreeTrainer(
+        db, graph, factorizer, criterion, params, clusters=clusters
+    )
+    rng = np.random.default_rng(params.seed)
+
+    trees: List[DecisionTreeModel] = []
+    history: List[IterationRecord] = []
+    model = GradientBoostingModel([], init, params.learning_rate, loss, history)
+    for iteration in range(params.num_iterations):
+        features = _sample_features(graph, params, rng)
+        start = time.perf_counter()
+        tree = trainer.train(feature_subset=features)
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cluster = _tree_cluster(tree, clusters, target)
+        updaters[cluster.fact].apply_additive(
+            tree, params.learning_rate, component=ring.g
+        )
+        factorizer.invalidate_for_relation(cluster.fact)
+        update_seconds = time.perf_counter() - start
+
+        trees.append(tree)
+        model.trees = trees
+        # Per-iteration rmse would require materializing the galaxy join —
+        # exactly what CPT exists to avoid — so galaxy history records
+        # timings only (Figure 14 plots time, not accuracy).
+        history.append(IterationRecord(iteration, train_seconds, update_seconds))
+    factorizer.cleanup()
+    return model
+
+
+def _tree_cluster(
+    tree: DecisionTreeModel, clusters: Sequence[Cluster], target: str
+) -> Cluster:
+    """The cluster a trained tree's splits live in."""
+    for node in tree.nodes():
+        if node.relation is not None:
+            for cluster in clusters:
+                if node.relation in cluster:
+                    return cluster
+    # A stump that never split: update the target's own cluster if any,
+    # else the first cluster (the delta applies to all rows uniformly).
+    for cluster in clusters:
+        if target in cluster:
+            return cluster
+    return clusters[0]
+
+
+def _sample_features(
+    graph: JoinGraph, params: TrainParams, rng: np.random.Generator
+) -> Optional[List[Tuple[str, str]]]:
+    features = graph.all_features()
+    if params.colsample >= 1.0 or len(features) <= 1:
+        return None
+    size = max(1, int(round(len(features) * params.colsample)))
+    picks = rng.choice(len(features), size=size, replace=False)
+    return [features[i] for i in sorted(picks)]
+
+
+# ---------------------------------------------------------------------------
+# Multiclass (softmax) — snowflake only
+# ---------------------------------------------------------------------------
+def _train_multiclass(
+    db, graph: JoinGraph, params: TrainParams, loss: SoftmaxLoss
+) -> MulticlassBoostingModel:
+    fact = graph.target_relation
+    if not is_snowflake(graph, fact):
+        raise TrainingError("softmax objectives require a snowflake schema")
+    y = graph.target_column
+    k = loss.num_classes
+
+    # Init scores: log class priors.
+    counts = db.execute(
+        f"SELECT {y} AS label, COUNT(*) AS n FROM {fact} GROUP BY {y}"
+    )
+    total = float(counts["n"].sum())
+    prior = np.full(k, 1e-9)
+    for label, n in zip(counts["label"], counts["n"]):
+        prior[int(label)] = n / total
+    init_scores = [float(v) for v in np.log(prior)]
+
+    # One lifted table holds every class's pred/h/g columns.
+    rings = [GradientSemiRing(suffix=str(i)) for i in range(k)]
+    factorizers = [Factorizer(db, graph, rings[i]) for i in range(k)]
+    lift_exprs: List[Tuple[str, str]] = []
+    prob_exprs = _softmax_exprs([repr(s) for s in init_scores])
+    for i in range(k):
+        lift_exprs.append((f"pred{i}", repr(init_scores[i])))
+        lift_exprs += rings[i].lift_pair_sql(
+            loss.hessian_sql_class(prob_exprs[i]),
+            loss.gradient_sql_class(f"t.{y}", prob_exprs[i], i),
+        )
+    fact_table = factorizers[0].lift(lift_exprs)
+    for factorizer in factorizers[1:]:
+        factorizer.adopt_lifted(fact, fact_table)
+
+    trainers = [
+        DecisionTreeTrainer(
+            db, graph, factorizers[i],
+            GradientCriterion(
+                reg_lambda=params.reg_lambda,
+                weight_component=rings[i].h,
+                sum_component=rings[i].g,
+            ),
+            params,
+        )
+        for i in range(k)
+    ]
+    updaters = [
+        ResidualUpdater(db, graph, fact, fact_table, loss, strategy="swap")
+        for _ in range(k)
+    ]
+
+    chains: List[List[DecisionTreeModel]] = [[] for _ in range(k)]
+    for _ in range(params.num_iterations):
+        new_trees: List[DecisionTreeModel] = []
+        for i in range(k):
+            tree = trainers[i].train()
+            new_trees.append(tree)
+        # Update every class's pred, then recompute all probabilities and
+        # per-class gradients in one pass.
+        for i, tree in enumerate(new_trees):
+            _shift_pred(db, graph, fact, fact_table, tree,
+                        params.learning_rate, f"pred{i}")
+            chains[i].append(tree)
+        _refresh_multiclass_gradients(db, fact_table, y, loss, k)
+        for factorizer in factorizers:
+            factorizer.invalidate_for_relation(fact)
+    model = MulticlassBoostingModel(chains, init_scores, params.learning_rate, loss)
+    factorizers[0].cleanup()
+    return model
+
+
+def _softmax_exprs(pred_exprs: List[str]) -> List[str]:
+    denominator = " + ".join(f"EXP({p})" for p in pred_exprs)
+    return [f"(EXP({p}) / ({denominator}))" for p in pred_exprs]
+
+
+def _shift_pred(
+    db, graph, fact, fact_table, tree, learning_rate: float, pred_column: str
+) -> None:
+    from repro.core.residual import leaf_conditions
+    from repro.engine.update import apply_column_update
+
+    pairs = leaf_conditions(graph, fact, tree, fact_alias="t")
+    whens = " ".join(
+        f"WHEN {condition} THEN t.{pred_column} + "
+        f"{learning_rate * leaf.prediction!r}"
+        for leaf, condition in pairs
+    )
+    expr = f"CASE {whens} ELSE t.{pred_column} END"
+    result = db.execute(
+        f"SELECT {expr} AS {pred_column} FROM {fact_table} AS t",
+        tag="residual_update",
+    )
+    apply_column_update(
+        db, fact_table, pred_column, result.column(pred_column).values, "swap"
+    )
+
+
+def _refresh_multiclass_gradients(db, fact_table, y, loss, k) -> None:
+    from repro.engine.update import apply_column_update
+
+    prob_exprs = _softmax_exprs([f"t.pred{i}" for i in range(k)])
+    select_parts = []
+    for i in range(k):
+        select_parts.append(
+            f"{loss.gradient_sql_class(f't.{y}', prob_exprs[i], i)} AS g{i}"
+        )
+        select_parts.append(
+            f"{loss.hessian_sql_class(prob_exprs[i])} AS h{i}"
+        )
+    result = db.execute(
+        f"SELECT {', '.join(select_parts)} FROM {fact_table} AS t",
+        tag="residual_update",
+    )
+    for i in range(k):
+        apply_column_update(db, fact_table, f"g{i}",
+                            result.column(f"g{i}").values, "swap")
+        apply_column_update(db, fact_table, f"h{i}",
+                            result.column(f"h{i}").values, "swap")

@@ -1,0 +1,151 @@
+"""Random forests over joins (bagging + feature sampling, Section 5.5.2).
+
+Each tree trains on a data sample and a feature sample.  Data sampling
+uses the snowflake fast path — a uniform row sample of the fact table is a
+uniform sample of R⋈ because they are 1-1 — falling back to ancestral
+sampling for general acyclic graphs.  Trees are independent, which is what
+the paper's inter-query parallelism exploits (35% faster); the scheduler
+integration lives in the Figure 18 bench.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.core.params import TrainParams
+from repro.core.split import ClassificationCriterion, VarianceCriterion
+from repro.core.trainer import DecisionTreeTrainer
+from repro.core.tree import DecisionTreeModel
+from repro.factorize.executor import Factorizer
+from repro.factorize.sampling import ancestral_sample, sample_fact_table
+from repro.joingraph.graph import JoinGraph
+from repro.semiring.classcount import ClassCountSemiRing
+from repro.semiring.losses import SoftmaxLoss
+from repro.semiring.variance import VarianceSemiRing
+
+
+class RandomForestModel:
+    """Bagged trees; predictions average (regression) or vote
+    (classification)."""
+
+    def __init__(self, trees: List[DecisionTreeModel], classification: bool,
+                 num_classes: int = 0, history: Optional[List[float]] = None):
+        self.trees = trees
+        self.classification = classification
+        self.num_classes = num_classes
+        #: per-tree training seconds (benches read this)
+        self.history = history if history is not None else []
+
+    @property
+    def required_features(self) -> List[str]:
+        seen: List[str] = []
+        for tree in self.trees:
+            for _, column in tree.referenced_attributes():
+                if column not in seen:
+                    seen.append(column)
+        return seen
+
+    def predict_arrays(self, features: Dict[str, np.ndarray]) -> np.ndarray:
+        if not self.trees:
+            raise TrainingError("forest has no trees")
+        stacked = np.stack([t.predict_arrays(features) for t in self.trees])
+        if not self.classification:
+            return stacked.mean(axis=0)
+        votes = np.zeros((stacked.shape[1], self.num_classes))
+        for row in stacked:
+            for k in range(self.num_classes):
+                votes[:, k] += row == k
+        return votes.argmax(axis=1).astype(np.float64)
+
+
+def train_random_forest(
+    db,
+    graph: JoinGraph,
+    params: Optional[dict] = None,
+    **overrides,
+) -> RandomForestModel:
+    """Train a random forest over the join graph.
+
+    ``objective='regression'`` (variance criterion) or
+    ``objective='multiclass'``/``'gini'``-style classification via the
+    class-count semi-ring.
+    """
+    train_params = TrainParams.from_dict(params, **overrides)
+    graph.validate()
+    classification = train_params.objective.lower() in (
+        "multiclass", "softmax", "binary", "classification",
+    )
+    fact = graph.target_relation
+    y = graph.target_column
+    rng = np.random.default_rng(train_params.seed)
+
+    from repro.core.boosting import is_snowflake
+
+    snowflake = is_snowflake(graph, fact)
+    if classification:
+        ring = ClassCountSemiRing(train_params.num_class)
+        criterion = ClassificationCriterion(train_params.num_class, "gini")
+    else:
+        ring = VarianceSemiRing()
+        criterion = VarianceCriterion()
+
+    trees: List[DecisionTreeModel] = []
+    history: List[float] = []
+    all_features = graph.all_features()
+    for _ in range(train_params.num_iterations):
+        start = time.perf_counter()
+        factorizer = Factorizer(db, graph, ring)
+        sampled_fact = _sampled_fact_table(
+            db, graph, fact, train_params, rng, snowflake
+        )
+        factorizer.lift(source_table=sampled_fact)
+
+        feature_subset = _feature_sample(all_features, train_params, rng)
+        trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, train_params)
+        tree = trainer.train(feature_subset=feature_subset)
+        trees.append(tree)
+        factorizer.cleanup()
+        if sampled_fact != fact:
+            db.drop_table(sampled_fact, if_exists=True)
+        history.append(time.perf_counter() - start)
+    return RandomForestModel(
+        trees, classification,
+        num_classes=train_params.num_class if classification else 0,
+        history=history,
+    )
+
+
+def _sampled_fact_table(
+    db, graph: JoinGraph, fact: str, params: TrainParams,
+    rng: np.random.Generator, snowflake: bool,
+) -> str:
+    """Materialize the per-tree data sample as a temp fact table."""
+    if params.subsample >= 1.0:
+        return fact
+    if snowflake:
+        indexes = sample_fact_table(db, fact, params.subsample, rng)
+    else:
+        n = db.table(fact).num_rows()
+        size = max(1, int(round(n * params.subsample)))
+        draws = ancestral_sample(db, graph, size, rng, root=fact)
+        indexes = draws[fact]
+    table = db.table(fact)
+    data = {
+        name: table.column(name).values[indexes]
+        for name in table.column_names()
+    }
+    sampled_name = db.temp_name(f"sample_{fact}")
+    db.create_table(sampled_name, data)
+    return sampled_name
+
+
+def _feature_sample(all_features, params: TrainParams, rng: np.random.Generator):
+    if params.colsample >= 1.0 or len(all_features) <= 1:
+        return None
+    size = max(1, int(round(len(all_features) * params.colsample)))
+    picks = rng.choice(len(all_features), size=size, replace=False)
+    return [all_features[i] for i in sorted(picks)]

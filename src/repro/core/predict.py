@@ -1,0 +1,134 @@
+"""Inference and evaluation over the join graph.
+
+Training never materializes R⋈, but evaluation needs per-tuple scores.
+For snowflake schemas the fact table is 1-1 with R⋈, so scoring needs only
+a *narrow* join: the fact table's rows augmented with exactly the feature
+columns the model references (each dimension contributes a couple of
+columns, fetched with N-to-1 joins).  :func:`feature_frame` builds that
+frame; the model classes route rows through their trees vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.engine.operators import join_indices
+from repro.joingraph.graph import JoinGraph
+from repro.joingraph.hypertree import edge_between, rooted_tree
+
+
+def feature_frame(
+    db,
+    graph: JoinGraph,
+    columns: Optional[Sequence[str]] = None,
+    fact: Optional[str] = None,
+    include_target: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Fact-aligned arrays for the requested feature columns.
+
+    Walks the join tree rooted at the fact table; for each relation owning
+    a requested column, composes the N-to-1 key mappings hop by hop so the
+    returned arrays all align with fact rows.  NULLs appear where a join
+    key has no match (left-join semantics).
+    """
+    fact = fact or graph.target_relation
+    wanted: List[str]
+    if columns is None:
+        wanted = [f for _, f in graph.all_features()]
+    else:
+        wanted = list(columns)
+    if include_target and graph.relations[fact].target:
+        target = graph.relations[fact].target
+        if target not in wanted:
+            wanted.append(target)
+
+    parent_map, children, _ = rooted_tree(graph, fact)
+    fact_table = db.table(fact)
+    n = fact_table.num_rows()
+
+    # row_map[rel] = for each fact row, the matching row index in rel (-1
+    # when missing).  Built top-down along the join tree.
+    row_map: Dict[str, np.ndarray] = {fact: np.arange(n)}
+    order = [fact]
+    frontier = [fact]
+    while frontier:
+        current = frontier.pop(0)
+        for child in children[current]:
+            order.append(child)
+            frontier.append(child)
+
+    for relation in order[1:]:
+        parent = parent_map[relation]
+        edge = edge_between(graph, relation, parent)
+        parent_table = db.table(parent)
+        child_table = db.table(relation)
+        parent_idx = row_map[parent]
+        valid_parent = parent_idx >= 0
+        parent_keys = []
+        for key in edge.keys_for(parent):
+            values = parent_table.column(key).as_float() \
+                if parent_table.column(key).ctype.name != "STR" \
+                else parent_table.column(key).values
+            gathered = np.asarray(values)[np.where(valid_parent, parent_idx, 0)]
+            parent_keys.append(gathered)
+        child_keys = [
+            child_table.column(k).values for k in edge.keys_for(relation)
+        ]
+        l_idx, r_idx = join_indices(parent_keys, child_keys, how="left")
+        # N-to-1 joins have at most one match per fact row; if the data
+        # violates that, the last match wins (evaluation path only).
+        first = np.full(n, -1, dtype=np.int64)
+        first[l_idx] = r_idx
+        first[~valid_parent] = -1
+        row_map[relation] = first
+
+    out: Dict[str, np.ndarray] = {}
+    for column in wanted:
+        owner = None
+        for name in order:
+            if column in db.table(name).column_names():
+                owner = name
+                break
+        if owner is None:
+            raise TrainingError(f"no relation provides column {column!r}")
+        col = db.table(owner).column(column)
+        idx = row_map[owner]
+        missing = idx < 0
+        safe = np.where(missing, 0, idx)
+        if col.ctype.name == "STR":
+            values = col.values[safe].astype(object)
+            values[missing] = None
+        else:
+            values = col.as_float()[safe]
+            values[missing] = np.nan
+        out[column] = values
+    return out
+
+
+def predict_join(db, graph: JoinGraph, model, fact: Optional[str] = None) -> np.ndarray:
+    """Score every fact row of the join graph with ``model``.
+
+    ``model`` is anything exposing ``predict_arrays`` (a single tree, a
+    forest, or a boosting model).
+    """
+    needed = getattr(model, "required_features", None)
+    frame = feature_frame(db, graph, columns=needed, fact=fact)
+    return model.predict_arrays(frame)
+
+
+def rmse_on_join(
+    db, graph: JoinGraph, model, fact: Optional[str] = None
+) -> float:
+    """Root-mean-square error of ``model`` against the target column."""
+    fact = fact or graph.target_relation
+    target = graph.relations[fact].target
+    if target is None:
+        raise TrainingError(f"relation {fact!r} declares no target")
+    frame = feature_frame(db, graph, fact=fact)
+    y = frame[target]
+    scores = model.predict_arrays(frame)
+    keep = ~np.isnan(y)
+    return float(np.sqrt(np.mean((y[keep] - scores[keep]) ** 2)))

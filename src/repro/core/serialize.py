@@ -1,0 +1,179 @@
+"""Model serialization: JSON-compatible dump/load for trained models.
+
+LightGBM ships ``dump_model``/``model_from_string``; JoinBoost "returns
+models identical to LightGBM" (Section 5.1), so this module provides the
+equivalent round trip for every model class in the library.  The format
+is plain JSON — no pickling — so saved models are portable and auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.exceptions import TrainingError
+from repro.core.boosting import (
+    GradientBoostingModel,
+    MulticlassBoostingModel,
+)
+from repro.core.forest import RandomForestModel
+from repro.core.tree import DecisionTreeModel, TreeNode
+from repro.factorize.predicates import Predicate
+from repro.semiring.losses import get_loss
+
+
+# ---------------------------------------------------------------------------
+# Trees
+# ---------------------------------------------------------------------------
+def tree_to_dict(model: DecisionTreeModel) -> dict:
+    def node_dict(node: TreeNode) -> dict:
+        out: dict = {
+            "node_id": node.node_id,
+            "depth": node.depth,
+            "prediction": node.prediction,
+            "gain": node.gain,
+            "aggregates": dict(node.aggregates),
+        }
+        if node.predicate is not None:
+            out["relation"] = node.relation
+            out["predicate"] = {
+                "column": node.predicate.column,
+                "op": node.predicate.op,
+                "value": list(node.predicate.value)
+                if isinstance(node.predicate.value, tuple)
+                else node.predicate.value,
+                "include_null": node.predicate.include_null,
+            }
+        if not node.is_leaf:
+            out["left"] = node_dict(node.left)
+            out["right"] = node_dict(node.right)
+        return out
+
+    return {
+        "kind": "decision_tree",
+        "root": node_dict(model.root),
+        "feature_relations": dict(model.feature_relations),
+    }
+
+
+def tree_from_dict(data: dict) -> DecisionTreeModel:
+    if data.get("kind") != "decision_tree":
+        raise TrainingError("not a serialized decision tree")
+
+    def build(node_data: dict, parent: Optional[TreeNode]) -> TreeNode:
+        predicate = None
+        if "predicate" in node_data:
+            raw = node_data["predicate"]
+            value = raw["value"]
+            if isinstance(value, list):
+                value = tuple(value)
+            predicate = Predicate(
+                column=raw["column"], op=raw["op"], value=value,
+                include_null=raw["include_null"],
+            )
+        node = TreeNode(
+            node_id=node_data["node_id"],
+            depth=node_data["depth"],
+            predicate=predicate,
+            relation=node_data.get("relation"),
+            parent=parent,
+            prediction=node_data["prediction"],
+            gain=node_data["gain"],
+            aggregates=dict(node_data.get("aggregates", {})),
+        )
+        if "left" in node_data:
+            node.left = build(node_data["left"], node)
+            node.right = build(node_data["right"], node)
+        return node
+
+    root = build(data["root"], None)
+    return DecisionTreeModel(root, data["feature_relations"])
+
+
+# ---------------------------------------------------------------------------
+# Ensembles
+# ---------------------------------------------------------------------------
+def _loss_spec(loss) -> dict:
+    spec: Dict[str, object] = {"name": loss.name}
+    for attr in ("delta", "c", "alpha", "rho", "num_classes"):
+        if hasattr(loss, attr):
+            spec[attr] = getattr(loss, attr)
+    return spec
+
+
+def _loss_from_spec(spec: dict):
+    kwargs = {k: v for k, v in spec.items() if k != "name"}
+    return get_loss(spec["name"], **kwargs)
+
+
+def model_to_dict(model) -> dict:
+    """Serialize any trained model (tree / forest / boosting)."""
+    if isinstance(model, DecisionTreeModel):
+        return tree_to_dict(model)
+    if isinstance(model, RandomForestModel):
+        return {
+            "kind": "random_forest",
+            "classification": model.classification,
+            "num_classes": model.num_classes,
+            "trees": [tree_to_dict(t) for t in model.trees],
+        }
+    if isinstance(model, GradientBoostingModel):
+        return {
+            "kind": "gradient_boosting",
+            "init_score": model.init_score,
+            "learning_rate": model.learning_rate,
+            "loss": _loss_spec(model.loss),
+            "trees": [tree_to_dict(t) for t in model.trees],
+        }
+    if isinstance(model, MulticlassBoostingModel):
+        return {
+            "kind": "multiclass_boosting",
+            "init_scores": list(model.init_scores),
+            "learning_rate": model.learning_rate,
+            "loss": _loss_spec(model.loss),
+            "trees_per_class": [
+                [tree_to_dict(t) for t in chain]
+                for chain in model.trees_per_class
+            ],
+        }
+    raise TrainingError(f"cannot serialize {type(model).__name__}")
+
+
+def model_from_dict(data: dict):
+    kind = data.get("kind")
+    if kind == "decision_tree":
+        return tree_from_dict(data)
+    if kind == "random_forest":
+        return RandomForestModel(
+            [tree_from_dict(t) for t in data["trees"]],
+            classification=data["classification"],
+            num_classes=data["num_classes"],
+        )
+    if kind == "gradient_boosting":
+        return GradientBoostingModel(
+            [tree_from_dict(t) for t in data["trees"]],
+            init_score=data["init_score"],
+            learning_rate=data["learning_rate"],
+            loss=_loss_from_spec(data["loss"]),
+        )
+    if kind == "multiclass_boosting":
+        return MulticlassBoostingModel(
+            [[tree_from_dict(t) for t in chain]
+             for chain in data["trees_per_class"]],
+            init_scores=list(data["init_scores"]),
+            learning_rate=data["learning_rate"],
+            loss=_loss_from_spec(data["loss"]),
+        )
+    raise TrainingError(f"unknown serialized model kind {kind!r}")
+
+
+def save_model(model, path: str) -> None:
+    """Write a model to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(model_to_dict(model), handle)
+
+
+def load_model(path: str):
+    """Read a model back from :func:`save_model` output."""
+    with open(path) as handle:
+        return model_from_dict(json.load(handle))

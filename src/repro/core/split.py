@@ -1,0 +1,378 @@
+"""Best-split search (Algorithm 1, line 14 — the hot loop).
+
+For numeric features under a two-component criterion the search is a
+*single SQL query* in the shape of the paper's Example 2: the factorized
+absorption (grouped by the feature) is wrapped in window-function prefix
+sums and the criterion expression, ordered descending, LIMIT 1.
+
+Categorical features, missing='both' routing, and multi-component
+classification criteria fetch the per-value aggregate (small — one row per
+distinct value) and scan prefixes client-side, LightGBM style.
+
+Criteria:
+
+* :class:`VarianceCriterion` (c, s) — reduction in variance (regression
+  trees / random forests);
+* :class:`GradientCriterion` (h, g) — second-order gain of Appendix B with
+  L2 regularization, component names parameterizable for per-class
+  multiclass training;
+* :class:`ClassificationCriterion` (c, c0..ck) — gini / entropy / chi2
+  over the class-count semi-ring (Appendix A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.factorize.executor import Factorizer
+from repro.factorize.predicates import Predicate, PredicateMap
+from repro.semiring.classcount import ClassCountSemiRing
+
+
+class Criterion:
+    """Maps semi-ring aggregates to gains and leaf values."""
+
+    #: aggregate columns this criterion consumes
+    components: Tuple[str, ...] = ()
+    #: True when the numeric split can run as one SQL window query
+    sql_capable = False
+
+    def gain_aggs(
+        self, left: Dict[str, float], totals: Dict[str, float]
+    ) -> float:
+        """Gain of splitting ``totals`` into ``left`` and its complement."""
+        raise NotImplementedError
+
+    def leaf_value(self, aggregates: Dict[str, float]) -> float:
+        raise NotImplementedError
+
+    def weight(self, aggregates: Dict[str, float]) -> float:
+        """Mass used for min-child checks (count or hessian sum)."""
+        return aggregates.get(self.components[0], 0.0)
+
+    def min_weight(self, min_child_samples: int) -> float:
+        return max(float(min_child_samples), 1e-9)
+
+    def gain_sql(self, w: str, s: str, w_total: float, s_total: float) -> str:
+        raise NotImplementedError  # only for sql_capable criteria
+
+    def order_key(
+        self, aggs: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Category ordering for subset splits (mean-response heuristic)."""
+        raise NotImplementedError
+
+
+class VarianceCriterion(Criterion):
+    """Reduction in variance (Appendix A); q cancels, only (c, s) needed."""
+
+    components = ("c", "s")
+    sql_capable = True
+
+    def gain_sql(self, w: str, s: str, w_total: float, s_total: float) -> str:
+        st, ct = repr(float(s_total)), repr(float(w_total))
+        # (s/c)*s keeps intermediate magnitudes small (overflow note, App. A).
+        return (
+            f"(-({st} / {ct}) * {st}"
+            f" + ({s} / {w}) * {s}"
+            f" + (({st} - {s}) / ({ct} - {w})) * ({st} - {s}))"
+        )
+
+    def gain_aggs(self, left, totals):
+        w, s = left.get("c", 0.0), left.get("s", 0.0)
+        w_total, s_total = totals.get("c", 0.0), totals.get("s", 0.0)
+        if w <= 0 or w_total - w <= 0:
+            return float("-inf")
+        return (
+            -(s_total / w_total) * s_total
+            + (s / w) * s
+            + ((s_total - s) / (w_total - w)) * (s_total - s)
+        )
+
+    def leaf_value(self, aggregates):
+        c = aggregates.get("c", 0.0)
+        return aggregates.get("s", 0.0) / c if c else 0.0
+
+    def order_key(self, aggs):
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return aggs["s"] / aggs["c"]
+
+
+class GradientCriterion(Criterion):
+    """Second-order gain −½G²/(H+λ) form (Appendix B)."""
+
+    sql_capable = True
+
+    def __init__(
+        self,
+        reg_lambda: float = 0.0,
+        weight_component: str = "h",
+        sum_component: str = "g",
+    ):
+        self.reg_lambda = float(reg_lambda)
+        self.components = (weight_component, sum_component)
+
+    def gain_sql(self, w: str, s: str, w_total: float, s_total: float) -> str:
+        lam = repr(self.reg_lambda)
+        gt, ht = repr(float(s_total)), repr(float(w_total))
+        return (
+            f"(0.5 * (({s} * {s}) / ({w} + {lam})"
+            f" + (({gt} - {s}) * ({gt} - {s})) / (({ht} - {w}) + {lam})"
+            f" - ({gt} * {gt}) / ({ht} + {lam})))"
+        )
+
+    def gain_aggs(self, left, totals):
+        w_name, s_name = self.components
+        w, s = left.get(w_name, 0.0), left.get(s_name, 0.0)
+        w_total, s_total = totals.get(w_name, 0.0), totals.get(s_name, 0.0)
+        lam = self.reg_lambda
+        if w + lam <= 0 or (w_total - w) + lam <= 0:
+            return float("-inf")
+        return 0.5 * (
+            s * s / (w + lam)
+            + (s_total - s) ** 2 / ((w_total - w) + lam)
+            - s_total**2 / (w_total + lam)
+        )
+
+    def leaf_value(self, aggregates):
+        w_name, s_name = self.components
+        denominator = aggregates.get(w_name, 0.0) + self.reg_lambda
+        if denominator <= 0:
+            return 0.0
+        return -aggregates.get(s_name, 0.0) / denominator
+
+    def min_weight(self, min_child_samples: int) -> float:
+        # Hessians are not counts for general losses; only a numeric floor.
+        return 1e-9
+
+    def order_key(self, aggs):
+        w_name, s_name = self.components
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return aggs[s_name] / (aggs[w_name] + self.reg_lambda)
+
+
+class ClassificationCriterion(Criterion):
+    """Gini / entropy / chi-square over class counts (Appendix A)."""
+
+    sql_capable = False
+
+    def __init__(self, num_classes: int, measure: str = "gini"):
+        if measure not in ("gini", "entropy", "chi2"):
+            raise TrainingError(f"unknown classification measure {measure!r}")
+        self.ring = ClassCountSemiRing(num_classes)
+        self.measure = measure
+        self.num_classes = num_classes
+        self.components = self.ring.components
+
+    def _tuple(self, aggs: Dict[str, float]) -> Tuple[float, ...]:
+        return tuple(aggs.get(comp, 0.0) for comp in self.components)
+
+    def gain_aggs(self, left, totals):
+        left_t = self._tuple(left)
+        total_t = self._tuple(totals)
+        right_t = tuple(t - l for t, l in zip(total_t, left_t))
+        if left_t[0] <= 0 or right_t[0] <= 0:
+            return float("-inf")
+        if self.measure == "gini":
+            impurity = self.ring.gini
+        elif self.measure == "entropy":
+            impurity = self.ring.entropy
+        else:
+            return self.ring.chi_square(left_t, right_t)
+        return impurity(total_t) - impurity(left_t) - impurity(right_t)
+
+    def leaf_value(self, aggregates):
+        return float(self.ring.mode(self._tuple(aggregates)))
+
+    def order_key(self, aggs):
+        # Order categories by first-class purity (binary-optimal; a
+        # standard heuristic for k > 2).
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return aggs[self.components[1]] / aggs["c"]
+
+
+@dataclasses.dataclass
+class SplitCandidate:
+    """A candidate split and the aggregates of both children."""
+
+    gain: float
+    relation: str
+    predicate: Predicate
+    left_aggregates: Dict[str, float]
+    right_aggregates: Dict[str, float]
+    feature: str
+
+
+class SplitFinder:
+    """Evaluates the best split of one feature under a node's σ."""
+
+    def __init__(
+        self,
+        db,
+        factorizer: Factorizer,
+        criterion: Criterion,
+        min_child_samples: int = 1,
+        missing: str = "right",
+    ):
+        self.db = db
+        self.factorizer = factorizer
+        self.criterion = criterion
+        self.min_child_samples = min_child_samples
+        self.missing = missing
+
+    # ------------------------------------------------------------------
+    def best_split(
+        self,
+        feature: str,
+        relation: str,
+        predicates: PredicateMap,
+        totals: Dict[str, float],
+        categorical: bool,
+    ) -> Optional[SplitCandidate]:
+        if self.criterion.weight(totals) <= 0:
+            return None
+        if (
+            self.criterion.sql_capable
+            and not categorical
+            and self.missing == "right"
+        ):
+            return self._sql_split(feature, relation, predicates, totals)
+        return self._client_side_split(
+            feature, relation, predicates, totals, categorical
+        )
+
+    # ------------------------------------------------------------------
+    # Numeric, two-component criteria: single SQL query (Example 2 shape)
+    # ------------------------------------------------------------------
+    def _sql_split(
+        self,
+        feature: str,
+        relation: str,
+        predicates: PredicateMap,
+        totals: Dict[str, float],
+    ) -> Optional[SplitCandidate]:
+        w_name, s_name = self.criterion.components
+        w_total = totals.get(w_name, 0.0)
+        s_total = totals.get(s_name, 0.0)
+        inner, _ = self.factorizer.absorption_sql(relation, [feature], predicates)
+        crit = self.criterion.gain_sql("cw", "sw", w_total, s_total)
+        min_w = self.criterion.min_weight(self.min_child_samples)
+        sql = (
+            f"SELECT {feature}, cw, sw, {crit} AS criteria FROM ("
+            f"  SELECT {feature}, SUM({w_name}) OVER (ORDER BY {feature}) AS cw,"
+            f"         SUM({s_name}) OVER (ORDER BY {feature}) AS sw"
+            f"  FROM ({inner}) WHERE {feature} IS NOT NULL"
+            f") WHERE cw >= {min_w!r} AND ({w_total!r} - cw) >= {min_w!r} "
+            f"ORDER BY criteria DESC LIMIT 1"
+        )
+        result = self.db.execute(sql, tag="feature")
+        if result.num_rows == 0:
+            return None
+        row = result.first_row()
+        if row["criteria"] is None or not np.isfinite(row["criteria"]):
+            return None
+        left = {w_name: float(row["cw"]), s_name: float(row["sw"])}
+        right = {w_name: w_total - left[w_name], s_name: s_total - left[s_name]}
+        predicate = Predicate(feature, "<=", _plain(row[feature]), include_null=False)
+        return SplitCandidate(
+            gain=float(row["criteria"]),
+            relation=relation,
+            predicate=predicate,
+            left_aggregates=left,
+            right_aggregates=right,
+            feature=feature,
+        )
+
+    # ------------------------------------------------------------------
+    # Client-side prefix scan over the per-value aggregate
+    # ------------------------------------------------------------------
+    def _client_side_split(
+        self,
+        feature: str,
+        relation: str,
+        predicates: PredicateMap,
+        totals: Dict[str, float],
+        categorical: bool,
+    ) -> Optional[SplitCandidate]:
+        result = self.factorizer.absorb(
+            relation, [feature], predicates, tag="feature"
+        )
+        if result.num_rows == 0:
+            return None
+        comps = [c for c in self.criterion.components]
+        f_col = result.column(feature)
+        values = f_col.values
+        nulls = f_col.is_null()
+        if values.dtype.kind == "f":
+            nulls = nulls | np.isnan(values)
+        agg_arrays: Dict[str, np.ndarray] = {
+            c: result.column(c).values.astype(np.float64) for c in comps
+        }
+
+        null_aggs = {c: float(a[nulls].sum()) for c, a in agg_arrays.items()}
+        keep = ~nulls
+        values = values[keep]
+        agg_arrays = {c: a[keep] for c, a in agg_arrays.items()}
+        if len(values) < 2:
+            return None
+
+        if categorical:
+            order = np.argsort(self.criterion.order_key(agg_arrays), kind="stable")
+        else:
+            order = np.argsort(values.astype(np.float64), kind="stable")
+        values = values[order]
+        prefix = {c: np.cumsum(a[order]) for c, a in agg_arrays.items()}
+
+        min_w = self.criterion.min_weight(self.min_child_samples)
+        w_total = self.criterion.weight(totals)
+        best: Optional[Tuple[float, int, bool]] = None
+        has_nulls = null_aggs.get(comps[0], 0.0) > 0
+        routings = (False, True) if (self.missing == "both" and has_nulls) else (False,)
+        for null_left in routings:
+            for i in range(len(values) - 1):
+                left = {c: float(prefix[c][i]) for c in comps}
+                if null_left:
+                    left = {c: left[c] + null_aggs[c] for c in comps}
+                w_left = self.criterion.weight(left)
+                if w_left < min_w or (w_total - w_left) < min_w:
+                    continue
+                gain = self.criterion.gain_aggs(left, totals)
+                if np.isfinite(gain) and (best is None or gain > best[0]):
+                    best = (gain, i, null_left)
+        if best is None:
+            return None
+        gain, idx, null_left = best
+        left = {c: float(prefix[c][idx]) for c in comps}
+        if null_left:
+            left = {c: left[c] + null_aggs[c] for c in comps}
+        right = {c: totals.get(c, 0.0) - left[c] for c in comps}
+
+        if categorical:
+            members = tuple(_plain(v) for v in values[: idx + 1])
+            predicate = Predicate(feature, "IN", members, include_null=null_left)
+        else:
+            predicate = Predicate(
+                feature, "<=", _plain(values[idx]), include_null=null_left
+            )
+        return SplitCandidate(
+            gain=float(gain),
+            relation=relation,
+            predicate=predicate,
+            left_aggregates=left,
+            right_aggregates=right,
+            feature=feature,
+        )
+
+
+def _plain(value):
+    """Convert NumPy scalars to plain Python for Predicate literals."""
+    if isinstance(value, (np.floating,)):
+        out = float(value)
+        return int(out) if out == int(out) and abs(out) < 1e15 else out
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    return value

@@ -1,0 +1,176 @@
+"""Decision-tree training — the paper's Algorithm 1.
+
+Best-first growth keeps a max-heap of leaf nodes ordered by the criterion
+reduction of their best split; each iteration pops the best leaf, splits
+it, finds the best splits of the two children, and pushes them back.
+Depth-wise growth orders by (depth, node id) instead.
+
+All heavy computation — the per-feature best-split queries (line 14) — is
+SQL against the factorizer; the Python driver is bookkeeping, exactly the
+division of labour of Figure 4's ML Compiler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TrainingError
+from repro.core.params import TrainParams
+from repro.core.split import Criterion, SplitCandidate, SplitFinder
+from repro.core.tree import DecisionTreeModel, TreeNode
+from repro.factorize.executor import Factorizer
+from repro.factorize.predicates import PredicateMap
+from repro.joingraph.clusters import Cluster
+from repro.joingraph.graph import JoinGraph
+
+
+class DecisionTreeTrainer:
+    """Trains one factorized decision tree over a join graph."""
+
+    def __init__(
+        self,
+        db,
+        graph: JoinGraph,
+        factorizer: Factorizer,
+        criterion: Criterion,
+        params: TrainParams,
+        clusters: Optional[Sequence[Cluster]] = None,
+    ):
+        self.db = db
+        self.graph = graph
+        self.factorizer = factorizer
+        self.criterion = criterion
+        self.params = params
+        self.clusters = list(clusters) if clusters else None
+        self.finder = SplitFinder(
+            db,
+            factorizer,
+            criterion,
+            min_child_samples=params.min_child_samples,
+            missing=params.missing,
+        )
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        feature_subset: Optional[Sequence[Tuple[str, str]]] = None,
+        base_predicates: Optional[PredicateMap] = None,
+        totals: Optional[Dict[str, float]] = None,
+    ) -> DecisionTreeModel:
+        """Grow one tree.
+
+        ``feature_subset`` restricts candidate features (random forests'
+        feature sampling); ``base_predicates`` precondition the whole tree
+        (bagging by predicate); ``totals`` are the root aggregates if the
+        caller already knows them.
+        """
+        features = list(feature_subset or self.graph.all_features())
+        if not features:
+            raise TrainingError("no features to split on")
+        base_predicates = base_predicates or {}
+        if totals is None:
+            totals = self.factorizer.totals(base_predicates)
+
+        root = TreeNode(node_id=next(self._ids), depth=0, aggregates=dict(totals))
+        root.prediction = self.criterion.leaf_value(totals)
+        model = DecisionTreeModel(
+            root, {f: rel for rel, f in features}
+        )
+
+        allowed = list(features)
+        heap: List[Tuple[float, int, TreeNode, SplitCandidate]] = []
+        candidate = self._best_split(root, base_predicates, allowed)
+        if candidate is not None:
+            heapq.heappush(heap, self._entry(root, candidate))
+
+        num_leaves = 1
+        while heap and num_leaves < self.params.num_leaves:
+            _, _, node, cand = heapq.heappop(heap)
+            if cand.gain <= self.params.min_split_gain:
+                break
+            if self.clusters is not None and len(allowed) == len(features):
+                # CPT: the first realized split pins the cluster (§4.2.2).
+                allowed = self._restrict_to_cluster(cand.relation, features)
+            self._apply_split(node, cand)
+            num_leaves += 1
+            for child in (node.left, node.right):
+                if self.params.max_depth >= 0 and child.depth >= self.params.max_depth:
+                    continue
+                preds = self._merged_predicates(base_predicates, child)
+                child_cand = self._best_split(child, preds, allowed)
+                if child_cand is not None and child_cand.gain > self.params.min_split_gain:
+                    heapq.heappush(heap, self._entry(child, child_cand))
+        return model
+
+    # ------------------------------------------------------------------
+    def _entry(self, node: TreeNode, cand: SplitCandidate):
+        if self.params.growth == "depth-wise":
+            priority = (node.depth, node.node_id)
+        else:  # best-first: largest gain first
+            priority = (-cand.gain, node.node_id)
+        return (priority, node.node_id, node, cand)
+
+    def _merged_predicates(
+        self, base: PredicateMap, node: TreeNode
+    ) -> PredicateMap:
+        merged: PredicateMap = {k: tuple(v) for k, v in base.items()}
+        for relation, preds in node.path_predicates().items():
+            merged[relation] = tuple(merged.get(relation, ())) + tuple(preds)
+        return merged
+
+    def _best_split(
+        self,
+        node: TreeNode,
+        predicates: PredicateMap,
+        features: Sequence[Tuple[str, str]],
+    ) -> Optional[SplitCandidate]:
+        """GetBestSplit (Algorithm 1 L11-16): scan features, keep the max."""
+        best: Optional[SplitCandidate] = None
+        for relation, feature in features:
+            candidate = self.finder.best_split(
+                feature,
+                relation,
+                predicates,
+                node.aggregates,
+                categorical=self.graph.is_categorical(relation, feature),
+            )
+            if candidate is not None and (best is None or candidate.gain > best.gain):
+                best = candidate
+        return best
+
+    def _apply_split(self, node: TreeNode, cand: SplitCandidate) -> None:
+        node.gain = cand.gain
+        left = TreeNode(
+            node_id=next(self._ids),
+            depth=node.depth + 1,
+            predicate=cand.predicate,
+            relation=cand.relation,
+            parent=node,
+            aggregates=dict(cand.left_aggregates),
+        )
+        right = TreeNode(
+            node_id=next(self._ids),
+            depth=node.depth + 1,
+            predicate=cand.predicate.negate(),
+            relation=cand.relation,
+            parent=node,
+            aggregates=dict(cand.right_aggregates),
+        )
+        left.prediction = self.criterion.leaf_value(left.aggregates)
+        right.prediction = self.criterion.leaf_value(right.aggregates)
+        node.left, node.right = left, right
+
+    def _restrict_to_cluster(
+        self, relation: str, features: Sequence[Tuple[str, str]]
+    ) -> List[Tuple[str, str]]:
+        """Features of the (first) cluster containing ``relation``."""
+        for cluster in self.clusters or ():
+            if relation in cluster:
+                members = set(cluster.members)
+                return [(rel, f) for rel, f in features if rel in members]
+        raise TrainingError(
+            f"relation {relation!r} is outside every CPT cluster"
+        )

@@ -1,0 +1,23 @@
+"""Synthetic dataset generators mirroring the paper's workloads.
+
+All generators follow the paper's own preprocessing (Section 6,
+"Preprocess"): predictive features are imputed as random integers in
+[1, 1000] on each dimension table, and the target is the paper's footnote
+7 formula over the transformed features, so trees are balanced and timing
+comparisons are fair.  Scales default to laptop size and are parameters.
+"""
+
+from repro.datasets.favorita import favorita
+from repro.datasets.tpcds import tpcds
+from repro.datasets.tpch import tpch
+from repro.datasets.imdb import imdb
+from repro.datasets.synthetic import residual_update_microbenchmark, star_schema
+
+__all__ = [
+    "favorita",
+    "tpcds",
+    "tpch",
+    "imdb",
+    "star_schema",
+    "residual_update_microbenchmark",
+]

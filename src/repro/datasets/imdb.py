@@ -1,0 +1,140 @@
+"""IMDB-style galaxy schema (the paper's Figure 3).
+
+Five fact tables (``cast_info``, ``movie_comp``, ``movie_info``,
+``movie_key``, ``person_info``) hub through the shared dimensions
+``movie`` and ``person``: every pair of facts is M-N through a hub, so
+the full join explodes multiplicatively — the >1 TB blow-up that makes
+single-table libraries unusable and motivates Clustered Predicate Trees.
+
+The target lives on ``cast_info`` (the largest fact, as in the paper's
+1 GB Cast_Info).  The expected CPT clusters are::
+
+    cast_info:   {cast_info, movie, person}
+    movie_comp:  {movie_comp, comp, movie}
+    movie_info:  {movie_info, info_type, movie}
+    movie_key:   {movie_key, key_type, movie}
+    person_info: {person_info, person}
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.joingraph.graph import JoinGraph
+
+
+def imdb(
+    db: Optional[Database] = None,
+    num_movies: int = 500,
+    num_persons: int = 800,
+    rows_per_fact: int = 20_000,
+    noise: float = 0.1,
+    seed: int = 17,
+) -> Tuple[Database, JoinGraph]:
+    """Generate the galaxy schema; returns (db, join graph)."""
+    rng = np.random.default_rng(seed)
+    db = db or Database()
+    num_comps, num_info_types, num_key_types = 100, 40, 20
+
+    m_feat = rng.integers(1, 1001, num_movies).astype(np.float64)
+    p_feat = rng.integers(1, 1001, num_persons).astype(np.float64)
+    comp_feat = rng.integers(1, 1001, num_comps).astype(np.float64)
+    it_feat = rng.integers(1, 1001, num_info_types).astype(np.float64)
+    kt_feat = rng.integers(1, 1001, num_key_types).astype(np.float64)
+
+    # cast_info: the target-bearing fact.
+    ci_movie = rng.integers(0, num_movies, rows_per_fact)
+    ci_person = rng.integers(0, num_persons, rows_per_fact)
+    ci_role = rng.integers(1, 1001, rows_per_fact).astype(np.float64)
+    y = (
+        m_feat[ci_movie] / 50.0
+        + np.log(p_feat[ci_person]) * 30.0
+        + (ci_role / 100.0) ** 2
+        + rng.normal(0.0, noise, rows_per_fact)
+    )
+
+    db.create_table(
+        "cast_info",
+        {
+            "movie_id": ci_movie,
+            "person_id": ci_person,
+            "role_feat": ci_role,
+            "rating": y,
+        },
+    )
+    db.create_table("movie", {"movie_id": np.arange(num_movies), "m_feat": m_feat})
+    db.create_table("person", {"person_id": np.arange(num_persons), "p_feat": p_feat})
+
+    mc_n = rows_per_fact // 4
+    db.create_table(
+        "movie_comp",
+        {
+            "movie_id": rng.integers(0, num_movies, mc_n),
+            "comp_id": rng.integers(0, num_comps, mc_n),
+            "mc_feat": rng.integers(1, 1001, mc_n).astype(np.float64),
+        },
+    )
+    db.create_table("comp", {"comp_id": np.arange(num_comps), "comp_feat": comp_feat})
+
+    mi_n = rows_per_fact // 4
+    db.create_table(
+        "movie_info",
+        {
+            "movie_id": rng.integers(0, num_movies, mi_n),
+            "info_type_id": rng.integers(0, num_info_types, mi_n),
+            "mi_val": rng.integers(1, 1001, mi_n).astype(np.float64),
+        },
+    )
+    db.create_table(
+        "info_type",
+        {"info_type_id": np.arange(num_info_types), "it_feat": it_feat},
+    )
+
+    mk_n = rows_per_fact // 4
+    db.create_table(
+        "movie_key",
+        {
+            "movie_id": rng.integers(0, num_movies, mk_n),
+            "key_type_id": rng.integers(0, num_key_types, mk_n),
+            "mk_feat": rng.integers(1, 1001, mk_n).astype(np.float64),
+        },
+    )
+    db.create_table(
+        "key_type",
+        {"key_type_id": np.arange(num_key_types), "kt_feat": kt_feat},
+    )
+
+    pi_n = rows_per_fact // 4
+    db.create_table(
+        "person_info",
+        {
+            "person_id": rng.integers(0, num_persons, pi_n),
+            "pi_val": rng.integers(1, 1001, pi_n).astype(np.float64),
+        },
+    )
+
+    graph = JoinGraph(db)
+    graph.add_relation("cast_info", features=["role_feat"], y="rating", is_fact=True)
+    graph.add_relation("movie", features=["m_feat"])
+    graph.add_relation("person", features=["p_feat"])
+    graph.add_relation("movie_comp", features=["mc_feat"], is_fact=True)
+    graph.add_relation("comp", features=["comp_feat"])
+    graph.add_relation("movie_info", features=["mi_val"], is_fact=True)
+    graph.add_relation("info_type", features=["it_feat"])
+    graph.add_relation("movie_key", features=["mk_feat"], is_fact=True)
+    graph.add_relation("key_type", features=["kt_feat"])
+    graph.add_relation("person_info", features=["pi_val"], is_fact=True)
+
+    graph.add_edge("cast_info", "movie", ["movie_id"])
+    graph.add_edge("cast_info", "person", ["person_id"])
+    graph.add_edge("movie_comp", "movie", ["movie_id"])
+    graph.add_edge("movie_comp", "comp", ["comp_id"])
+    graph.add_edge("movie_info", "movie", ["movie_id"])
+    graph.add_edge("movie_info", "info_type", ["info_type_id"])
+    graph.add_edge("movie_key", "movie", ["movie_id"])
+    graph.add_edge("movie_key", "key_type", ["key_type_id"])
+    graph.add_edge("person_info", "person", ["person_id"])
+    return db, graph

@@ -1,0 +1,102 @@
+"""Synthetic workloads: the §5.3.2 microbenchmark and a generic star.
+
+``residual_update_microbenchmark`` builds the paper's pilot-study fact
+table F(s, d, c1..ck): ``s`` is the semi-ring column being rewritten,
+``d ∈ [1, 10K]`` the join key, and ``ck`` extra columns that CREATE-k
+must copy.  The i-th of 8 leaves owns keys (1250·(i−1), 1250·i] and a
+random prediction — exactly the Figure 5 setup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.joingraph.graph import JoinGraph
+from repro.storage.table import StorageConfig
+
+
+@dataclasses.dataclass
+class ResidualWorkload:
+    """Everything the Figure 5 bench needs."""
+
+    db: Database
+    fact_name: str
+    num_rows: int
+    key_domain: int
+    leaf_ranges: List[Tuple[int, int]]  # (low exclusive, high inclusive)
+    leaf_predictions: List[float]
+
+
+def residual_update_microbenchmark(
+    num_rows: int = 1_000_000,
+    num_extra_columns: int = 0,
+    num_leaves: int = 8,
+    key_domain: int = 10_000,
+    seed: int = 3,
+    config: Optional[StorageConfig] = None,
+) -> ResidualWorkload:
+    """Build F(s, d, c1..ck) under the requested storage backend."""
+    rng = np.random.default_rng(seed)
+    db = Database(config=config)
+    data = {
+        "s": rng.normal(size=num_rows),
+        "d": rng.integers(1, key_domain + 1, num_rows),
+    }
+    for k in range(num_extra_columns):
+        data[f"c{k + 1}"] = rng.normal(size=num_rows)
+    db.create_table("f", data, config=config)
+
+    width = key_domain // num_leaves
+    leaf_ranges = [(width * i, width * (i + 1)) for i in range(num_leaves)]
+    leaf_predictions = [float(p) for p in rng.random(num_leaves)]
+    return ResidualWorkload(
+        db=db,
+        fact_name="f",
+        num_rows=num_rows,
+        key_domain=key_domain,
+        leaf_ranges=leaf_ranges,
+        leaf_predictions=leaf_predictions,
+    )
+
+
+def star_schema(
+    db: Optional[Database] = None,
+    num_fact_rows: int = 5_000,
+    num_dims: int = 3,
+    dim_size: int = 50,
+    noise: float = 0.1,
+    seed: int = 0,
+    with_nulls: bool = False,
+) -> Tuple[Database, JoinGraph]:
+    """A small generic star schema for tests and the quickstart example."""
+    rng = np.random.default_rng(seed)
+    db = db or Database()
+    keys = [rng.integers(0, dim_size, num_fact_rows) for _ in range(num_dims)]
+    dim_feats = [rng.normal(size=dim_size) * 10 for _ in range(num_dims)]
+    local = rng.integers(0, 100, num_fact_rows).astype(np.float64)
+    y = local * 0.05 + rng.normal(0.0, noise, num_fact_rows)
+    for j in range(num_dims):
+        y = y + (j + 1) * dim_feats[j][keys[j]]
+
+    fact = {"local_feat": local, "target": y}
+    for j in range(num_dims):
+        fact[f"k{j}"] = keys[j]
+    db.create_table("fact", fact)
+    for j in range(num_dims):
+        feature = dim_feats[j].copy()
+        if with_nulls:
+            feature[rng.random(dim_size) < 0.1] = np.nan
+        db.create_table(
+            f"dim{j}", {f"k{j}": np.arange(dim_size), f"dfeat{j}": feature}
+        )
+
+    graph = JoinGraph(db)
+    graph.add_relation("fact", features=["local_feat"], y="target", is_fact=True)
+    for j in range(num_dims):
+        graph.add_relation(f"dim{j}", features=[f"dfeat{j}"])
+        graph.add_edge("fact", f"dim{j}", [f"k{j}"])
+    return db, graph

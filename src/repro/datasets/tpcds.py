@@ -1,0 +1,121 @@
+"""TPC-DS-style snowflake, parameterized by scale factor.
+
+``store_sales`` is the fact table; ``date_dim``, ``store``, ``item``,
+``customer`` and ``promotion`` are dimensions, with ``customer`` chaining
+to ``household`` (a two-hop snowflake arm like TPC-DS's
+customer_demographics).  The fact cardinality scales linearly with ``sf``
+(rows_per_sf defaults to laptop scale); features are imputed per the
+paper's preprocessing and ``num_features`` widens the schema toward the
+paper's 145-feature configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.joingraph.graph import JoinGraph
+from repro.storage.table import StorageConfig
+
+_DIMS = ("date_dim", "store", "item", "customer", "promotion", "household")
+
+
+def tpcds(
+    db: Optional[Database] = None,
+    sf: float = 1.0,
+    rows_per_sf: int = 20_000,
+    num_features: int = 18,
+    noise: float = 0.1,
+    seed: int = 11,
+    fact_config: Optional[StorageConfig] = None,
+) -> Tuple[Database, JoinGraph]:
+    """Generate the scaled snowflake; returns (db, join graph)."""
+    rng = np.random.default_rng(seed)
+    db = db or Database()
+    n = max(1, int(round(sf * rows_per_sf)))
+
+    sizes = {
+        "date_dim": 365,
+        "store": 50,
+        "item": 1_000,
+        "customer": 2_000,
+        "promotion": 100,
+        "household": 500,
+    }
+    imputed = {
+        name: rng.integers(1, 1001, size).astype(np.float64)
+        for name, size in sizes.items()
+    }
+
+    keys = {
+        "date_dim": rng.integers(0, sizes["date_dim"], n),
+        "store": rng.integers(0, sizes["store"], n),
+        "item": rng.integers(0, sizes["item"], n),
+        "customer": rng.integers(0, sizes["customer"], n),
+        "promotion": rng.integers(0, sizes["promotion"], n),
+    }
+    customer_household = rng.integers(0, sizes["household"], sizes["customer"])
+
+    y = (
+        imputed["item"][keys["item"]] * np.log(imputed["item"][keys["item"]]) / 700.0
+        + np.log(imputed["promotion"][keys["promotion"]]) * 50.0
+        - 10.0 * imputed["date_dim"][keys["date_dim"]] / 100.0
+        - 10.0 * imputed["store"][keys["store"]] / 100.0
+        + (imputed["customer"][keys["customer"]] / 100.0) ** 2
+        + imputed["household"][customer_household[keys["customer"]]] / 50.0
+        + rng.normal(0.0, noise, n)
+    )
+
+    dim_tables = {
+        "date_dim": {"date_sk": np.arange(sizes["date_dim"]),
+                     "f_date_dim": imputed["date_dim"]},
+        "store": {"store_sk": np.arange(sizes["store"]),
+                  "f_store": imputed["store"]},
+        "item": {"item_sk": np.arange(sizes["item"]), "f_item": imputed["item"]},
+        "customer": {"customer_sk": np.arange(sizes["customer"]),
+                     "household_sk": customer_household,
+                     "f_customer": imputed["customer"]},
+        "promotion": {"promo_sk": np.arange(sizes["promotion"]),
+                      "f_promotion": imputed["promotion"]},
+        "household": {"household_sk": np.arange(sizes["household"]),
+                      "f_household": imputed["household"]},
+    }
+    dim_features = {name: [f"f_{name}"] for name in _DIMS}
+
+    extra = max(0, num_features - len(_DIMS))
+    for i in range(extra):
+        dim = _DIMS[i % len(_DIMS)]
+        column = f"x_{dim}_{i}"
+        dim_tables[dim][column] = rng.integers(
+            1, 1001, sizes[dim]
+        ).astype(np.float64)
+        dim_features[dim].append(column)
+
+    db.create_table(
+        "store_sales",
+        {
+            "date_sk": keys["date_dim"],
+            "store_sk": keys["store"],
+            "item_sk": keys["item"],
+            "customer_sk": keys["customer"],
+            "promo_sk": keys["promotion"],
+            "net_profit": y,
+        },
+        config=fact_config,
+    )
+    for name, data in dim_tables.items():
+        db.create_table(name, data)
+
+    graph = JoinGraph(db)
+    graph.add_relation("store_sales", y="net_profit", is_fact=True)
+    for name in _DIMS:
+        graph.add_relation(name, features=dim_features[name])
+    graph.add_edge("store_sales", "date_dim", ["date_sk"])
+    graph.add_edge("store_sales", "store", ["store_sk"])
+    graph.add_edge("store_sales", "item", ["item_sk"])
+    graph.add_edge("store_sales", "customer", ["customer_sk"])
+    graph.add_edge("store_sales", "promotion", ["promo_sk"])
+    graph.add_edge("customer", "household", ["household_sk"])
+    return db, graph

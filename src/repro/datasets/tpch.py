@@ -1,0 +1,107 @@
+"""TPC-H-style schema with large dimension tables.
+
+``lineitem`` is the fact; ``orders`` is a *large* dimension (¼ of the
+fact's cardinality, as in TPC-H), which is exactly the configuration the
+paper's Appendix C flags: messages between the fact table and big
+dimensions are large and expensive, so JoinBoost's advantage narrows —
+the Figure 17c/d shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.joingraph.graph import JoinGraph
+from repro.storage.table import StorageConfig
+
+
+def tpch(
+    db: Optional[Database] = None,
+    sf: float = 1.0,
+    rows_per_sf: int = 60_000,
+    noise: float = 0.1,
+    seed: int = 13,
+    fact_config: Optional[StorageConfig] = None,
+) -> Tuple[Database, JoinGraph]:
+    """Generate the scaled TPC-H-style graph; returns (db, join graph)."""
+    rng = np.random.default_rng(seed)
+    db = db or Database()
+    n = max(4, int(round(sf * rows_per_sf)))
+
+    num_orders = max(2, n // 4)  # the large dimension
+    num_parts = max(2, n // 30)
+    num_suppliers = max(2, n // 100)
+    num_customers = max(2, n // 15)
+    num_nations = 25
+
+    f_orders = rng.integers(1, 1001, num_orders).astype(np.float64)
+    f_part = rng.integers(1, 1001, num_parts).astype(np.float64)
+    f_supplier = rng.integers(1, 1001, num_suppliers).astype(np.float64)
+    f_customer = rng.integers(1, 1001, num_customers).astype(np.float64)
+    f_nation = rng.integers(1, 1001, num_nations).astype(np.float64)
+
+    order_key = rng.integers(0, num_orders, n)
+    part_key = rng.integers(0, num_parts, n)
+    supp_key = rng.integers(0, num_suppliers, n)
+    order_customer = rng.integers(0, num_customers, num_orders)
+    customer_nation = rng.integers(0, num_nations, num_customers)
+
+    quantity = rng.integers(1, 51, n).astype(np.float64)
+    y = (
+        f_part[part_key] * np.log(f_part[part_key]) / 700.0
+        - 10.0 * f_orders[order_key] / 100.0
+        + (f_supplier[supp_key] / 100.0) ** 2
+        + f_customer[order_customer[order_key]] / 50.0
+        + np.log(f_nation[customer_nation[order_customer[order_key]]]) * 20.0
+        + quantity
+        + rng.normal(0.0, noise, n)
+    )
+
+    db.create_table(
+        "lineitem",
+        {
+            "order_key": order_key,
+            "part_key": part_key,
+            "supp_key": supp_key,
+            "quantity": quantity,
+            "extended_price": y,
+        },
+        config=fact_config,
+    )
+    db.create_table(
+        "orders",
+        {"order_key": np.arange(num_orders), "cust_key": order_customer,
+         "f_orders": f_orders},
+    )
+    db.create_table(
+        "part", {"part_key": np.arange(num_parts), "f_part": f_part}
+    )
+    db.create_table(
+        "supplier", {"supp_key": np.arange(num_suppliers), "f_supplier": f_supplier}
+    )
+    db.create_table(
+        "customer",
+        {"cust_key": np.arange(num_customers), "nation_key": customer_nation,
+         "f_customer": f_customer},
+    )
+    db.create_table(
+        "nation", {"nation_key": np.arange(num_nations), "f_nation": f_nation}
+    )
+
+    graph = JoinGraph(db)
+    graph.add_relation("lineitem", features=["quantity"], y="extended_price",
+                       is_fact=True)
+    graph.add_relation("orders", features=["f_orders"])
+    graph.add_relation("part", features=["f_part"])
+    graph.add_relation("supplier", features=["f_supplier"])
+    graph.add_relation("customer", features=["f_customer"])
+    graph.add_relation("nation", features=["f_nation"])
+    graph.add_edge("lineitem", "orders", ["order_key"])
+    graph.add_edge("lineitem", "part", ["part_key"])
+    graph.add_edge("lineitem", "supplier", ["supp_key"])
+    graph.add_edge("orders", "customer", ["cust_key"])
+    graph.add_edge("customer", "nation", ["nation_key"])
+    return db, graph

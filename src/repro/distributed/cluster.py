@@ -1,0 +1,351 @@
+"""Simulated multi-node training (Figures 12 and 13).
+
+Workers are real :class:`Database` instances over real hash partitions;
+every aggregate a worker contributes is computed by real queries.  Only
+*time* is simulated: workers run serially here, so the reported wall
+clock of a parallel step is ``max(worker times)`` plus a network model
+(``bytes / bandwidth + latency`` per synchronization).  EXPERIMENTS.md
+documents this substitution.
+
+The distributed trainer is data-parallel, like Dask-LightGBM: each tree
+node's per-feature aggregates are computed per worker, merged at the
+coordinator (a real NumPy group-sum), and the split decision is global —
+so the distributed model is *identical* to the single-node model, which
+the tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.core.params import TrainParams
+from repro.core.residual import ResidualUpdater
+from repro.core.split import Criterion, GradientCriterion, SplitCandidate
+from repro.core.tree import DecisionTreeModel, TreeNode
+from repro.core.boosting import GradientBoostingModel, _init_score_sql
+from repro.engine.operators import factorize, group_sum
+from repro.factorize.executor import Factorizer
+from repro.factorize.predicates import Predicate, PredicateMap, add_predicate
+from repro.joingraph.graph import JoinGraph
+from repro.distributed.partition import partition_database
+from repro.semiring.gradient import GradientSemiRing
+from repro.semiring.losses import get_loss
+
+
+@dataclasses.dataclass
+class ClusterConfig:
+    """Network model: per-sync latency plus bytes over bandwidth."""
+
+    num_machines: int = 4
+    bandwidth_bytes_per_s: float = 1e9
+    latency_s: float = 5e-4
+
+
+class SimulatedCluster:
+    """Data-parallel factorized training over hash partitions."""
+
+    def __init__(
+        self,
+        db,
+        graph: JoinGraph,
+        partition_key: str,
+        config: Optional[ClusterConfig] = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.workers, self.worker_graphs = partition_database(
+            db, graph, self.config.num_machines, partition_key
+        )
+        self.graph = graph
+        self.simulated_seconds = 0.0
+        self.shuffle_bytes = 0
+
+    # ------------------------------------------------------------------
+    def _parallel(self, step_fn) -> List[object]:
+        """Run a step on every worker; account max(worker) wall time."""
+        results = []
+        durations = []
+        for worker, wgraph in zip(self.workers, self.worker_graphs):
+            start = time.perf_counter()
+            results.append(step_fn(worker, wgraph))
+            durations.append(time.perf_counter() - start)
+        self.simulated_seconds += max(durations) if durations else 0.0
+        return results
+
+    def _sync(self, nbytes: int) -> None:
+        """Account one coordinator synchronization."""
+        self.shuffle_bytes += nbytes
+        self.simulated_seconds += (
+            self.config.latency_s + nbytes / self.config.bandwidth_bytes_per_s
+        )
+
+    # ------------------------------------------------------------------
+    def train_gradient_boosting(
+        self, params: Optional[dict] = None, **overrides
+    ) -> Tuple[GradientBoostingModel, float]:
+        """Distributed rmse boosting; returns (model, simulated seconds)."""
+        train_params = TrainParams.from_dict(params, **overrides)
+        loss = get_loss(train_params.objective, **train_params.loss_kwargs())
+        if not loss.supports_galaxy:
+            raise TrainingError("distributed training supports rmse only")
+        self.simulated_seconds = 0.0
+        self.shuffle_bytes = 0
+
+        fact = self.graph.target_relation
+        y = self.graph.target_column
+
+        # Global init score: merge per-worker (sum, count).
+        stats = self._parallel(
+            lambda w, g: w.execute(
+                f"SELECT SUM({y}) AS s, COUNT(*) AS n FROM {fact}"
+            ).first_row()
+        )
+        self._sync(len(stats) * 16)
+        total = sum(float(row["n"]) for row in stats)
+        init = sum(float(row["s"] or 0.0) for row in stats) / max(total, 1.0)
+
+        ring = GradientSemiRing()
+        factorizers: List[Factorizer] = []
+
+        def lift(worker, wgraph):
+            factorizer = Factorizer(worker, wgraph, ring)
+            factorizer.lift(ring.lift_pair_sql("1", f"({init!r} - t.{y})"))
+            factorizers.append(factorizer)
+            return factorizer
+
+        self._parallel(lift)
+        criterion = GradientCriterion(reg_lambda=train_params.reg_lambda)
+        updaters = [
+            ResidualUpdater(
+                worker, wgraph, fact, factorizer.lifted[fact], loss,
+                strategy="swap",
+            )
+            for worker, wgraph, factorizer in zip(
+                self.workers, self.worker_graphs, factorizers
+            )
+        ]
+
+        trees: List[DecisionTreeModel] = []
+        model = GradientBoostingModel([], init, train_params.learning_rate, loss)
+        for _ in range(train_params.num_iterations):
+            tree = self._train_tree(factorizers, criterion, train_params)
+            trees.append(tree)
+            model.trees = trees
+
+            def update(worker, wgraph):
+                index = self.workers.index(worker)
+                updaters[index].apply_additive(
+                    tree, train_params.learning_rate, component=ring.g
+                )
+                factorizers[index].invalidate_for_relation(fact)
+                return None
+
+            self._parallel(update)
+        for factorizer in factorizers:
+            factorizer.cleanup()
+        return model, self.simulated_seconds
+
+    def train_decision_tree(
+        self, params: Optional[dict] = None, **overrides
+    ) -> Tuple[DecisionTreeModel, float]:
+        """Distributed decision tree (the Figure 13 warehouse workload)."""
+        train_params = TrainParams.from_dict(params, **overrides)
+        self.simulated_seconds = 0.0
+        self.shuffle_bytes = 0
+        fact = self.graph.target_relation
+        y = self.graph.target_column
+        from repro.core.split import VarianceCriterion
+        from repro.semiring.variance import VarianceSemiRing
+
+        ring = VarianceSemiRing()
+        factorizers: List[Factorizer] = []
+
+        def lift(worker, wgraph):
+            factorizer = Factorizer(worker, wgraph, ring)
+            factorizer.lift()
+            factorizers.append(factorizer)
+            return factorizer
+
+        self._parallel(lift)
+        tree = self._train_tree(factorizers, VarianceCriterion(), train_params)
+        for factorizer in factorizers:
+            factorizer.cleanup()
+        return tree, self.simulated_seconds
+
+    # ------------------------------------------------------------------
+    # Distributed tree growth with merged aggregates
+    # ------------------------------------------------------------------
+    def _train_tree(
+        self,
+        factorizers: List[Factorizer],
+        criterion: Criterion,
+        params: TrainParams,
+    ) -> DecisionTreeModel:
+        import heapq
+        import itertools
+
+        features = self.graph.all_features()
+        totals = self._merged_totals(factorizers, {})
+        ids = itertools.count()
+        root = TreeNode(node_id=next(ids), depth=0, aggregates=totals)
+        root.prediction = criterion.leaf_value(totals)
+        model = DecisionTreeModel(root, {f: rel for rel, f in features})
+
+        heap: List[Tuple[Tuple, int, TreeNode, SplitCandidate]] = []
+        cand = self._merged_best_split(factorizers, criterion, params, {}, totals, features)
+        if cand is not None:
+            heapq.heappush(heap, ((-cand.gain, root.node_id), root.node_id, root, cand))
+        num_leaves = 1
+        while heap and num_leaves < params.num_leaves:
+            _, _, node, cand = heapq.heappop(heap)
+            if cand.gain <= params.min_split_gain:
+                break
+            left = TreeNode(
+                node_id=next(ids), depth=node.depth + 1, predicate=cand.predicate,
+                relation=cand.relation, parent=node,
+                aggregates=dict(cand.left_aggregates),
+            )
+            right = TreeNode(
+                node_id=next(ids), depth=node.depth + 1,
+                predicate=cand.predicate.negate(), relation=cand.relation,
+                parent=node, aggregates=dict(cand.right_aggregates),
+            )
+            left.prediction = criterion.leaf_value(left.aggregates)
+            right.prediction = criterion.leaf_value(right.aggregates)
+            node.left, node.right, node.gain = left, right, cand.gain
+            num_leaves += 1
+            for child in (left, right):
+                if params.max_depth >= 0 and child.depth >= params.max_depth:
+                    continue
+                preds = child.path_predicates()
+                child_cand = self._merged_best_split(
+                    factorizers, criterion, params, preds, child.aggregates, features
+                )
+                if child_cand is not None and child_cand.gain > params.min_split_gain:
+                    heapq.heappush(
+                        heap,
+                        ((-child_cand.gain, child.node_id), child.node_id, child,
+                         child_cand),
+                    )
+        return model
+
+    def _merged_totals(
+        self, factorizers: List[Factorizer], predicates: PredicateMap
+    ) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        results = []
+        durations = []
+        for factorizer in factorizers:
+            start = time.perf_counter()
+            results.append(factorizer.totals(predicates))
+            durations.append(time.perf_counter() - start)
+        self.simulated_seconds += max(durations)
+        self._sync(len(factorizers) * 8 * max(len(r) for r in results))
+        for result in results:
+            for key, value in result.items():
+                merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+    def _merged_best_split(
+        self,
+        factorizers: List[Factorizer],
+        criterion: Criterion,
+        params: TrainParams,
+        predicates: PredicateMap,
+        totals: Dict[str, float],
+        features: Sequence[Tuple[str, str]],
+    ) -> Optional[SplitCandidate]:
+        best: Optional[SplitCandidate] = None
+        for relation, feature in features:
+            merged = self._merged_feature_aggregate(
+                factorizers, relation, feature, predicates
+            )
+            if merged is None:
+                continue
+            values, aggs = merged
+            cand = self._scan_prefixes(
+                criterion, params, relation, feature, values, aggs, totals,
+                categorical=self.graph.is_categorical(relation, feature),
+            )
+            if cand is not None and (best is None or cand.gain > best.gain):
+                best = cand
+        return best
+
+    def _merged_feature_aggregate(
+        self,
+        factorizers: List[Factorizer],
+        relation: str,
+        feature: str,
+        predicates: PredicateMap,
+    ):
+        results = []
+        durations = []
+        for factorizer in factorizers:
+            start = time.perf_counter()
+            results.append(
+                factorizer.absorb(relation, [feature], predicates, tag="feature")
+            )
+            durations.append(time.perf_counter() - start)
+        self.simulated_seconds += max(durations)
+        comps = list(factorizers[0].semiring.components)
+        values = np.concatenate([r.column(feature).values.astype(np.float64)
+                                 for r in results])
+        if len(values) == 0:
+            return None
+        stacked = {
+            comp: np.concatenate(
+                [r.column(comp).values.astype(np.float64) for r in results]
+            )
+            for comp in comps
+        }
+        self._sync(int(values.nbytes + sum(a.nbytes for a in stacked.values())))
+        codes, ngroups, first_idx, _ = factorize([values])
+        merged_vals = values[first_idx]
+        merged_aggs = {
+            comp: group_sum(codes, ngroups, arr)[0] for comp, arr in stacked.items()
+        }
+        order = np.argsort(merged_vals, kind="stable")
+        return merged_vals[order], {c: a[order] for c, a in merged_aggs.items()}
+
+    def _scan_prefixes(
+        self, criterion, params, relation, feature, values, aggs, totals,
+        categorical: bool,
+    ) -> Optional[SplitCandidate]:
+        comps = list(criterion.components)
+        if categorical:
+            order = np.argsort(criterion.order_key(aggs), kind="stable")
+            values = values[order]
+            aggs = {c: a[order] for c, a in aggs.items()}
+        prefix = {c: np.cumsum(aggs[c]) for c in comps}
+        w_total = criterion.weight(totals)
+        min_w = criterion.min_weight(params.min_child_samples)
+        best = None
+        for i in range(len(values) - 1):
+            left = {c: float(prefix[c][i]) for c in comps}
+            w_left = criterion.weight(left)
+            if w_left < min_w or (w_total - w_left) < min_w:
+                continue
+            gain = criterion.gain_aggs(left, totals)
+            if np.isfinite(gain) and (best is None or gain > best[0]):
+                best = (gain, i)
+        if best is None:
+            return None
+        gain, idx = best
+        left = {c: float(prefix[c][idx]) for c in comps}
+        right = {c: totals.get(c, 0.0) - left[c] for c in comps}
+        if categorical:
+            members = tuple(float(v) for v in values[: idx + 1])
+            predicate = Predicate(feature, "IN", members)
+        else:
+            threshold = float(values[idx])
+            if threshold == int(threshold):
+                threshold = int(threshold)
+            predicate = Predicate(feature, "<=", threshold)
+        return SplitCandidate(
+            gain=float(gain), relation=relation, predicate=predicate,
+            left_aggregates=left, right_aggregates=right, feature=feature,
+        )

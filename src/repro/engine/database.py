@@ -1,0 +1,190 @@
+"""The Database facade: parse, plan, execute, profile.
+
+This is the object that stands in for DuckDB / DBMS-X.  JoinBoost's
+connector hands it SQL strings; it returns :class:`Relation` results and
+keeps a per-query profile (kind, latency, rows) that the Figure 9 census
+bench reads back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import CatalogError, ExecutionError, PlanError
+from repro.sql import ast_nodes as ast
+from repro.sql.expressions import Frame, evaluate
+from repro.sql.parser import parse
+from repro.engine.planner import run_select, _precompute_subqueries
+from repro.engine.result import Relation
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.mvcc import VersionStore
+from repro.storage.table import ColumnTable, StorageConfig, Table
+from repro.storage.wal import WriteAheadLog
+
+
+@dataclasses.dataclass
+class QueryProfile:
+    """One executed statement: text, classification tag, latency, fan-out."""
+
+    sql: str
+    kind: str
+    seconds: float
+    rows_out: int
+    tag: Optional[str] = None
+
+
+class Database:
+    """An embedded single-process database over the storage substrate."""
+
+    def __init__(self, config: Optional[StorageConfig] = None, name: str = "repro"):
+        self.name = name
+        self.config = config or StorageConfig()
+        self.catalog = Catalog()
+        self._wal = (
+            WriteAheadLog(sync=self.config.wal_sync) if self.config.wal else None
+        )
+        self._mvcc = VersionStore() if self.config.mvcc else None
+        self.profiles: List[QueryProfile] = []
+        self.profiling_enabled = True
+        # Plan cache: statement ASTs keyed by SQL text (DBMSes cache plans;
+        # JoinBoost re-issues structurally identical statements constantly).
+        self._parse_cache: Dict[str, List[ast.Statement]] = {}
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        return self.catalog.get(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.exists(name)
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Register an externally built table (e.g. the DP fact dataframe)."""
+        self.catalog.create(table, replace=replace)
+
+    def create_table(
+        self,
+        name: str,
+        data: Dict[str, Union[np.ndarray, Sequence]],
+        config: Optional[StorageConfig] = None,
+        replace: bool = False,
+    ) -> Table:
+        """Create a table from a column-name -> array mapping."""
+        columns = [Column(col_name, np.asarray(values)) for col_name, values in data.items()]
+        table = Table.from_columns(
+            name, columns, config or self.config, wal=self._wal, mvcc=self._mvcc
+        )
+        self.catalog.create(table, replace=replace)
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        self.catalog.drop(name, if_exists=if_exists)
+
+    def temp_name(self, hint: str = "t") -> str:
+        return self.catalog.temp_name(hint)
+
+    def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
+        """Drop JoinBoost's temporary tables (the safety contract)."""
+        return self.catalog.drop_temp(keep=keep)
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def execute(self, sql_text: str, tag: Optional[str] = None) -> Optional[Relation]:
+        """Execute one or more ``;``-separated statements.
+
+        Returns the result of the final SELECT, or ``None`` if the last
+        statement was DDL/DML.
+        """
+        statements = self._parse_cache.get(sql_text)
+        if statements is None:
+            statements = parse(sql_text)
+            if len(self._parse_cache) > 4096:
+                self._parse_cache.clear()
+            self._parse_cache[sql_text] = statements
+        result: Optional[Relation] = None
+        for statement in statements:
+            result = self._run_statement(statement, tag=tag)
+        return result
+
+    def _run_statement(self, statement: ast.Statement, tag: Optional[str]) -> Optional[Relation]:
+        start = time.perf_counter()
+        kind = type(statement).__name__
+        result: Optional[Relation] = None
+        if isinstance(statement, ast.Select):
+            result = run_select(statement, self)
+        elif isinstance(statement, ast.CreateTableAs):
+            relation = run_select(statement.query, self)
+            table = Table.from_columns(
+                statement.name, relation.columns(), self.config,
+                wal=self._wal, mvcc=self._mvcc,
+            )
+            self.catalog.create(table, replace=statement.replace)
+        elif isinstance(statement, ast.DropTable):
+            self.catalog.drop(statement.name, if_exists=statement.if_exists)
+        elif isinstance(statement, ast.Update):
+            self._run_update(statement)
+        else:
+            raise ExecutionError(f"unsupported statement {kind}")
+        elapsed = time.perf_counter() - start
+        if self.profiling_enabled:
+            self.profiles.append(
+                QueryProfile(
+                    sql=statement.sql(),
+                    kind=kind,
+                    seconds=elapsed,
+                    rows_out=result.num_rows if result is not None else 0,
+                    tag=tag,
+                )
+            )
+        return result
+
+    def _run_update(self, statement: ast.Update) -> None:
+        table = self.catalog.get(statement.table)
+        frame = Frame(table.num_rows())
+        for col in table.columns():
+            frame.bind(col, binding=statement.table)
+        context: Dict[int, object] = {}
+        mask = None
+        if statement.where is not None:
+            _precompute_subqueries(statement.where, self, context)
+            mask = np.asarray(evaluate(statement.where, frame, context), dtype=bool)
+        for col_name, expr in statement.assignments:
+            _precompute_subqueries(expr, self, context)
+            new_values = np.asarray(evaluate(expr, frame, context))
+            old = table.column(col_name)
+            if mask is not None:
+                merged = old.as_float() if old.ctype.name != "STR" else old.values.astype(object)
+                merged = np.where(mask, new_values, merged)
+                new_values = merged
+            table.set_column(Column(col_name, new_values, old.ctype))
+
+    # ------------------------------------------------------------------
+    # Profiling helpers (Figure 9)
+    # ------------------------------------------------------------------
+    def reset_profiles(self) -> None:
+        self.profiles.clear()
+
+    def profiles_by_tag(self) -> Dict[str, List[QueryProfile]]:
+        grouped: Dict[str, List[QueryProfile]] = {}
+        for profile in self.profiles:
+            grouped.setdefault(profile.tag or "untagged", []).append(profile)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def table_names(self) -> List[str]:
+        return self.catalog.names()
+
+    def nbytes(self) -> int:
+        return sum(t.nbytes() for t in self.catalog)
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={len(self.catalog)})"

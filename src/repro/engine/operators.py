@@ -1,0 +1,473 @@
+"""Vectorized physical operators: factorize, hash join, group-by, windows.
+
+All operators work on NumPy arrays and treat NaN (numeric) / ``None``
+(object) as SQL NULL: null join keys never match, nulls form a single
+group in GROUP BY, and aggregates skip nulls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+
+_NULL_SENTINEL = "\x00__null__"
+
+
+def _normalize_key(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (comparable array, null mask) for a key/grouping column."""
+    if values.dtype == object:
+        nulls = np.array([v is None for v in values], dtype=bool)
+        if nulls.any():
+            values = values.copy()
+            values[nulls] = _NULL_SENTINEL
+        return values.astype("U64") if len(values) else values, nulls
+    if values.dtype.kind == "f":
+        nulls = np.isnan(values)
+        if nulls.any():
+            values = np.where(nulls, 0.0, values)
+        return values, nulls
+    return values, np.zeros(len(values), dtype=bool)
+
+
+def _column_codes(values: np.ndarray) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Per-column dense codes: (codes, cardinality, null mask).
+
+    Small-range integer keys (dictionary-encoded dimensions, the common
+    case in star schemas) take a bincount-style O(n) path; everything else
+    falls back to ``np.unique``'s sort.  Codes are ordered by value either
+    way, with nulls coded last.
+    """
+    comparable, nulls = _normalize_key(np.asarray(values))
+    n = len(comparable)
+    if comparable.dtype.kind in ("i", "u") and n:
+        lo = int(comparable.min())
+        hi = int(comparable.max())
+        span = hi - lo + 1
+        if 0 < span <= max(4 * n, 65_536):
+            shifted = comparable.astype(np.int64) - lo
+            present = np.zeros(span, dtype=bool)
+            present[shifted] = True
+            uniques = np.flatnonzero(present)
+            lookup = np.empty(span, dtype=np.int64)
+            lookup[uniques] = np.arange(len(uniques))
+            codes = lookup[shifted]
+            card = len(uniques)
+            if nulls.any():
+                codes = codes.copy()
+                codes[nulls] = card
+                card += 1
+            return codes, max(card, 1), nulls
+    uniques, codes = np.unique(comparable, return_inverse=True)
+    codes = codes.reshape(n)
+    card = len(uniques)
+    if nulls.any():
+        codes = codes.copy()
+        codes[nulls] = card
+        card += 1
+    return codes.astype(np.int64), max(card, 1), nulls
+
+
+def _dense_codes(combined: np.ndarray, radix: int) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Densify combined codes: (dense codes, num groups, first index)."""
+    n = len(combined)
+    if n == 0:
+        return combined, 0, np.zeros(0, dtype=np.int64)
+    if radix <= max(4 * n, 65_536):
+        present = np.zeros(radix, dtype=bool)
+        present[combined] = True
+        uniques = np.flatnonzero(present)
+        lookup = np.empty(radix, dtype=np.int64)
+        lookup[uniques] = np.arange(len(uniques))
+        codes = lookup[combined]
+        first = np.full(len(uniques), n, dtype=np.int64)
+        np.minimum.at(first, codes, np.arange(n))
+        return codes, len(uniques), first
+    uniques, first, codes = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    return codes.reshape(n).astype(np.int64), len(uniques), first
+
+
+def factorize(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, int, np.ndarray, np.ndarray]:
+    """Dense-code composite keys.
+
+    Returns ``(codes, num_groups, first_index, null_mask)`` where ``codes``
+    maps each row to ``[0, num_groups)``, ``first_index[g]`` is a
+    representative row of group ``g``, and ``null_mask`` marks rows whose
+    key contains a null (they still receive a code; join callers exclude
+    them, GROUP BY callers keep them as one group per the sentinel).
+    """
+    if not arrays:
+        raise ExecutionError("factorize needs at least one key")
+    n = len(arrays[0])
+    any_null = np.zeros(n, dtype=bool)
+    radix = 1
+    combined = np.zeros(n, dtype=np.int64)
+    for values in arrays:
+        codes, card, nulls = _column_codes(values)
+        any_null |= nulls
+        combined = combined * card + codes
+        radix *= card
+        if radix > 2**62:
+            # Re-densify to avoid overflow on very wide keys.
+            combined, groups, _ = _dense_codes(combined, radix)
+            radix = max(groups, 1)
+    codes, num_groups, first_index = _dense_codes(combined, radix)
+    return codes, num_groups, first_index, any_null
+
+
+def _shared_codes(
+    left: Sequence[np.ndarray], right: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Code left and right key tuples in one shared dictionary.
+
+    Single-column integer keys skip dictionary construction entirely —
+    value-minus-min is already a shared comparable code.
+    """
+    n_left = len(left[0]) if left else 0
+    left_nulls = np.zeros(n_left, dtype=bool)
+    right_nulls = np.zeros(len(right[0]) if right else 0, dtype=bool)
+    for l in left:
+        left_nulls |= _normalize_key(np.asarray(l))[1]
+    for r in right:
+        right_nulls |= _normalize_key(np.asarray(r))[1]
+
+    if len(left) == 1:
+        l_arr, r_arr = np.asarray(left[0]), np.asarray(right[0])
+        if l_arr.dtype.kind in ("i", "u") and r_arr.dtype.kind in ("i", "u"):
+            lo = min(int(l_arr.min(initial=0)), int(r_arr.min(initial=0)))
+            hi = max(int(l_arr.max(initial=0)), int(r_arr.max(initial=0)))
+            # Guard downstream lookup-table allocations against sparse keys.
+            if hi - lo + 1 <= max(4 * (len(l_arr) + len(r_arr)), 65_536):
+                return (
+                    l_arr.astype(np.int64) - lo,
+                    r_arr.astype(np.int64) - lo,
+                    left_nulls,
+                    right_nulls,
+                )
+
+    merged = [
+        np.concatenate([_normalize_key(np.asarray(l))[0].astype(object, copy=False)
+                        if np.asarray(l).dtype == object else _normalize_key(np.asarray(l))[0],
+                        _normalize_key(np.asarray(r))[0]])
+        if np.asarray(l).dtype == object or np.asarray(r).dtype == object
+        else np.concatenate([
+            _normalize_key(np.asarray(l))[0].astype(np.float64),
+            _normalize_key(np.asarray(r))[0].astype(np.float64),
+        ])
+        for l, r in zip(left, right)
+    ]
+    codes, _, _, _ = factorize(merged)
+    return codes[:n_left], codes[n_left:], left_nulls, right_nulls
+
+
+def join_indices(
+    left_keys: Sequence[np.ndarray],
+    right_keys: Sequence[np.ndarray],
+    how: str = "inner",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute matching row positions for an equi-join.
+
+    Returns ``(left_idx, right_idx)``; a position of ``-1`` marks a padded
+    null row (outer joins).  Null keys never match.
+    """
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise ExecutionError("join_indices: key arity mismatch")
+    lcodes, rcodes, lnull, rnull = _shared_codes(left_keys, right_keys)
+    # Null keys are excluded from matching by pushing them out of range.
+    lcodes = np.where(lnull, -1, lcodes)
+    rcodes = np.where(rnull, -2, rcodes)
+
+    order = np.argsort(rcodes, kind="stable")
+    span = int(max(lcodes.max(initial=0), rcodes.max(initial=0))) + 3
+    if span <= max(4 * (len(lcodes) + len(rcodes)), 65_536):
+        # O(n) bucket lookup: counts and start offsets per (shifted) code.
+        shifted_r = rcodes + 2
+        bucket_counts = np.bincount(shifted_r, minlength=span)
+        bucket_starts = np.concatenate(
+            [[0], np.cumsum(bucket_counts)[:-1]]
+        )
+        shifted_l = lcodes + 2
+        counts = bucket_counts[shifted_l]
+        starts = bucket_starts[shifted_l]
+    else:
+        sorted_r = rcodes[order]
+        starts = np.searchsorted(sorted_r, lcodes, side="left")
+        ends = np.searchsorted(sorted_r, lcodes, side="right")
+        counts = ends - starts
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(lcodes)), counts)
+    if total:
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total) - offsets
+        right_idx = order[np.repeat(starts, counts) + within]
+    else:
+        right_idx = np.zeros(0, dtype=np.int64)
+
+    if how in ("left", "full"):
+        unmatched_left = np.flatnonzero(counts == 0)
+        left_idx = np.concatenate([left_idx, unmatched_left])
+        right_idx = np.concatenate(
+            [right_idx, np.full(len(unmatched_left), -1, dtype=np.int64)]
+        )
+    if how == "full":
+        matched_right = np.zeros(len(rcodes), dtype=bool)
+        if total:
+            matched_right[right_idx[right_idx >= 0]] = True
+        unmatched_right = np.flatnonzero(~matched_right)
+        left_idx = np.concatenate(
+            [left_idx, np.full(len(unmatched_right), -1, dtype=np.int64)]
+        )
+        right_idx = np.concatenate([right_idx, unmatched_right])
+    if how not in ("inner", "left", "full"):
+        raise ExecutionError(f"unsupported join type {how!r}")
+    return left_idx.astype(np.int64), right_idx.astype(np.int64)
+
+
+def semi_join_mask(
+    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Boolean mask of left rows whose key appears on the right."""
+    lcodes, rcodes, lnull, rnull = _shared_codes(left_keys, right_keys)
+    present = np.zeros(int(max(lcodes.max(initial=-1), rcodes.max(initial=-1))) + 2,
+                       dtype=bool)
+    valid_r = rcodes[~rnull]
+    if len(valid_r):
+        present[valid_r] = True
+    mask = present[lcodes]
+    mask[lnull] = False
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Grouped aggregation
+# ---------------------------------------------------------------------------
+def group_sum(codes: np.ndarray, ngroups: int, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-group SUM skipping NaNs; returns (sums, non-null counts)."""
+    values = np.asarray(values, dtype=np.float64)
+    null = np.isnan(values)
+    filled = np.where(null, 0.0, values)
+    # bincount returns int64 on empty input; force float for NaN marking.
+    sums = np.bincount(codes, weights=filled, minlength=ngroups).astype(np.float64)
+    counts = np.bincount(codes[~null], minlength=ngroups)
+    return sums, counts
+
+
+def group_count_star(codes: np.ndarray, ngroups: int) -> np.ndarray:
+    return np.bincount(codes, minlength=ngroups).astype(np.int64)
+
+
+def group_count(codes: np.ndarray, ngroups: int, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values)
+    if values.dtype == object:
+        nonnull = np.array([v is not None for v in values], dtype=bool)
+    elif values.dtype.kind == "f":
+        nonnull = ~np.isnan(values)
+    else:
+        nonnull = np.ones(len(values), dtype=bool)
+    return np.bincount(codes[nonnull], minlength=ngroups).astype(np.int64)
+
+
+def group_count_distinct(codes: np.ndarray, ngroups: int, values: np.ndarray) -> np.ndarray:
+    vcodes, _, _, vnull = factorize([np.asarray(values)])
+    keep = ~vnull
+    pair = codes[keep].astype(np.int64) * (int(vcodes.max(initial=0)) + 1) + vcodes[keep]
+    unique_pairs = np.unique(pair)
+    owner = (unique_pairs // (int(vcodes.max(initial=0)) + 1)).astype(np.int64)
+    return np.bincount(owner, minlength=ngroups).astype(np.int64)
+
+
+def group_min(codes: np.ndarray, ngroups: int, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    out = np.full(ngroups, np.inf)
+    keep = ~np.isnan(values)
+    np.minimum.at(out, codes[keep], values[keep])
+    out[np.isinf(out)] = np.nan
+    return out
+
+
+def group_max(codes: np.ndarray, ngroups: int, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    out = np.full(ngroups, -np.inf)
+    keep = ~np.isnan(values)
+    np.maximum.at(out, codes[keep], values[keep])
+    out[np.isinf(out)] = np.nan
+    return out
+
+
+def group_median(codes: np.ndarray, ngroups: int, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    keep = ~np.isnan(values)
+    codes, values = codes[keep], values[keep]
+    order = np.lexsort((values, codes))
+    codes_sorted, values_sorted = codes[order], values[order]
+    out = np.full(ngroups, np.nan)
+    boundaries = np.flatnonzero(np.diff(codes_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(codes_sorted)]])
+    for s, e in zip(starts, ends):
+        if e > s:
+            out[codes_sorted[s]] = np.median(values_sorted[s:e])
+    return out
+
+
+def group_var(codes: np.ndarray, ngroups: int, values: np.ndarray) -> np.ndarray:
+    sums, counts = group_sum(codes, ngroups, values)
+    sq, _ = group_sum(codes, ngroups, np.asarray(values, dtype=np.float64) ** 2)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = sums / counts
+        out = sq / counts - mean**2
+    out[counts == 0] = np.nan
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Window functions (default RANGE frame: peers included)
+# ---------------------------------------------------------------------------
+def window_eval(
+    func: str,
+    values: Optional[np.ndarray],
+    partition_codes: Optional[np.ndarray],
+    order_keys: List[Tuple[np.ndarray, bool]],
+    num_rows: int,
+) -> np.ndarray:
+    """Evaluate a running window aggregate.
+
+    ``order_keys`` is a list of (array, ascending) pairs; the default SQL
+    frame ``RANGE UNBOUNDED PRECEDING`` is used, so rows tied on the order
+    key are peers and share the running value (this matches DuckDB for the
+    paper's prefix-sum splits).  With no ORDER BY the whole partition is
+    the frame.
+    """
+    if partition_codes is None:
+        partition_codes = np.zeros(num_rows, dtype=np.int64)
+
+    sort_columns: List[np.ndarray] = []
+    for arr, ascending in reversed(order_keys):
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            arr, _ = _normalize_key(arr)
+            arr = np.unique(arr, return_inverse=True)[1].astype(np.float64)
+        else:
+            arr = arr.astype(np.float64)
+        sort_columns.append(arr if ascending else -arr)
+    sort_columns.append(partition_codes)
+    order = np.lexsort(tuple(sort_columns)) if num_rows else np.zeros(0, dtype=np.int64)
+
+    part_sorted = partition_codes[order]
+    if func == "row_number":
+        seq = np.arange(1, num_rows + 1, dtype=np.int64)
+        if num_rows:
+            part_start = np.concatenate([[0], np.flatnonzero(np.diff(part_sorted)) + 1])
+            offsets = np.zeros(num_rows, dtype=np.int64)
+            offsets[part_start] = np.concatenate([[0], part_start[1:]]) if len(part_start) else 0
+            base = np.repeat(seq[part_start], np.diff(np.append(part_start, num_rows)))
+            seq = seq - base + 1
+        out = np.empty(num_rows, dtype=np.float64)
+        out[order] = seq
+        return out
+
+    if values is None:
+        raise ExecutionError(f"window {func} requires an argument")
+    vals_sorted = np.asarray(values, dtype=np.float64)[order]
+    nulls = np.isnan(vals_sorted)
+
+    if func in ("sum", "avg", "count"):
+        add = np.where(nulls, 0.0, vals_sorted) if func != "count" else (~nulls).astype(np.float64)
+        running = np.cumsum(add)
+        counts = np.cumsum((~nulls).astype(np.float64))
+    elif func in ("min", "max"):
+        running = _segmented_extreme(vals_sorted, part_sorted, func)
+        counts = np.cumsum((~nulls).astype(np.float64))
+    else:
+        raise ExecutionError(f"unsupported window function {func!r}")
+
+    if func in ("sum", "avg", "count"):
+        # Reset per partition: subtract the running value before the partition.
+        if num_rows:
+            part_start = np.concatenate([[0], np.flatnonzero(np.diff(part_sorted)) + 1])
+            start_offset = np.zeros(num_rows)
+            prefix_before = np.concatenate([[0.0], running])[part_start]
+            start_offset = np.repeat(
+                prefix_before, np.diff(np.append(part_start, num_rows))
+            )
+            running = running - start_offset
+            count_before = np.concatenate([[0.0], counts])[part_start]
+            counts = counts - np.repeat(
+                count_before, np.diff(np.append(part_start, num_rows))
+            )
+
+    if order_keys and num_rows:
+        # Peers (equal partition + order key) share the frame-end value.
+        peer_key = np.zeros(num_rows, dtype=bool)
+        peer_key[0] = True
+        for arr, _ in order_keys:
+            arr = np.asarray(arr)
+            comparable, _ = _normalize_key(arr)
+            sorted_vals = comparable[order]
+            if sorted_vals.dtype.kind in ("U", "S", "O"):
+                change = sorted_vals[1:] != sorted_vals[:-1]
+            else:
+                change = sorted_vals[1:] != sorted_vals[:-1]
+            peer_key[1:] |= np.asarray(change)
+        peer_key[1:] |= part_sorted[1:] != part_sorted[:-1]
+        group_ids = np.cumsum(peer_key) - 1
+        last_of_group = np.concatenate([np.flatnonzero(peer_key[1:]), [num_rows - 1]])
+        running = running[last_of_group][group_ids]
+        counts = counts[last_of_group][group_ids]
+    elif not order_keys and num_rows:
+        # No ORDER BY: the frame is the whole partition.
+        part_start = np.concatenate([[0], np.flatnonzero(np.diff(part_sorted)) + 1])
+        part_id = np.cumsum(np.concatenate([[True], np.diff(part_sorted) != 0])) - 1
+        last = np.concatenate([part_start[1:] - 1, [num_rows - 1]])
+        running = running[last][part_id]
+        counts = counts[last][part_id]
+
+    if func == "avg":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            running = running / counts
+    if func == "count":
+        running = counts
+
+    out = np.empty(num_rows, dtype=np.float64)
+    out[order] = running
+    return out
+
+
+def _segmented_extreme(values: np.ndarray, segments: np.ndarray, func: str) -> np.ndarray:
+    out = np.empty_like(values)
+    if not len(values):
+        return out
+    boundaries = np.concatenate(
+        [[0], np.flatnonzero(np.diff(segments)) + 1, [len(values)]]
+    )
+    op = np.fmin if func == "min" else np.fmax
+    for s, e in zip(boundaries[:-1], boundaries[1:]):
+        out[s:e] = op.accumulate(values[s:e])
+    return out
+
+
+def sort_indices(keys: List[Tuple[np.ndarray, bool]], num_rows: int) -> np.ndarray:
+    """Stable multi-key sort; NaNs/Nones sort last on ascending keys."""
+    if not keys:
+        return np.arange(num_rows)
+    columns = []
+    for arr, ascending in reversed(keys):
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            comparable, nulls = _normalize_key(arr)
+            codes = np.unique(comparable, return_inverse=True)[1].astype(np.float64)
+            codes[nulls] = np.inf
+            arr = codes
+        else:
+            arr = arr.astype(np.float64)
+        if not ascending:
+            with np.errstate(invalid="ignore"):
+                arr = -arr
+        # Push NaN last regardless of direction.
+        arr = np.where(np.isnan(arr), np.inf, arr)
+        columns.append(arr)
+    return np.lexsort(tuple(columns))

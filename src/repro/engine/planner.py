@@ -1,0 +1,464 @@
+"""Planner/interpreter for SELECT statements.
+
+This module turns a parsed :class:`~repro.sql.ast_nodes.Select` into a
+:class:`~repro.engine.result.Relation` by composing the vectorized
+operators.  The pipeline is the textbook one:
+
+    FROM (+JOINs) -> WHERE -> GROUP BY/aggregates -> HAVING
+    -> window functions -> SELECT projection -> DISTINCT
+    -> ORDER BY -> LIMIT
+
+Aggregate and window calls are extracted from expressions, computed with
+the grouped/window operators, and re-injected as pre-computed values via
+the evaluation ``context`` (keyed by AST node id), so arbitrary arithmetic
+around them — e.g. the paper's variance-reduction criterion — just works.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import PlanError
+from repro.sql import ast_nodes as ast
+from repro.sql.expressions import Frame, evaluate
+from repro.sql.functions import is_aggregate, is_window_capable
+from repro.engine import operators as ops
+from repro.engine.result import Relation
+from repro.storage.column import Column, ColumnType
+
+
+def run_select(select: ast.Select, db) -> Relation:
+    """Execute a SELECT against ``db`` (a :class:`~repro.engine.database.
+    Database`)."""
+    context: Dict[int, object] = {}
+    frame = _build_from(select, db, context)
+    frame = _apply_where(select, db, frame, context)
+
+    # Uncorrelated IN-subqueries may appear anywhere (e.g. inside the CASE
+    # projections of residual updates); resolve them all up front.
+    for item in select.items:
+        _precompute_subqueries(item.expr, db, context)
+    if select.having is not None:
+        _precompute_subqueries(select.having, db, context)
+    for order in select.order_by:
+        _precompute_subqueries(order.expr, db, context)
+
+    aggregates = _collect_aggregates(select)
+    if select.group_by or aggregates:
+        frame = _apply_grouping(select, db, frame, context, aggregates)
+
+    _compute_windows(select, frame, context)
+    out_columns = _project(select, frame, context)
+
+    if select.distinct and out_columns:
+        codes, _, first_idx, _ = ops.factorize([c.values for c in out_columns])
+        keep = np.sort(first_idx)
+        out_columns = [c.take(keep) for c in out_columns]
+
+    out_columns = _apply_order_limit(select, frame, context, out_columns)
+    return Relation(out_columns)
+
+
+# ---------------------------------------------------------------------------
+# FROM / JOIN
+# ---------------------------------------------------------------------------
+def _frame_for_table_ref(ref: ast.TableRef, db) -> Frame:
+    if ref.subquery is not None:
+        relation = run_select(ref.subquery, db)
+        return Frame.from_columns(relation.columns(), binding=ref.binding)
+    table = db.table(ref.name)
+    frame = Frame(table.num_rows())
+    for col in table.columns():
+        frame.bind(col, binding=ref.binding)
+    return frame
+
+
+def _build_from(select: ast.Select, db, context: Dict[int, object]) -> Frame:
+    if select.source is None:
+        return Frame(1)  # SELECT <expr> without FROM: one row
+    frame = _frame_for_table_ref(select.source, db)
+    for join in select.joins:
+        right = _frame_for_table_ref(join.table, db)
+        frame = _apply_join(frame, right, join, db, context)
+    return frame
+
+
+def _split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _apply_join(
+    left: Frame, right: Frame, join: ast.Join, db, context: Dict[int, object]
+) -> Frame:
+    kind = join.kind.upper()
+    if kind == "CROSS":
+        n_left, n_right = left.num_rows, right.num_rows
+        l_idx = np.repeat(np.arange(n_left), n_right)
+        r_idx = np.tile(np.arange(n_right), n_left)
+        return _gather_merge(left, right, l_idx, r_idx)
+
+    equi: List[Tuple[ast.ColumnRef, ast.ColumnRef]] = []
+    residual: List[ast.Expr] = []
+    if join.using:
+        for name in join.using:
+            equi.append((ast.ColumnRef(name), ast.ColumnRef(name)))
+    else:
+        for conjunct in _split_conjuncts(join.condition):
+            pair = _as_equi_pair(conjunct, left, right)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                residual.append(conjunct)
+    if not equi:
+        raise PlanError(
+            "join requires at least one equality condition "
+            f"(got {join.condition.sql() if join.condition else 'none'})"
+        )
+    left_keys = [left.resolve(l).values for l, _ in equi]
+    right_keys = [right.resolve(r).values for _, r in equi]
+    how = {"INNER": "inner", "LEFT": "left", "RIGHT": "left", "FULL": "full"}[kind]
+    if kind == "RIGHT":
+        r_idx, l_idx = ops.join_indices(right_keys, left_keys, how="left")
+    else:
+        l_idx, r_idx = ops.join_indices(left_keys, right_keys, how=how)
+    merged = _gather_merge(left, right, l_idx, r_idx)
+    for conjunct in residual:
+        _precompute_subqueries(conjunct, db, context)
+        mask = np.asarray(evaluate(conjunct, merged, context), dtype=bool)
+        merged = _filter_frame(merged, mask)
+    return merged
+
+
+def _as_equi_pair(
+    expr: ast.Expr, left: Frame, right: Frame
+) -> Optional[Tuple[ast.ColumnRef, ast.ColumnRef]]:
+    if not (
+        isinstance(expr, ast.BinaryOp)
+        and expr.op == "="
+        and isinstance(expr.left, ast.ColumnRef)
+        and isinstance(expr.right, ast.ColumnRef)
+    ):
+        return None
+    a, b = expr.left, expr.right
+    # Prefer qualified resolution to decide sides.
+    if left.has(a) and right.has(b) and not (left.has(b) and right.has(a)):
+        return (a, b)
+    if left.has(b) and right.has(a) and not (left.has(a) and right.has(b)):
+        return (b, a)
+    if left.has(a) and right.has(b):
+        return (a, b)
+    if left.has(b) and right.has(a):
+        return (b, a)
+    return None
+
+
+def _lookup(frame: Frame, key: str):
+    # Explicit None checks: empty columns are falsy (len() == 0), so an
+    # ``or`` chain would mis-resolve on empty inputs.
+    col = frame._by_qualified.get(key)
+    if col is None:
+        col = frame._by_bare.get(key)
+    return col
+
+
+def _gather_merge(left: Frame, right: Frame, l_idx: np.ndarray, r_idx: np.ndarray) -> Frame:
+    merged = Frame(len(l_idx))
+    for key in left.order:
+        col = _lookup(left, key)
+        binding, _, bare = key.rpartition(".")
+        merged.bind(col.take(l_idx).rename(col.name), binding or None)
+    for key in right.order:
+        col = _lookup(right, key)
+        binding, _, bare = key.rpartition(".")
+        merged.bind(col.take(r_idx).rename(col.name), binding or None)
+    return merged
+
+
+def _filter_frame(frame: Frame, mask: np.ndarray) -> Frame:
+    out = Frame(int(mask.sum()))
+    seen: Dict[int, Column] = {}
+    for key in frame.order:
+        col = _lookup(frame, key)
+        if id(col) not in seen:
+            seen[id(col)] = col.filter(mask)
+        binding, _, _ = key.rpartition(".")
+        out.bind(seen[id(col)], binding or None)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# WHERE
+# ---------------------------------------------------------------------------
+def _precompute_subqueries(expr: Optional[ast.Expr], db, context: Dict[int, object]) -> None:
+    if expr is None:
+        return
+    for node in ast.walk(expr):
+        if isinstance(node, ast.InSubquery) and ("subq", id(node)) not in context:
+            relation = run_select(node.query, db)
+            if relation.num_columns != 1:
+                raise PlanError("IN subquery must return exactly one column")
+            context[("subq", id(node))] = relation.columns()[0].values
+
+
+def _apply_where(select: ast.Select, db, frame: Frame, context: Dict[int, object]) -> Frame:
+    if select.where is None:
+        return frame
+    _precompute_subqueries(select.where, db, context)
+    mask = np.asarray(evaluate(select.where, frame, context), dtype=bool)
+    return _filter_frame(frame, mask)
+
+
+# ---------------------------------------------------------------------------
+# GROUP BY / aggregates
+# ---------------------------------------------------------------------------
+def _collect_aggregates(select: ast.Select) -> List[ast.FuncCall]:
+    """Aggregate calls in output/having/order expressions (not in windows)."""
+    found: List[ast.FuncCall] = []
+
+    def visit(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.WindowCall):
+            return  # window aggregates are handled separately
+        if isinstance(expr, ast.FuncCall) and is_aggregate(expr.name):
+            found.append(expr)
+            return
+        for child in _children(expr):
+            visit(child)
+
+    for item in select.items:
+        visit(item.expr)
+    if select.having is not None:
+        visit(select.having)
+    for order in select.order_by:
+        visit(order.expr)
+    return found
+
+
+def _children(expr: ast.Expr) -> List[ast.Expr]:
+    if isinstance(expr, ast.UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, ast.BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.FuncCall):
+        return list(expr.args)
+    if isinstance(expr, ast.CaseExpr):
+        out = [e for pair in expr.whens for e in pair]
+        if expr.default is not None:
+            out.append(expr.default)
+        return out
+    if isinstance(expr, ast.InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, (ast.InSubquery, ast.IsNull, ast.Cast)):
+        return [expr.operand]
+    if isinstance(expr, ast.Between):
+        return [expr.operand, expr.low, expr.high]
+    return []
+
+
+def _compute_aggregate(
+    call: ast.FuncCall,
+    codes: np.ndarray,
+    ngroups: int,
+    frame: Frame,
+    context: Dict[int, object],
+) -> np.ndarray:
+    name = call.name.lower()
+    if name == "count" and call.star:
+        return ops.group_count_star(codes, ngroups)
+    if not call.args:
+        raise PlanError(f"aggregate {name}() needs an argument")
+    values = evaluate(call.args[0], frame, context)
+    if name == "count" and call.distinct:
+        return ops.group_count_distinct(codes, ngroups, values)
+    if name == "count":
+        return ops.group_count(codes, ngroups, values)
+    if name == "sum":
+        sums, counts = ops.group_sum(codes, ngroups, values)
+        sums[counts == 0] = np.nan
+        return sums
+    if name == "avg":
+        sums, counts = ops.group_sum(codes, ngroups, values)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    if name == "min":
+        return ops.group_min(codes, ngroups, values)
+    if name == "max":
+        return ops.group_max(codes, ngroups, values)
+    if name == "median":
+        return ops.group_median(codes, ngroups, values)
+    if name == "var":
+        return ops.group_var(codes, ngroups, values)
+    if name == "stddev":
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(ops.group_var(codes, ngroups, values))
+    raise PlanError(f"unsupported aggregate {name!r}")
+
+
+def _apply_grouping(
+    select: ast.Select,
+    db,
+    frame: Frame,
+    context: Dict[int, object],
+    aggregates: List[ast.FuncCall],
+) -> Frame:
+    if select.group_by:
+        group_arrays = [np.asarray(evaluate(e, frame, context)) for e in select.group_by]
+        codes, ngroups, first_idx, _ = ops.factorize(group_arrays)
+    else:
+        codes = np.zeros(frame.num_rows, dtype=np.int64)
+        ngroups = 1
+        first_idx = np.zeros(1, dtype=np.int64) if frame.num_rows else np.zeros(0, dtype=np.int64)
+        group_arrays = []
+
+    for call in aggregates:
+        context[id(call)] = _compute_aggregate(call, codes, ngroups, frame, context)
+
+    grouped = Frame(ngroups)
+    rep_by_sql: Dict[str, np.ndarray] = {}
+    for expr, array in zip(select.group_by, group_arrays):
+        rep = array[first_idx] if len(first_idx) else array[:0]
+        col = Column(_expr_name(expr), rep)
+        if isinstance(expr, ast.ColumnRef):
+            grouped.bind(col, binding=expr.table)
+        else:
+            grouped.bind(col)
+        rep_by_sql[expr.sql()] = rep
+
+    # Non-trivial group-by expressions (e.g. ``k % 2``) are matched to
+    # occurrences in the output/order/having expressions by SQL text, so
+    # re-evaluating them against the grouped frame is never needed.
+    def tag_matches(expr: ast.Expr) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, (ast.ColumnRef, ast.Literal)):
+                text = node.sql()
+                if text in rep_by_sql and id(node) not in context:
+                    context[id(node)] = rep_by_sql[text]
+
+    for item in select.items:
+        tag_matches(item.expr)
+    for order in select.order_by:
+        tag_matches(order.expr)
+    if select.having is not None:
+        tag_matches(select.having)
+    if ngroups and not select.group_by and frame.num_rows == 0:
+        # Aggregates over an empty input still yield one row (SQL semantics).
+        pass
+
+    if select.having is not None:
+        mask = np.asarray(evaluate(select.having, grouped, context), dtype=bool)
+        grouped = _filter_frame(grouped, mask)
+        for call in aggregates:
+            context[id(call)] = np.asarray(context[id(call)])[mask]
+    return grouped
+
+
+def _expr_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    return expr.sql()
+
+
+# ---------------------------------------------------------------------------
+# Window functions
+# ---------------------------------------------------------------------------
+def _compute_windows(select: ast.Select, frame: Frame, context: Dict[int, object]) -> None:
+    calls: List[ast.WindowCall] = []
+
+    def visit(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.WindowCall):
+            calls.append(expr)
+            return
+        for child in _children(expr):
+            visit(child)
+
+    for item in select.items:
+        visit(item.expr)
+    for order in select.order_by:
+        visit(order.expr)
+
+    for call in calls:
+        if id(call) in context:
+            continue
+        name = call.func.name.lower()
+        if not is_window_capable(name):
+            raise PlanError(f"{name}() is not a supported window function")
+        partition_codes = None
+        if call.window.partition_by:
+            arrays = [np.asarray(evaluate(e, frame, context)) for e in call.window.partition_by]
+            partition_codes, _, _, _ = ops.factorize(arrays)
+        order_keys = [
+            (np.asarray(evaluate(o.expr, frame, context)), o.ascending)
+            for o in call.window.order_by
+        ]
+        values = None
+        if call.func.args:
+            values = np.asarray(evaluate(call.func.args[0], frame, context))
+        context[id(call)] = ops.window_eval(
+            name, values, partition_codes, order_keys, frame.num_rows
+        )
+
+
+# ---------------------------------------------------------------------------
+# Projection / ORDER BY / LIMIT
+# ---------------------------------------------------------------------------
+def _make_output_column(name: str, values: np.ndarray) -> Column:
+    values = np.asarray(values)
+    if values.dtype.kind == "b":
+        return Column(name, values.astype(np.int64), ColumnType.INT)
+    if values.dtype == object:
+        return Column(name, values, ColumnType.STR)
+    if values.dtype.kind in ("i", "u"):
+        return Column(name, values.astype(np.int64), ColumnType.INT)
+    return Column(name, values.astype(np.float64), ColumnType.FLOAT)
+
+
+def _project(select: ast.Select, frame: Frame, context: Dict[int, object]) -> List[Column]:
+    out: List[Column] = []
+    for index, item in enumerate(select.items):
+        if isinstance(item.expr, ast.Star):
+            cols = (
+                frame.columns_for_binding(item.expr.table)
+                if item.expr.table
+                else frame.all_columns()
+            )
+            out.extend(cols)
+            continue
+        values = evaluate(item.expr, frame, context)
+        out.append(_make_output_column(item.output_name(index), values))
+    return out
+
+
+def _apply_order_limit(
+    select: ast.Select,
+    frame: Frame,
+    context: Dict[int, object],
+    out_columns: List[Column],
+) -> List[Column]:
+    if select.order_by:
+        # Prefer output aliases (SQL allows ORDER BY on them); fall back to
+        # the pre-projection frame for expressions over source columns.
+        out_frame = Frame(len(out_columns[0]) if out_columns else 0)
+        for col in out_columns:
+            out_frame.bind(col)
+        fallback = Frame(out_frame.num_rows)
+        for col in out_columns:
+            fallback.bind(col)
+        if frame.num_rows == fallback.num_rows:
+            fallback.merge(frame)
+        keys = []
+        for order in select.order_by:
+            try:
+                values = evaluate(order.expr, out_frame, context)
+            except PlanError:
+                values = evaluate(order.expr, fallback, context)
+            keys.append((np.asarray(values), order.ascending))
+        idx = ops.sort_indices(keys, out_frame.num_rows)
+        out_columns = [c.take(idx) for c in out_columns]
+    if select.limit is not None:
+        out_columns = [c.take(np.arange(min(select.limit, len(c)))) for c in out_columns]
+    return out_columns

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the JoinBoost reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+applications can catch the whole family with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL substrate."""
+
+
+class TokenizeError(SQLError):
+    """The SQL text could not be tokenized."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The SQL token stream could not be parsed."""
+
+    def __init__(self, message: str, token: object = None):
+        super().__init__(message)
+        self.token = token
+
+
+class PlanError(SQLError):
+    """A parsed statement could not be planned (e.g. unknown column)."""
+
+
+class ExecutionError(SQLError):
+    """A planned statement failed during execution."""
+
+
+class CatalogError(SQLError):
+    """Catalog lookup or mutation failed (missing table, duplicate, ...)."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (column type mismatch, codec error, ...)."""
+
+
+class JoinGraphError(ReproError):
+    """The join graph is invalid (ambiguous, cyclic where acyclic needed,
+    disconnected, or a cross product would be required)."""
+
+
+class SemiRingError(ReproError):
+    """A semi-ring definition or operation is invalid for the request."""
+
+
+class TrainingError(ReproError):
+    """Model training could not proceed (bad parameters, empty data, ...)."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A baseline exceeded its (simulated) memory budget.
+
+    The export/materialize path of the single-table baselines enforces a
+    memory budget the way a real machine enforces RAM: the materialized join
+    is a real allocation, and this error reproduces the paper's
+    "LightGBM runs out of memory" outcomes at large scale factors.
+    """
+
+    def __init__(self, requested_bytes: int, budget_bytes: int):
+        super().__init__(
+            f"materialization needs ~{requested_bytes:,} bytes, "
+            f"budget is {budget_bytes:,} bytes"
+        )
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes

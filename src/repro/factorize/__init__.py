@@ -1,0 +1,16 @@
+"""Factorized query execution: message passing as pure SQL rewriting."""
+
+from repro.factorize.messages import Annotation, combine_annotations
+from repro.factorize.cache import MessageCache, MessageInfo
+from repro.factorize.executor import Factorizer
+from repro.factorize.sampling import ancestral_sample, sample_fact_table
+
+__all__ = [
+    "Annotation",
+    "combine_annotations",
+    "MessageCache",
+    "MessageInfo",
+    "Factorizer",
+    "ancestral_sample",
+    "sample_fact_table",
+]

@@ -1,0 +1,388 @@
+"""The Factorizer: semi-ring aggregation over a join graph, in pure SQL.
+
+This is the component the paper's architecture diagram (Figure 4) calls
+the *Factorizer*: it decomposes each aggregation query into message-passing
+and absorption queries, materializes messages as tables, and reuses them
+across features and tree nodes via the :class:`MessageCache`.
+
+The message recursion is root-independent: ``message(child, parent)``
+aggregates ``child``'s component, which only depends on the directed edge
+and the predicates inside ``child``'s side — so a single cache serves every
+per-feature root choice and every tree node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JoinGraphError, TrainingError
+from repro.engine.result import Relation
+from repro.factorize.cache import MessageCache, MessageInfo
+from repro.factorize.messages import (
+    COUNT,
+    FULL,
+    IDENTITY,
+    Annotation,
+    aggregate_select_list,
+    aggregated_kind,
+    combine_annotations,
+)
+from repro.factorize.predicates import (
+    PredicateMap,
+    predicate_state,
+    render_conjunction,
+)
+from repro.joingraph.graph import JoinGraph
+from repro.joingraph.hypertree import edge_between, is_acyclic
+from repro.semiring.base import SemiRing
+
+
+class Factorizer:
+    """Executes factorized aggregations for one (graph, semi-ring) pair."""
+
+    def __init__(
+        self,
+        db,
+        graph: JoinGraph,
+        semiring: SemiRing,
+        assume_ri: bool = True,
+        cache_enabled: bool = True,
+        outer_joins: bool = False,
+    ):
+        graph.validate(require_target=False)
+        if not is_acyclic(graph):
+            raise JoinGraphError(
+                "Factorizer requires an acyclic join graph; decompose first"
+            )
+        self.db = db
+        self.graph = graph
+        self.semiring = semiring
+        self.assume_ri = assume_ri
+        self.outer_joins = outer_joins
+        self.cache = MessageCache(db, enabled=cache_enabled)
+        self.lifted: Dict[str, str] = {}
+        self._side: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        self.message_requests = 0
+        self.message_executions = 0
+        if any(e.multiplicity is None for e in graph.edges):
+            graph.analyze()
+        self._compute_sides()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _compute_sides(self) -> None:
+        """For each directed edge, the relations on the sending side."""
+        for edge in self.graph.edges:
+            for child, parent in ((edge.left, edge.right), (edge.right, edge.left)):
+                side = {child}
+                frontier = [child]
+                while frontier:
+                    current = frontier.pop()
+                    for neighbor in self.graph.neighbors(current):
+                        if neighbor == parent and current == child:
+                            continue
+                        if neighbor not in side and neighbor != parent:
+                            side.add(neighbor)
+                            frontier.append(neighbor)
+                self._side[(child, parent)] = frozenset(side)
+
+    def lift(
+        self,
+        lift_exprs: Optional[Sequence[Tuple[str, str]]] = None,
+        source_table: Optional[str] = None,
+    ) -> str:
+        """Materialize the lifted copy of the target relation.
+
+        ``lift_exprs`` defaults to the semi-ring's own lift of Y; gradient
+        boosting passes loss-specific (h, g) expressions instead.
+        ``source_table`` substitutes a different physical table for the
+        target relation (random forests lift their per-tree sample).
+        Returns the lifted table's name.  Non-target relations are not
+        copied — they carry the 1 annotation implicitly.
+        """
+        target = self.graph.target_relation
+        y_column = self.graph.target_column
+        source = source_table or target
+        exprs = list(lift_exprs) if lift_exprs is not None else self.semiring.lift_sql(y_column)
+        base_cols = self.db.table(source).column_names()
+        collisions = {c for c, _ in exprs} & {c.lower() for c in base_cols}
+        if collisions:
+            raise TrainingError(
+                f"target relation {target!r} has columns colliding with "
+                f"semi-ring components: {sorted(collisions)}"
+            )
+        lifted_name = self.db.temp_name(f"lift_{target}")
+        select_parts = [f"t.{c}" for c in base_cols] + [
+            f"{expr} AS {comp}" for comp, expr in exprs
+        ]
+        self.db.execute(
+            f"CREATE TABLE {lifted_name} AS SELECT {', '.join(select_parts)} "
+            f"FROM {source} AS t",
+            tag="lift",
+        )
+        self.lifted[target] = lifted_name
+        return lifted_name
+
+    def lift_identity(self, relation: str) -> str:
+        """Materialize a lifted copy of ``relation`` annotated with 1.
+
+        Used for galaxy-schema update annotations (Section 4.2): each CPT
+        cluster's fact table carries components initialized to the 1
+        element; residual updates multiply them by lift(-p) in place.
+        """
+        exprs = self.semiring.identity_sql()
+        base_cols = self.db.table(relation).column_names()
+        collisions = {c for c, _ in exprs} & {c.lower() for c in base_cols}
+        if collisions:
+            raise TrainingError(
+                f"relation {relation!r} has columns colliding with "
+                f"semi-ring components: {sorted(collisions)}"
+            )
+        lifted_name = self.db.temp_name(f"lift_{relation}")
+        select_parts = [f"t.{c}" for c in base_cols] + [
+            f"{expr} AS {comp}" for comp, expr in exprs
+        ]
+        self.db.execute(
+            f"CREATE TABLE {lifted_name} AS SELECT {', '.join(select_parts)} "
+            f"FROM {relation} AS t",
+            tag="lift",
+        )
+        self.lifted[relation] = lifted_name
+        return lifted_name
+
+    def adopt_lifted(self, relation: str, table_name: str) -> None:
+        """Register an externally prepared lifted table (multiclass
+        trainers share one table holding every class's components)."""
+        self.lifted[relation] = table_name
+
+    def storage_table(self, relation: str) -> str:
+        """The physical table backing a relation (lifted copy if any)."""
+        return self.lifted.get(relation, relation)
+
+    def _own_annotation(self, relation: str, alias: str) -> Annotation:
+        if relation in self.lifted:
+            return Annotation.from_columns(FULL, alias, self.semiring)
+        return Annotation.identity()
+
+    # ------------------------------------------------------------------
+    # Messages
+    # ------------------------------------------------------------------
+    def message(
+        self, child: str, parent: str, predicates: Optional[PredicateMap] = None
+    ) -> Optional[MessageInfo]:
+        """Materialize (or fetch) the message child -> parent.
+
+        Returns ``None`` when the message is an identity message that can
+        be dropped (Appendix D): nothing lifted or filtered on the child's
+        side and the join into ``parent`` is fan-out-free.
+        """
+        predicates = predicates or {}
+        self.message_requests += 1
+        side = self._side[(child, parent)]
+        state = predicate_state(predicates, side)
+
+        if self._droppable(child, parent, side, state):
+            return None
+
+        cached = self.cache.lookup(child, parent, state)
+        if cached is not None:
+            return cached
+
+        info = self._materialize_message(child, parent, predicates, state)
+        self.cache.store(child, parent, state, info)
+        return info
+
+    def _droppable(
+        self,
+        child: str,
+        parent: str,
+        side: FrozenSet[str],
+        state: FrozenSet,
+    ) -> bool:
+        if not self.assume_ri:
+            return False
+        if state:
+            return False
+        if any(rel in self.lifted for rel in side):
+            return False
+        edge = edge_between(self.graph, child, parent)
+        mult = edge.multiplicity or "m-n"
+        if edge.right == child and mult in ("n-1", "1-1"):
+            return True
+        if edge.left == child and mult in ("1-n", "1-1"):
+            return True
+        return False
+
+    def _incoming(
+        self,
+        relation: str,
+        exclude: Optional[str],
+        predicates: PredicateMap,
+    ) -> List[MessageInfo]:
+        infos: List[MessageInfo] = []
+        for neighbor in self.graph.neighbors(relation):
+            if neighbor == exclude:
+                continue
+            info = self.message(neighbor, relation, predicates)
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    def _join_clauses(
+        self, relation: str, infos: List[MessageInfo]
+    ) -> Tuple[List[str], Annotation]:
+        """JOIN fragments plus the folded annotation for ``relation``."""
+        annotation = self._own_annotation(relation, "t")
+        clauses: List[str] = []
+        join_kind = "LEFT JOIN" if self.outer_joins else "JOIN"
+        for i, info in enumerate(infos):
+            alias = f"m{i}"
+            edge = edge_between(self.graph, relation, info.child)
+            own_keys = edge.keys_for(relation)
+            msg_keys = info.key_columns
+            condition = " AND ".join(
+                f"t.{ok} = {alias}.{mk}" for ok, mk in zip(own_keys, msg_keys)
+            )
+            clauses.append(f"{join_kind} {info.table} AS {alias} ON {condition}")
+            annotation = combine_annotations(
+                self.semiring,
+                annotation,
+                Annotation.from_columns(
+                    info.kind, alias, self.semiring, outer=self.outer_joins
+                ),
+            )
+        return clauses, annotation
+
+    def _materialize_message(
+        self,
+        child: str,
+        parent: str,
+        predicates: PredicateMap,
+        state: FrozenSet,
+    ) -> MessageInfo:
+        edge = edge_between(self.graph, child, parent)
+        keys = edge.keys_for(child)
+        infos = self._incoming(child, exclude=parent, predicates=predicates)
+        joins, annotation = self._join_clauses(child, infos)
+        select_keys = [f"t.{k} AS {k}" for k in keys]
+        agg_parts = [
+            f"{expr} AS {comp}"
+            for comp, expr in aggregate_select_list(self.semiring, annotation)
+        ]
+        where = render_conjunction(predicates.get(child, ()), alias="t")
+        table = self.storage_table(child)
+        msg_name = self.db.temp_name(f"msg_{child}_{parent}")
+        sql = (
+            f"CREATE TABLE {msg_name} AS "
+            f"SELECT {', '.join(select_keys + agg_parts)} "
+            f"FROM {table} AS t {' '.join(joins)}"
+            + (f" WHERE {where}" if where else "")
+            + f" GROUP BY {', '.join(f't.{k}' for k in keys)}"
+        )
+        self.db.execute(sql, tag="message")
+        self.message_executions += 1
+        return MessageInfo(
+            table=msg_name,
+            kind=aggregated_kind(annotation),
+            key_columns=tuple(keys),
+            child=child,
+            parent=parent,
+        )
+
+    # ------------------------------------------------------------------
+    # Absorption
+    # ------------------------------------------------------------------
+    def absorption_sql(
+        self,
+        root: str,
+        group_attrs: Sequence[str],
+        predicates: Optional[PredicateMap] = None,
+    ) -> Tuple[str, List[str]]:
+        """SELECT text aggregating components grouped by ``group_attrs``.
+
+        Messages into ``root`` are materialized as a side effect; the
+        returned SQL is self-contained and can be wrapped by callers (the
+        split finder wraps it in window functions, Example 2 style).
+        Returns (sql, component_columns).
+        """
+        predicates = predicates or {}
+        infos = self._incoming(root, exclude=None, predicates=predicates)
+        joins, annotation = self._join_clauses(root, infos)
+        agg = aggregate_select_list(self.semiring, annotation)
+        select_parts = [f"t.{a} AS {a}" for a in group_attrs] + [
+            f"{expr} AS {comp}" for comp, expr in agg
+        ]
+        where = render_conjunction(predicates.get(root, ()), alias="t")
+        sql = (
+            f"SELECT {', '.join(select_parts)} "
+            f"FROM {self.storage_table(root)} AS t {' '.join(joins)}"
+            + (f" WHERE {where}" if where else "")
+        )
+        if group_attrs:
+            sql += f" GROUP BY {', '.join(f't.{a}' for a in group_attrs)}"
+        return sql, [comp for comp, _ in agg]
+
+    def absorb(
+        self,
+        root: str,
+        group_attrs: Sequence[str],
+        predicates: Optional[PredicateMap] = None,
+        tag: str = "absorption",
+    ) -> Relation:
+        sql, _ = self.absorption_sql(root, group_attrs, predicates)
+        return self.db.execute(sql, tag=tag)
+
+    def totals(
+        self,
+        predicates: Optional[PredicateMap] = None,
+        tag: str = "totals",
+        root: Optional[str] = None,
+    ) -> Dict[str, float]:
+        """Aggregate components over the whole (filtered) join result."""
+        if root is None:
+            try:
+                root = self.graph.target_relation
+            except JoinGraphError:
+                root = (
+                    next(iter(self.lifted))
+                    if self.lifted
+                    else next(iter(self.graph.relations))
+                )
+        relation = self.absorb(root, [], predicates, tag=tag)
+        row = relation.first_row()
+        return {k: (0.0 if v is None else float(v)) for k, v in row.items()}
+
+    # ------------------------------------------------------------------
+    # Cache control
+    # ------------------------------------------------------------------
+    def invalidate_for_relation(self, relation: str) -> int:
+        """Drop cached messages whose sending side contains ``relation``
+        (called after that relation's lifted data changes)."""
+        doomed = []
+        for key, info in list(self.cache._store.items()):
+            child, parent, _ = key
+            if relation in self._side[(child, parent)]:
+                doomed.append(key)
+        for key in doomed:
+            info = self.cache._store.pop(key)
+            self.db.drop_table(info.table, if_exists=True)
+        return len(doomed)
+
+    def invalidate_all(self) -> int:
+        return self.cache.invalidate_all(drop_tables=True)
+
+    def census(self) -> Dict[str, int]:
+        """Message accounting for the Figure 9 reproduction."""
+        return {
+            "message_requests": self.message_requests,
+            "message_executions": self.message_executions,
+            **self.cache.stats(),
+        }
+
+    def cleanup(self) -> None:
+        """Drop lifted copies and cached messages (end of training)."""
+        self.invalidate_all()
+        for table in self.lifted.values():
+            self.db.drop_table(table, if_exists=True)
+        self.lifted.clear()

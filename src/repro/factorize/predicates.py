@@ -1,0 +1,125 @@
+"""Structured split predicates.
+
+Tree nodes carry per-relation predicates.  They are structured (column,
+op, value) triples rather than raw SQL strings so that
+
+* they render with an explicit table alias (messages and base tables can
+  share column names),
+* they are hashable — the message cache keys on the predicate state of a
+  component — and
+* missing-value routing (Appendix D.2) is a flag, not string surgery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple, Union
+
+from repro.exceptions import TrainingError
+
+Value = Union[int, float, str, Tuple[Union[int, float, str], ...], None]
+
+_OPS = {"<=", "<", ">", ">=", "=", "!=", "IN", "NOT IN", "IS NULL", "IS NOT NULL"}
+
+
+def _sql_literal(value: Union[int, float, str]) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return repr(value)
+    return repr(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class Predicate:
+    """One split predicate over a single column.
+
+    ``include_null`` routes NULLs to this side of the split (the
+    LightGBM-style missing handling of Appendix D.2).
+    """
+
+    column: str
+    op: str
+    value: Value = None
+    include_null: bool = False
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise TrainingError(f"unsupported predicate operator {self.op!r}")
+        if self.op in ("IN", "NOT IN") and not isinstance(self.value, tuple):
+            raise TrainingError(f"{self.op} predicates need a tuple of values")
+
+    def render(self, alias: str = "") -> str:
+        """SQL text with every column reference prefixed by ``alias``."""
+        ref = f"{alias}.{self.column}" if alias else self.column
+        if self.op in ("IS NULL", "IS NOT NULL"):
+            return f"{ref} {self.op}"
+        if self.op in ("IN", "NOT IN"):
+            inner = ", ".join(_sql_literal(v) for v in self.value)  # type: ignore[union-attr]
+            body = f"{ref} {self.op} ({inner})"
+        else:
+            body = f"{ref} {self.op} {_sql_literal(self.value)}"  # type: ignore[arg-type]
+        if self.include_null:
+            return f"({body} OR {ref} IS NULL)"
+        return f"({body} AND {ref} IS NOT NULL)" if self.op in ("!=", "NOT IN") else body
+
+    def negate(self) -> "Predicate":
+        """The complementary predicate (¬σ); NULL routing flips."""
+        flip = {
+            "<=": ">",
+            ">": "<=",
+            "<": ">=",
+            ">=": "<",
+            "=": "!=",
+            "!=": "=",
+            "IN": "NOT IN",
+            "NOT IN": "IN",
+            "IS NULL": "IS NOT NULL",
+            "IS NOT NULL": "IS NULL",
+        }
+        return Predicate(
+            column=self.column,
+            op=flip[self.op],
+            value=self.value,
+            include_null=not self.include_null
+            if self.op not in ("IS NULL", "IS NOT NULL")
+            else False,
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+PredicateMap = dict  # relation name -> tuple[Predicate, ...]
+
+
+def add_predicate(
+    predicates: PredicateMap, relation: str, predicate: Predicate
+) -> PredicateMap:
+    """Functional update: a new map with ``predicate`` appended."""
+    out = dict(predicates)
+    out[relation] = tuple(out.get(relation, ())) + (predicate,)
+    return out
+
+
+def predicate_state(
+    predicates: PredicateMap, relations
+) -> frozenset:
+    """Hashable predicate state restricted to ``relations`` (cache keys)."""
+    state = set()
+    for relation in relations:
+        for pred in predicates.get(relation, ()):
+            state.add((relation, pred.render("t")))
+    return frozenset(state)
+
+
+def render_conjunction(
+    predicates: Tuple[Predicate, ...], alias: str = ""
+) -> Optional[str]:
+    """AND together a relation's predicates, or None when empty."""
+    if not predicates:
+        return None
+    return " AND ".join(p.render(alias) for p in predicates)

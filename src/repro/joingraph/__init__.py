@@ -1,0 +1,20 @@
+"""Join graphs: schema metadata, junction trees, and CPT clustering."""
+
+from repro.joingraph.graph import JoinEdge, JoinGraph, RelationInfo
+from repro.joingraph.hypertree import (
+    decompose_cycles,
+    is_acyclic,
+    rooted_tree,
+)
+from repro.joingraph.clusters import Cluster, cluster_graph
+
+__all__ = [
+    "JoinGraph",
+    "JoinEdge",
+    "RelationInfo",
+    "is_acyclic",
+    "rooted_tree",
+    "decompose_cycles",
+    "Cluster",
+    "cluster_graph",
+]

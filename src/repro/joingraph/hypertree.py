@@ -1,0 +1,222 @@
+"""Junction trees over join graphs.
+
+Message passing (Section 3.1) runs over a tree spanning the join graph:
+pick a root, direct every edge toward it, and send messages leaf-to-root.
+This module provides the rooted-tree construction, acyclicity checks, and
+a simple hypertree decomposition that pre-joins the relations of a cycle
+into one relation (footnote 1 / Section 4.2.2), which is how the update
+relation U is absorbed when CPT is not in effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JoinGraphError
+from repro.joingraph.graph import JoinEdge, JoinGraph
+
+
+def is_acyclic(graph: JoinGraph) -> bool:
+    """True when the relation-level join graph is a forest."""
+    parent: Dict[str, str] = {name: name for name in graph.relations}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in graph.edges:
+        a, b = find(edge.left), find(edge.right)
+        if a == b:
+            return False
+        parent[a] = b
+    return True
+
+
+def rooted_tree(
+    graph: JoinGraph, root: str
+) -> Tuple[Dict[str, Optional[str]], Dict[str, List[str]], List[str]]:
+    """Direct all edges toward ``root``.
+
+    Returns ``(parent, children, order)`` where ``order`` is a bottom-up
+    (leaves first) traversal — the order messages must be sent.
+    """
+    if root not in graph.relations:
+        raise JoinGraphError(f"root {root!r} is not in the join graph")
+    if not is_acyclic(graph):
+        raise JoinGraphError(
+            "message passing requires an acyclic join graph; "
+            "apply hypertree decomposition first"
+        )
+    parent: Dict[str, Optional[str]] = {root: None}
+    children: Dict[str, List[str]] = {name: [] for name in graph.relations}
+    order: List[str] = []
+    frontier = [root]
+    visited = {root}
+    bfs: List[str] = []
+    while frontier:
+        current = frontier.pop(0)
+        bfs.append(current)
+        for neighbor in graph.neighbors(current):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                parent[neighbor] = current
+                children[current].append(neighbor)
+                frontier.append(neighbor)
+    if len(visited) != len(graph.relations):
+        raise JoinGraphError("join graph is disconnected")
+    order = list(reversed(bfs))  # leaves first, root last
+    return parent, children, order
+
+
+def edge_between(graph: JoinGraph, a: str, b: str) -> JoinEdge:
+    for edge in graph.edges:
+        if {edge.left, edge.right} == {a, b}:
+            return edge
+    raise JoinGraphError(f"no edge between {a!r} and {b!r}")
+
+
+def find_cycle(graph: JoinGraph) -> Optional[List[str]]:
+    """Return the relations of one cycle, or None if acyclic."""
+    adjacency: Dict[str, List[str]] = {name: [] for name in graph.relations}
+    for edge in graph.edges:
+        adjacency[edge.left].append(edge.right)
+        adjacency[edge.right].append(edge.left)
+
+    visited: Dict[str, Optional[str]] = {}
+
+    for start in graph.relations:
+        if start in visited:
+            continue
+        stack: List[Tuple[str, Optional[str]]] = [(start, None)]
+        while stack:
+            node, from_node = stack.pop()
+            if node in visited:
+                continue
+            visited[node] = from_node
+            for neighbor in adjacency[node]:
+                if neighbor == from_node:
+                    continue
+                if neighbor in visited:
+                    # Reconstruct the cycle: path(node) ∪ path(neighbor).
+                    path_a: List[str] = []
+                    cursor: Optional[str] = node
+                    while cursor is not None:
+                        path_a.append(cursor)
+                        cursor = visited[cursor]
+                    path_b: List[str] = []
+                    cursor = neighbor
+                    while cursor is not None:
+                        path_b.append(cursor)
+                        cursor = visited[cursor]
+                    common = set(path_a) & set(path_b)
+                    meet = next(x for x in path_a if x in common)
+                    cycle = (
+                        path_a[: path_a.index(meet) + 1]
+                        + list(reversed(path_b[: path_b.index(meet)]))
+                    )
+                    return cycle
+                stack.append((neighbor, node))
+    return None
+
+
+def decompose_cycles(graph: JoinGraph, max_rounds: int = 16) -> JoinGraph:
+    """Standard hypertree decomposition: pre-join each cycle's relations.
+
+    The cycle's relations are joined (in the engine, via SQL), the result
+    is registered as a temporary table, and the cycle is replaced by that
+    single relation.  Repeats until acyclic.
+    """
+    current = graph
+    for _ in range(max_rounds):
+        cycle = find_cycle(current)
+        if cycle is None:
+            return current
+        current = _merge_relations(current, cycle)
+    raise JoinGraphError("hypertree decomposition did not converge")
+
+
+def _merge_relations(graph: JoinGraph, cycle: Sequence[str]) -> JoinGraph:
+    db = graph.db
+    cycle = list(cycle)
+    merged_name = db.temp_name("hyper")
+
+    # Build the join SQL over the cycle, following its internal edges.
+    aliases = {name: f"r{i}" for i, name in enumerate(cycle)}
+    from_clause = f"{cycle[0]} AS {aliases[cycle[0]]}"
+    joined = {cycle[0]}
+    join_clauses: List[str] = []
+    remaining = [e for e in graph.edges
+                 if e.left in aliases and e.right in aliases]
+    while len(joined) < len(cycle):
+        progressed = False
+        for edge in remaining:
+            if edge.left in joined and edge.right not in joined:
+                src, dst = edge.left, edge.right
+            elif edge.right in joined and edge.left not in joined:
+                src, dst = edge.right, edge.left
+            else:
+                continue
+            cond = " AND ".join(
+                f"{aliases[src]}.{sk} = {aliases[dst]}.{dk}"
+                for sk, dk in zip(edge.keys_for(src), edge.keys_for(dst))
+            )
+            join_clauses.append(f"JOIN {dst} AS {aliases[dst]} ON {cond}")
+            joined.add(dst)
+            progressed = True
+        if not progressed:
+            raise JoinGraphError(f"cycle {cycle} is not edge-connected")
+
+    # Project the union of all columns (first owner wins on collisions).
+    seen_cols: Dict[str, str] = {}
+    select_parts: List[str] = []
+    for name in cycle:
+        for col in db.table(name).column_names():
+            if col.lower() not in seen_cols:
+                seen_cols[col.lower()] = name
+                select_parts.append(f"{aliases[name]}.{col} AS {col}")
+    sql = (
+        f"CREATE TABLE {merged_name} AS SELECT {', '.join(select_parts)} "
+        f"FROM {from_clause} {' '.join(join_clauses)}"
+    )
+    db.execute(sql, tag="hypertree")
+
+    # Rebuild the graph with the merged relation standing in for the cycle.
+    out = JoinGraph(db)
+    cycle_set = set(cycle)
+    merged_features: List[str] = []
+    merged_target: Optional[str] = None
+    for name, info in graph.relations.items():
+        if name in cycle_set:
+            merged_features.extend(info.features)
+            if info.target:
+                merged_target = info.target
+    out.add_relation(
+        merged_name,
+        features=merged_features,
+        y=merged_target,
+        is_fact=any(graph.relations[n].is_fact for n in cycle),
+    )
+    for name, info in graph.relations.items():
+        if name not in cycle_set:
+            out.add_relation(
+                name, features=info.features, y=info.target, is_fact=info.is_fact
+            )
+    for edge in graph.edges:
+        in_left = edge.left in cycle_set
+        in_right = edge.right in cycle_set
+        if in_left and in_right:
+            continue  # internal to the merge
+        left = merged_name if in_left else edge.left
+        right = merged_name if in_right else edge.right
+        out.edges.append(
+            JoinEdge(left, right, list(edge.left_keys), list(edge.right_keys),
+                     edge.multiplicity)
+        )
+    # Deduplicate parallel edges created by the merge.
+    unique: Dict[frozenset, JoinEdge] = {}
+    for edge in out.edges:
+        unique.setdefault(frozenset((edge.left, edge.right)), edge)
+    out.edges = list(unique.values())
+    return out

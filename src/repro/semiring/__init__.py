@@ -1,0 +1,35 @@
+"""Semi-ring library (the paper's Tables 1 and 2).
+
+Each semi-ring knows its component columns, the SQL fragments for ⊕
+(component-wise SUM under GROUP BY), ⊗ (the join-multiplication formulas),
+the ``lift`` of a base tuple, and — where it exists — the residual-update
+multiplier ``lift(-p)`` that makes factorized gradient boosting possible
+(Definition 1, addition-to-multiplication preserving).
+"""
+
+from repro.semiring.base import SemiRing, get_semiring, register_semiring
+from repro.semiring.variance import VarianceSemiRing
+from repro.semiring.classcount import ClassCountSemiRing
+from repro.semiring.gradient import GradientSemiRing, MulticlassGradientSemiRing
+from repro.semiring.losses import LOSSES, Loss, get_loss
+from repro.semiring.properties import (
+    check_semiring_axioms,
+    is_addition_to_multiplication_preserving,
+    SignSemiRing,
+)
+
+__all__ = [
+    "SemiRing",
+    "get_semiring",
+    "register_semiring",
+    "VarianceSemiRing",
+    "ClassCountSemiRing",
+    "GradientSemiRing",
+    "MulticlassGradientSemiRing",
+    "Loss",
+    "LOSSES",
+    "get_loss",
+    "check_semiring_axioms",
+    "is_addition_to_multiplication_preserving",
+    "SignSemiRing",
+]

@@ -1,0 +1,117 @@
+"""The class-count semi-ring (Table 1) — classification criteria.
+
+Elements are (c, c¹, ..., cᵏ): total count plus one count per class.  The
+lift of a tuple with class label i is (1, 0, ..., 1@i, ..., 0).  Supports
+gini impurity, information gain (entropy) and chi-square (Appendix A).
+
+Note this lift is *not* addition-to-multiplication preserving — class
+labels do not add — so gradient boosting over galaxy schemas is not
+available for it; classification boosting goes through the (multiclass)
+gradient semi-ring on snowflake schemas instead, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import SemiRingError
+from repro.semiring.base import Element, SemiRing, register_semiring
+
+
+@register_semiring
+class ClassCountSemiRing(SemiRing):
+    """(Z, Z, ..., Z) with k class-count slots."""
+
+    name = "classcount"
+
+    def __init__(self, num_classes: int = 2):
+        if num_classes < 2:
+            raise SemiRingError("classification needs at least 2 classes")
+        self.num_classes = num_classes
+        self.components = ("c",) + tuple(f"c{i}" for i in range(num_classes))
+
+    # -- Python face -----------------------------------------------------
+    def zero(self) -> Element:
+        return (0.0,) * len(self.components)
+
+    def one(self) -> Element:
+        return (1.0,) + (0.0,) * self.num_classes
+
+    def multiply(self, a: Element, b: Element) -> Element:
+        self._check(a), self._check(b)
+        c1, rest1 = a[0], a[1:]
+        c2, rest2 = b[0], b[1:]
+        return (c1 * c2,) + tuple(
+            x1 * c2 + c1 * x2 for x1, x2 in zip(rest1, rest2)
+        )
+
+    def lift(self, value) -> Element:
+        label = int(value)
+        if not 0 <= label < self.num_classes:
+            raise SemiRingError(
+                f"class label {label} out of range [0, {self.num_classes})"
+            )
+        counts = [0.0] * self.num_classes
+        counts[label] = 1.0
+        return (1.0, *counts)
+
+    # -- SQL face ----------------------------------------------------------
+    def lift_sql(self, y_expr: str) -> List[Tuple[str, str]]:
+        out = [("c", "1")]
+        for i in range(self.num_classes):
+            out.append((f"c{i}", f"(CASE WHEN ({y_expr}) = {i} THEN 1 ELSE 0 END)"))
+        return out
+
+    def multiply_expr(self, left, right):
+        out = {"c": f"({left['c']} * {right['c']})"}
+        for i in range(self.num_classes):
+            out[f"c{i}"] = (
+                f"({left[f'c{i}']} * {right['c']} + {left['c']} * {right[f'c{i}']})"
+            )
+        return out
+
+    # -- classification criteria (Appendix A) -------------------------------
+    @staticmethod
+    def gini(counts: Sequence[float]) -> float:
+        """Gini impurity of a (c, c¹..cᵏ) aggregate, weighted by count."""
+        total, classes = counts[0], counts[1:]
+        if total <= 0:
+            return 0.0
+        return total * (1.0 - sum((ci / total) ** 2 for ci in classes))
+
+    @staticmethod
+    def entropy(counts: Sequence[float]) -> float:
+        """Entropy (for information gain), weighted by count."""
+        total, classes = counts[0], counts[1:]
+        if total <= 0:
+            return 0.0
+        out = 0.0
+        for ci in classes:
+            if ci > 0:
+                p = ci / total
+                out -= p * math.log(p)
+        return total * out
+
+    @staticmethod
+    def chi_square(
+        left: Sequence[float], right: Sequence[float]
+    ) -> float:
+        """Chi-square statistic of a binary split (Appendix A)."""
+        c_left, c_right = left[0], right[0]
+        total = c_left + c_right
+        if total <= 0 or c_left <= 0 or c_right <= 0:
+            return 0.0
+        stat = 0.0
+        for ci_left, ci_right in zip(left[1:], right[1:]):
+            ci = ci_left + ci_right
+            for observed, part in ((ci_left, c_left), (ci_right, c_right)):
+                expected = ci * part / total
+                if expected > 0:
+                    stat += (observed - expected) ** 2 / expected
+        return stat
+
+    def mode(self, counts: Sequence[float]) -> int:
+        """Majority class of an aggregate (leaf prediction)."""
+        classes = counts[1:]
+        return max(range(self.num_classes), key=lambda i: classes[i])

@@ -1,0 +1,384 @@
+"""Loss functions for gradient boosting (the paper's Table 3).
+
+Each loss provides first/second-order statistics with respect to the raw
+prediction score, following the standard convention ``g = ∂l/∂p`` so the
+optimal leaf value is ``-G / (H + λ)`` (Appendix B).  As the paper notes,
+several of these are the practically-normalized forms LightGBM ships (e.g.
+L1's hessian is 1), not textbook derivatives.
+
+Both a NumPy face (``gradient``/``hessian`` over arrays) and a SQL face
+(``gradient_sql``/``hessian_sql`` producing expressions over the fact
+table's y and prediction columns) are provided; the SQL face is what keeps
+training "only SQL" for snowflake schemas.
+
+Only L2/rmse admits the addition-to-multiplication-preserving lift needed
+for galaxy-schema residual updates (``supports_galaxy``); every other loss
+requires per-row y and prediction, hence snowflake schemas — the exact
+restriction stated in Section 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import SemiRingError
+
+
+class Loss:
+    """A boosting objective with NumPy and SQL faces."""
+
+    name = "abstract"
+    supports_galaxy = False
+
+    # -- NumPy face -------------------------------------------------------
+    def loss(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def gradient(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def hessian(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def init_score(self, y: np.ndarray) -> float:
+        """Base prediction before the first tree."""
+        return float(np.mean(y))
+
+    def predict_transform(self, score: np.ndarray) -> np.ndarray:
+        """Map raw scores to the output scale (identity by default)."""
+        return score
+
+    # -- SQL face -----------------------------------------------------------
+    def gradient_sql(self, y: str, pred: str) -> str:
+        raise NotImplementedError
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Loss {self.name}>"
+
+
+class L2Loss(Loss):
+    """rmse — the only loss whose lift is add-to-mul preserving."""
+
+    name = "l2"
+    supports_galaxy = True
+
+    def loss(self, y, pred):
+        return 0.5 * (y - pred) ** 2
+
+    def gradient(self, y, pred):
+        return pred - y
+
+    def hessian(self, y, pred):
+        return np.ones_like(y, dtype=np.float64)
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        return f"({pred} - {y})"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        return "1"
+
+
+class L1Loss(Loss):
+    name = "l1"
+
+    def loss(self, y, pred):
+        return np.abs(y - pred)
+
+    def gradient(self, y, pred):
+        return np.sign(pred - y)
+
+    def hessian(self, y, pred):
+        return np.ones_like(y, dtype=np.float64)
+
+    def init_score(self, y):
+        return float(np.median(y))
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        return f"SIGN({pred} - {y})"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        return "1"
+
+
+class HuberLoss(Loss):
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise SemiRingError("huber delta must be positive")
+        self.delta = float(delta)
+
+    def loss(self, y, pred):
+        err = np.abs(y - pred)
+        return np.where(
+            err <= self.delta, 0.5 * err**2, self.delta * (err - 0.5 * self.delta)
+        )
+
+    def gradient(self, y, pred):
+        err = pred - y
+        return np.clip(err, -self.delta, self.delta)
+
+    def hessian(self, y, pred):
+        return np.ones_like(y, dtype=np.float64)
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        d = repr(self.delta)
+        return f"LEAST(GREATEST(({pred} - {y}), -{d}), {d})"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        return "1"
+
+
+class FairLoss(Loss):
+    name = "fair"
+
+    def __init__(self, c: float = 1.0):
+        if c <= 0:
+            raise SemiRingError("fair c must be positive")
+        self.c = float(c)
+
+    def loss(self, y, pred):
+        err = np.abs(y - pred)
+        return self.c * err - self.c**2 * np.log(err / self.c + 1.0)
+
+    def gradient(self, y, pred):
+        err = pred - y
+        return self.c * err / (np.abs(err) + self.c)
+
+    def hessian(self, y, pred):
+        err = pred - y
+        return self.c**2 / (np.abs(err) + self.c) ** 2
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        c = repr(self.c)
+        return f"({c} * ({pred} - {y}) / (ABS({pred} - {y}) + {c}))"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        c = repr(self.c)
+        return f"({c} * {c} / (POWER(ABS({pred} - {y}) + {c}, 2)))"
+
+
+class PoissonLoss(Loss):
+    """Log-link Poisson regression: the raw score is log-rate."""
+
+    name = "poisson"
+
+    def loss(self, y, pred):
+        return np.exp(pred) - y * pred
+
+    def gradient(self, y, pred):
+        return np.exp(pred) - y
+
+    def hessian(self, y, pred):
+        return np.exp(pred)
+
+    def init_score(self, y):
+        return float(np.log(max(np.mean(y), 1e-9)))
+
+    def predict_transform(self, score):
+        return np.exp(score)
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        return f"(EXP({pred}) - {y})"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        return f"EXP({pred})"
+
+
+class QuantileLoss(Loss):
+    name = "quantile"
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0 < alpha < 1:
+            raise SemiRingError("quantile alpha must be in (0, 1)")
+        self.alpha = float(alpha)
+
+    def loss(self, y, pred):
+        err = y - pred
+        return np.where(err >= 0, self.alpha * err, (self.alpha - 1.0) * err)
+
+    def gradient(self, y, pred):
+        err = y - pred
+        return np.where(err >= 0, -self.alpha, 1.0 - self.alpha)
+
+    def hessian(self, y, pred):
+        return np.ones_like(y, dtype=np.float64)
+
+    def init_score(self, y):
+        return float(np.quantile(y, self.alpha))
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        a = repr(self.alpha)
+        return f"(CASE WHEN ({y} - {pred}) >= 0 THEN -{a} ELSE 1 - {a} END)"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        return "1"
+
+
+class MAPELoss(Loss):
+    name = "mape"
+
+    def loss(self, y, pred):
+        return np.abs(y - pred) / np.maximum(1.0, np.abs(y))
+
+    def gradient(self, y, pred):
+        return np.sign(pred - y) / np.maximum(1.0, np.abs(y))
+
+    def hessian(self, y, pred):
+        return np.ones_like(y, dtype=np.float64)
+
+    def init_score(self, y):
+        return float(np.median(y))
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        return f"(SIGN({pred} - {y}) / GREATEST(1, ABS({y})))"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        return "1"
+
+
+class GammaLoss(Loss):
+    """Log-link gamma regression."""
+
+    name = "gamma"
+
+    def loss(self, y, pred):
+        return y * np.exp(-pred) + pred
+
+    def gradient(self, y, pred):
+        return 1.0 - y * np.exp(-pred)
+
+    def hessian(self, y, pred):
+        return y * np.exp(-pred)
+
+    def init_score(self, y):
+        return float(np.log(max(np.mean(y), 1e-9)))
+
+    def predict_transform(self, score):
+        return np.exp(score)
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        return f"(1 - {y} * EXP(-({pred})))"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        return f"({y} * EXP(-({pred})))"
+
+
+class TweedieLoss(Loss):
+    name = "tweedie"
+
+    def __init__(self, rho: float = 1.5):
+        if not 1.0 < rho < 2.0:
+            raise SemiRingError("tweedie rho must be in (1, 2)")
+        self.rho = float(rho)
+
+    def loss(self, y, pred):
+        one, two = 1.0 - self.rho, 2.0 - self.rho
+        return -y * np.exp(one * pred) / one + np.exp(two * pred) / two
+
+    def gradient(self, y, pred):
+        one, two = 1.0 - self.rho, 2.0 - self.rho
+        return -y * np.exp(one * pred) + np.exp(two * pred)
+
+    def hessian(self, y, pred):
+        one, two = 1.0 - self.rho, 2.0 - self.rho
+        return -one * y * np.exp(one * pred) + two * np.exp(two * pred)
+
+    def init_score(self, y):
+        return float(np.log(max(np.mean(y), 1e-9)))
+
+    def predict_transform(self, score):
+        return np.exp(score)
+
+    def gradient_sql(self, y: str, pred: str) -> str:
+        one, two = repr(1.0 - self.rho), repr(2.0 - self.rho)
+        return f"(-{y} * EXP({one} * {pred}) + EXP({two} * {pred}))"
+
+    def hessian_sql(self, y: str, pred: str) -> str:
+        one, two = repr(1.0 - self.rho), repr(2.0 - self.rho)
+        return (
+            f"(-({one}) * {y} * EXP({one} * {pred})"
+            f" + ({two}) * EXP({two} * {pred}))"
+        )
+
+
+class SoftmaxLoss(Loss):
+    """Multiclass cross-entropy; per-class g/h from softmax probabilities.
+
+    The per-class statistics need all class scores (for the softmax
+    denominator), so the SQL face takes the probability column directly —
+    the trainer materializes per-class probability columns first.
+    """
+
+    name = "softmax"
+
+    def __init__(self, num_classes: int = 2):
+        if num_classes < 2:
+            raise SemiRingError("softmax needs >= 2 classes")
+        self.num_classes = num_classes
+
+    @staticmethod
+    def softmax(scores: np.ndarray) -> np.ndarray:
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def loss(self, y, scores):
+        probs = self.softmax(np.atleast_2d(scores))
+        rows = np.arange(len(y))
+        return -np.log(np.clip(probs[rows, y.astype(int)], 1e-12, None))
+
+    def gradient_class(self, y: np.ndarray, probs: np.ndarray, k: int) -> np.ndarray:
+        return probs[:, k] - (y.astype(int) == k).astype(np.float64)
+
+    def hessian_class(self, y: np.ndarray, probs: np.ndarray, k: int) -> np.ndarray:
+        factor = self.num_classes / (self.num_classes - 1.0)
+        return factor * probs[:, k] * (1.0 - probs[:, k])
+
+    def gradient_sql_class(self, y: str, prob: str, k: int) -> str:
+        return f"({prob} - (CASE WHEN {y} = {k} THEN 1 ELSE 0 END))"
+
+    def hessian_sql_class(self, prob: str) -> str:
+        factor = repr(self.num_classes / (self.num_classes - 1.0))
+        return f"({factor} * {prob} * (1 - {prob}))"
+
+    def gradient(self, y, pred):  # pragma: no cover - interface completeness
+        raise SemiRingError("softmax gradients are per-class; use gradient_class")
+
+    def hessian(self, y, pred):  # pragma: no cover - interface completeness
+        raise SemiRingError("softmax hessians are per-class; use hessian_class")
+
+
+LOSSES: Dict[str, Callable[..., Loss]] = {
+    "l2": L2Loss,
+    "rmse": L2Loss,
+    "regression": L2Loss,
+    "mse": L2Loss,
+    "l1": L1Loss,
+    "mae": L1Loss,
+    "huber": HuberLoss,
+    "fair": FairLoss,
+    "poisson": PoissonLoss,
+    "quantile": QuantileLoss,
+    "mape": MAPELoss,
+    "gamma": GammaLoss,
+    "tweedie": TweedieLoss,
+    "softmax": SoftmaxLoss,
+    "multiclass": SoftmaxLoss,
+}
+
+
+def get_loss(name: str, **kwargs) -> Loss:
+    """Instantiate a loss by any of its registered aliases."""
+    try:
+        factory = LOSSES[name.lower()]
+    except KeyError:
+        raise SemiRingError(
+            f"unknown objective {name!r}; known: {sorted(LOSSES)}"
+        ) from None
+    return factory(**kwargs)

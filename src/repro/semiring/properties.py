@@ -1,0 +1,142 @@
+"""Algebraic property checks (Definition 1 and the semi-ring axioms).
+
+These are used by the hypothesis test-suite, and they also document the
+paper's central algebraic argument:
+
+* the **variance** lift is addition-to-multiplication preserving, so rmse
+  residual updates factorize (Proposition 4.1);
+* the **sign/mae** "semi-ring" is *not* — Σsign(y - p) cannot be derived
+  from (Σ1, Σsign(y)) — which is exactly why JoinBoost restricts galaxy
+  schemas to rmse.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro.semiring.base import Element, SemiRing
+
+
+def _close(a: Element, b: Element, tol: float = 1e-7) -> bool:
+    return len(a) == len(b) and all(
+        math.isclose(x, y, rel_tol=tol, abs_tol=tol) for x, y in zip(a, b)
+    )
+
+
+def check_semiring_axioms(
+    ring: SemiRing, elements: Iterable[Element], tol: float = 1e-7
+) -> List[str]:
+    """Check commutative semi-ring axioms over sample elements.
+
+    Returns a list of human-readable violations (empty = all axioms hold
+    on the sample).
+    """
+    elements = list(elements)
+    zero, one = ring.zero(), ring.one()
+    violations: List[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            violations.append(message)
+
+    for a in elements:
+        check(_close(ring.add(a, zero), a, tol), f"a ⊕ 0 != a for {a}")
+        check(_close(ring.multiply(a, one), a, tol), f"a ⊗ 1 != a for {a}")
+        check(_close(ring.multiply(a, zero), zero, tol), f"a ⊗ 0 != 0 for {a}")
+        for b in elements:
+            check(
+                _close(ring.add(a, b), ring.add(b, a), tol),
+                f"⊕ not commutative for {a}, {b}",
+            )
+            check(
+                _close(ring.multiply(a, b), ring.multiply(b, a), tol),
+                f"⊗ not commutative for {a}, {b}",
+            )
+            for c in elements:
+                check(
+                    _close(
+                        ring.add(ring.add(a, b), c),
+                        ring.add(a, ring.add(b, c)),
+                        tol,
+                    ),
+                    f"⊕ not associative for {a}, {b}, {c}",
+                )
+                check(
+                    _close(
+                        ring.multiply(ring.multiply(a, b), c),
+                        ring.multiply(a, ring.multiply(b, c)),
+                        tol,
+                    ),
+                    f"⊗ not associative for {a}, {b}, {c}",
+                )
+                check(
+                    _close(
+                        ring.multiply(a, ring.add(b, c)),
+                        ring.add(ring.multiply(a, b), ring.multiply(a, c)),
+                        tol,
+                    ),
+                    f"⊗ does not distribute over ⊕ for {a}, {b}, {c}",
+                )
+    return violations
+
+
+def is_addition_to_multiplication_preserving(
+    ring: SemiRing, values: Iterable[float], tol: float = 1e-7
+) -> bool:
+    """Definition 1: lift(d1 + d2) == lift(d1) ⊗ lift(d2) on the samples."""
+    values = list(values)
+    for d1 in values:
+        for d2 in values:
+            lifted_sum = ring.lift(d1 + d2)
+            product = ring.multiply(ring.lift(d1), ring.lift(d2))
+            if not _close(lifted_sum, product, tol):
+                return False
+    return True
+
+
+class SignSemiRing(SemiRing):
+    """The naive (count, Σsign) structure for mae — the paper's
+    counterexample.
+
+    Its lift ``y ↦ (1, sign(y))`` is *not* addition-to-multiplication
+    preserving: ``sign(a + b)`` is not a function of ``sign(a), sign(b)``
+    (e.g. a=3, b=-1 vs a=1, b=-3).  The property checker above returns
+    ``False`` for it, which the tests assert — reproducing why JoinBoost
+    cannot factorize mae residual updates.
+    """
+
+    name = "sign"
+    components = ("c", "sgn")
+
+    def zero(self) -> Element:
+        return (0.0, 0.0)
+
+    def one(self) -> Element:
+        return (1.0, 0.0)
+
+    def multiply(self, a: Element, b: Element) -> Element:
+        # Mirror the variance-style rule; no rule can make lift preserving.
+        c1, s1 = a
+        c2, s2 = b
+        return (c1 * c2, s1 * c2 + s2 * c1)
+
+    def lift(self, value) -> Element:
+        v = float(value)
+        return (1.0, (v > 0) - (v < 0))
+
+
+def residual_update_matches_relift(
+    ring: SemiRing, ys: Iterable[float], pred: float, tol: float = 1e-7
+) -> bool:
+    """Proposition 4.1 on concrete data: updating the *aggregate* by
+    ⊗ lift(-p) equals re-lifting the residuals y - p and re-aggregating."""
+    ys = list(ys)
+    aggregate = ring.zero()
+    for y in ys:
+        aggregate = ring.add(aggregate, ring.lift(y))
+    updated = ring.multiply(aggregate, ring.lift(-pred))
+    relifted = ring.zero()
+    for y in ys:
+        relifted = ring.add(relifted, ring.lift(y - pred))
+    return _close(updated, relifted, tol)

@@ -1,0 +1,15 @@
+"""SQL substrate: tokenizer, AST, parser, expression compiler, functions.
+
+JoinBoost's portability claim (criterion C1) rests on emitting a small,
+vendor-neutral SQL subset: non-nested SPJA queries with simple algebra
+expressions, window functions for prefix sums, ``CASE`` projections, ``IN``
+semi-join predicates, ``CREATE TABLE AS`` and ``UPDATE``.  This package
+implements exactly that subset so the library's generated SQL strings are
+parsed and executed the same way a DBMS would.
+"""
+
+from repro.sql.tokenizer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_expression
+from repro.sql import ast_nodes as ast
+
+__all__ = ["Token", "TokenType", "tokenize", "parse", "parse_expression", "ast"]

@@ -1,0 +1,354 @@
+"""AST node definitions for the JoinBoost SQL subset.
+
+Every node is a frozen-ish dataclass with a ``sql()`` pretty-printer; the
+parser and the pretty-printer round-trip (property-tested), which keeps the
+generated SQL debuggable and portable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expr:
+    """Base class for expression nodes."""
+
+    def sql(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.sql()
+
+
+@dataclasses.dataclass
+class Literal(Expr):
+    value: Union[int, float, str, bool, None]
+
+    def sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclasses.dataclass
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    @property
+    def qualified(self) -> str:
+        return self.sql().lower()
+
+
+@dataclasses.dataclass
+class Star(Expr):
+    table: Optional[str] = None
+
+    def sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclasses.dataclass
+class UnaryOp(Expr):
+    op: str  # '-', '+', 'NOT'
+    operand: Expr
+
+    def sql(self) -> str:
+        if self.op == "NOT":
+            return f"NOT ({self.operand.sql()})"
+        return f"{self.op}({self.operand.sql()})"
+
+
+@dataclasses.dataclass
+class BinaryOp(Expr):
+    op: str  # arithmetic, comparison, AND/OR
+    left: Expr
+    right: Expr
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclasses.dataclass
+class FuncCall(Expr):
+    name: str
+    args: List[Expr]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+    def sql(self) -> str:
+        if self.star:
+            inner = "*"
+        else:
+            inner = ", ".join(a.sql() for a in self.args)
+            if self.distinct:
+                inner = f"DISTINCT {inner}"
+        return f"{self.name.upper()}({inner})"
+
+
+@dataclasses.dataclass
+class WindowSpec:
+    partition_by: List[Expr] = dataclasses.field(default_factory=list)
+    order_by: List["OrderItem"] = dataclasses.field(default_factory=list)
+
+    def sql(self) -> str:
+        parts = []
+        if self.partition_by:
+            parts.append("PARTITION BY " + ", ".join(e.sql() for e in self.partition_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.sql() for o in self.order_by))
+        return "OVER (" + " ".join(parts) + ")"
+
+
+@dataclasses.dataclass
+class WindowCall(Expr):
+    func: FuncCall
+    window: WindowSpec
+
+    def sql(self) -> str:
+        return f"{self.func.sql()} {self.window.sql()}"
+
+
+@dataclasses.dataclass
+class CaseExpr(Expr):
+    whens: List[Tuple[Expr, Expr]]
+    default: Optional[Expr] = None
+
+    def sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.sql()} THEN {result.sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclasses.dataclass
+class InList(Expr):
+    operand: Expr
+    items: List[Expr]
+    negated: bool = False
+
+    def sql(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(i.sql() for i in self.items)
+        return f"({self.operand.sql()} {op} ({inner}))"
+
+
+@dataclasses.dataclass
+class InSubquery(Expr):
+    operand: Expr
+    query: "Select"
+    negated: bool = False
+
+    def sql(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {op} ({self.query.sql()}))"
+
+
+@dataclasses.dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.sql()} {op})"
+
+
+@dataclasses.dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def sql(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.sql()} {op} {self.low.sql()} AND {self.high.sql()})"
+
+
+@dataclasses.dataclass
+class Cast(Expr):
+    operand: Expr
+    target: str  # 'INT' | 'FLOAT' | 'STR'
+
+    def sql(self) -> str:
+        return f"CAST({self.operand.sql()} AS {self.target})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def sql(self) -> str:
+        if self.alias:
+            return f"{self.expr.sql()} AS {self.alias}"
+        return self.expr.sql()
+
+    def output_name(self, index: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return f"col{index}"
+
+
+@dataclasses.dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def sql(self) -> str:
+        return f"{self.expr.sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclasses.dataclass
+class TableRef:
+    """A named table or a derived table (subquery) with an optional alias."""
+
+    name: Optional[str] = None
+    subquery: Optional["Select"] = None
+    alias: Optional[str] = None
+
+    def sql(self) -> str:
+        base = f"({self.subquery.sql()})" if self.subquery is not None else str(self.name)
+        return f"{base} AS {self.alias}" if self.alias else base
+
+    @property
+    def binding(self) -> Optional[str]:
+        return self.alias or self.name
+
+
+@dataclasses.dataclass
+class Join:
+    table: TableRef
+    kind: str = "INNER"  # INNER | LEFT | RIGHT | FULL | CROSS
+    condition: Optional[Expr] = None
+    using: Optional[List[str]] = None
+
+    def sql(self) -> str:
+        head = f"{self.kind} JOIN {self.table.sql()}"
+        if self.using:
+            return f"{head} USING ({', '.join(self.using)})"
+        if self.condition is not None:
+            return f"{head} ON {self.condition.sql()}"
+        return head
+
+
+@dataclasses.dataclass
+class Select:
+    items: List[SelectItem]
+    source: Optional[TableRef] = None
+    joins: List[Join] = dataclasses.field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = dataclasses.field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = dataclasses.field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(i.sql() for i in self.items))
+        if self.source is not None:
+            parts.append("FROM " + self.source.sql())
+        for join in self.joins:
+            parts.append(join.sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclasses.dataclass
+class CreateTableAs:
+    name: str
+    query: Select
+    replace: bool = False
+
+    def sql(self) -> str:
+        head = "CREATE OR REPLACE TABLE" if self.replace else "CREATE TABLE"
+        return f"{head} {self.name} AS {self.query.sql()}"
+
+
+@dataclasses.dataclass
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+    def sql(self) -> str:
+        mid = "IF EXISTS " if self.if_exists else ""
+        return f"DROP TABLE {mid}{self.name}"
+
+
+@dataclasses.dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+    def sql(self) -> str:
+        sets = ", ".join(f"{c} = {e.sql()}" for c, e in self.assignments)
+        tail = f" WHERE {self.where.sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{tail}"
+
+
+Statement = Union[Select, CreateTableAs, DropTable, Update]
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all nested sub-expressions (pre-order)."""
+    yield expr
+    children: Sequence[Expr] = ()
+    if isinstance(expr, UnaryOp):
+        children = (expr.operand,)
+    elif isinstance(expr, BinaryOp):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, FuncCall):
+        children = tuple(expr.args)
+    elif isinstance(expr, WindowCall):
+        children = tuple(expr.func.args) + tuple(expr.window.partition_by) + tuple(
+            o.expr for o in expr.window.order_by
+        )
+    elif isinstance(expr, CaseExpr):
+        pairs = [e for pair in expr.whens for e in pair]
+        if expr.default is not None:
+            pairs.append(expr.default)
+        children = tuple(pairs)
+    elif isinstance(expr, (InList,)):
+        children = (expr.operand, *expr.items)
+    elif isinstance(expr, InSubquery):
+        children = (expr.operand,)
+    elif isinstance(expr, (IsNull, Cast)):
+        children = (expr.operand,)
+    elif isinstance(expr, Between):
+        children = (expr.operand, expr.low, expr.high)
+    for child in children:
+        yield from walk(child)

@@ -1,0 +1,152 @@
+"""SQL lexer.
+
+Produces a flat list of :class:`Token` objects.  Keywords are recognized
+case-insensitively and normalized to upper case; identifiers keep their
+original spelling (the engine lower-cases at resolution time).  Double-quoted
+identifiers and single-quoted string literals are supported, as are ``--``
+line comments and ``/* */`` block comments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List
+
+from repro.exceptions import TokenizeError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING", "LIMIT",
+    "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON", "USING",
+    "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "BETWEEN", "LIKE",
+    "CASE", "WHEN", "THEN", "ELSE", "END",
+    "CREATE", "TABLE", "DROP", "IF", "EXISTS", "REPLACE", "OR",
+    "UPDATE", "SET", "INSERT", "INTO", "VALUES", "DELETE",
+    "DISTINCT", "ALL", "ASC", "DESC", "OVER", "PARTITION",
+    "UNION", "TRUE", "FALSE", "CAST", "ROWS", "UNBOUNDED", "PRECEDING",
+    "CURRENT", "ROW", "NULLS", "FIRST", "LAST",
+}
+
+_OPERATORS = ["<>", "!=", "<=", ">=", "||", "==", "=", "<", ">", "+", "-", "*", "/", "%"]
+_PUNCT = set("(),.;")
+
+
+@dataclasses.dataclass
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        if self.type is not ttype:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`TokenizeError` on bad input."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise TokenizeError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks: List[str] = []
+            while True:
+                if j >= n:
+                    raise TokenizeError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped ''
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise TokenizeError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,46 @@
+"""Storage substrate: columns, codecs, tables, WAL, MVCC and the catalog.
+
+This package plays the role DuckDB / DBMS-X play in the paper.  The pieces
+the paper's Section 5.3.2 identifies as residual-update bottlenecks —
+write-ahead logging, multi-version concurrency control, and columnar
+compression — are implemented as real mechanisms (file appends, version
+copies, encode/decode work) so that enabling or bypassing them changes
+measured cost for mechanical reasons, exactly as in the paper.
+"""
+
+from repro.storage.column import Column, ColumnType
+from repro.storage.compression import (
+    Codec,
+    DictionaryCodec,
+    PlainCodec,
+    RLECodec,
+    codec_for,
+)
+from repro.storage.table import (
+    ColumnTable,
+    ExternalColumnStore,
+    RowTable,
+    StorageConfig,
+    Table,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.wal import WriteAheadLog
+from repro.storage.mvcc import VersionStore
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Codec",
+    "PlainCodec",
+    "RLECodec",
+    "DictionaryCodec",
+    "codec_for",
+    "Table",
+    "ColumnTable",
+    "RowTable",
+    "ExternalColumnStore",
+    "StorageConfig",
+    "Catalog",
+    "WriteAheadLog",
+    "VersionStore",
+]

@@ -1,0 +1,177 @@
+"""Typed, NumPy-backed column vectors with null support.
+
+A :class:`Column` is the unit of storage for :class:`~repro.storage.table.
+ColumnTable`.  It wraps a NumPy array plus an optional validity mask, and
+knows how to cast incoming Python/NumPy data to one of three logical types:
+
+* ``INT``    — 64-bit integers (dictionary-encoded strings land here too)
+* ``FLOAT``  — 64-bit floats
+* ``STR``    — NumPy object arrays of Python strings
+
+Nulls are represented with a boolean validity mask (``True`` = present) so
+integer columns can hold nulls without sentinel values.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import StorageError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STR = "STR"
+
+    @staticmethod
+    def infer(values: np.ndarray) -> "ColumnType":
+        """Infer the logical type of a NumPy array."""
+        kind = values.dtype.kind
+        if kind in ("i", "u", "b"):
+            return ColumnType.INT
+        if kind == "f":
+            return ColumnType.FLOAT
+        if kind in ("U", "S", "O"):
+            return ColumnType.STR
+        raise StorageError(f"unsupported dtype {values.dtype!r}")
+
+
+_NUMPY_DTYPE = {
+    ColumnType.INT: np.int64,
+    ColumnType.FLOAT: np.float64,
+    ColumnType.STR: object,
+}
+
+
+class Column:
+    """A single typed vector of values with an optional validity mask."""
+
+    __slots__ = ("name", "ctype", "values", "valid")
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable,
+        ctype: Optional[ColumnType] = None,
+        valid: Optional[np.ndarray] = None,
+    ):
+        array = np.asarray(values)
+        if array.ndim == 0:
+            array = array.reshape(1)
+        if array.ndim != 1:
+            raise StorageError(f"column {name!r} must be one-dimensional")
+        if ctype is None:
+            ctype = ColumnType.infer(array)
+        target = _NUMPY_DTYPE[ctype]
+        if ctype is ColumnType.FLOAT:
+            array = array.astype(np.float64, copy=False)
+            if valid is None:
+                nan_mask = np.isnan(array)
+                valid = ~nan_mask if nan_mask.any() else None
+        elif ctype is ColumnType.INT:
+            if array.dtype.kind == "f":
+                # Floats assigned to an INT column keep NaN as nulls.
+                nan_mask = np.isnan(array)
+                if nan_mask.any():
+                    filled = np.where(nan_mask, 0.0, array)
+                    array = filled.astype(np.int64)
+                    if valid is None:
+                        valid = ~nan_mask
+                else:
+                    array = array.astype(np.int64)
+            else:
+                array = array.astype(np.int64, copy=False)
+        else:
+            array = array.astype(object, copy=False)
+        self.name = name
+        self.ctype = ctype
+        self.values = array
+        self.valid = valid
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype.value}, n={len(self)})"
+
+    # ------------------------------------------------------------------
+    # Derivation helpers — all return new Column objects (copy-on-write).
+    # ------------------------------------------------------------------
+    def take(self, indexes: np.ndarray) -> "Column":
+        """Gather rows by position; positions of -1 become null (outer join)."""
+        if len(self.values) == 0 and len(indexes):
+            # Outer join against an empty side: every position is a pad.
+            if self.ctype is ColumnType.STR:
+                values = np.full(len(indexes), None, dtype=object)
+            elif self.ctype is ColumnType.FLOAT:
+                values = np.full(len(indexes), np.nan)
+            else:
+                values = np.zeros(len(indexes), dtype=np.int64)
+            return Column(
+                self.name, values, self.ctype,
+                np.zeros(len(indexes), dtype=bool),
+            )
+        if len(indexes) and indexes.min() < 0:
+            missing = indexes < 0
+            safe = np.where(missing, 0, indexes)
+            values = self.values[safe]
+            valid = np.ones(len(indexes), dtype=bool)
+            if self.valid is not None:
+                valid &= self.valid[safe]
+            valid &= ~missing
+            if self.ctype is ColumnType.FLOAT:
+                values = values.copy()
+                values[missing] = np.nan
+            return Column(self.name, values, self.ctype, valid)
+        values = self.values[indexes]
+        valid = self.valid[indexes] if self.valid is not None else None
+        return Column(self.name, values, self.ctype, valid)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Keep rows where ``mask`` is True."""
+        valid = self.valid[mask] if self.valid is not None else None
+        return Column(self.name, self.values[mask], self.ctype, valid)
+
+    def rename(self, name: str) -> "Column":
+        """Return the same data under a different name (no copy)."""
+        clone = Column.__new__(Column)
+        clone.name = name
+        clone.ctype = self.ctype
+        clone.values = self.values
+        clone.valid = self.valid
+        return clone
+
+    def copy(self) -> "Column":
+        valid = self.valid.copy() if self.valid is not None else None
+        return Column(self.name, self.values.copy(), self.ctype, valid)
+
+    def is_null(self) -> np.ndarray:
+        """Boolean mask of null positions."""
+        if self.valid is None:
+            return np.zeros(len(self.values), dtype=bool)
+        return ~self.valid
+
+    def as_float(self) -> np.ndarray:
+        """Values as float64 with nulls as NaN (for numeric expressions)."""
+        if self.ctype is ColumnType.STR:
+            raise StorageError(f"column {self.name!r} is not numeric")
+        out = self.values.astype(np.float64, copy=self.ctype is ColumnType.INT)
+        if self.valid is not None:
+            out = out.copy() if out is self.values else out
+            out[~self.valid] = np.nan
+        return out
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size in bytes."""
+        if self.ctype is ColumnType.STR:
+            return int(sum(len(str(v)) for v in self.values)) + 8 * len(self)
+        size = int(self.values.nbytes)
+        if self.valid is not None:
+            size += int(self.valid.nbytes)
+        return size

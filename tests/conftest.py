@@ -1,0 +1,63 @@
+"""Shared fixtures: small databases and join graphs."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.datasets import favorita, imdb, star_schema
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def paper_example_db():
+    """The paper's Figure 1 relations R, S, T (target B on R)."""
+    database = Database()
+    database.create_table("r", {"a": [1, 1, 2, 2], "b": [2.0, 3.0, 1.0, 2.0]})
+    database.create_table("s", {"a": [1, 2, 2], "cc": [2, 1, 3]})
+    database.create_table("t", {"a": [1, 1, 2], "d": [1, 2, 2]})
+    return database
+
+
+@pytest.fixture
+def paper_example_graph(paper_example_db):
+    from repro.joingraph.graph import JoinGraph
+
+    graph = JoinGraph(paper_example_db)
+    graph.add_relation("r", y="b")
+    graph.add_relation("s", features=["cc"])
+    graph.add_relation("t", features=["d"])
+    graph.add_edge("r", "s", ["a"])
+    graph.add_edge("s", "t", ["a"])
+    return graph
+
+
+@pytest.fixture
+def small_star():
+    """A 3-dimension star schema with 2000 fact rows."""
+    return star_schema(num_fact_rows=2000, num_dims=3, seed=1)
+
+
+@pytest.fixture
+def tiny_star():
+    return star_schema(num_fact_rows=300, num_dims=2, dim_size=10, seed=4)
+
+
+@pytest.fixture
+def small_favorita():
+    return favorita(num_fact_rows=5_000, num_extra_features=2, seed=5)
+
+
+@pytest.fixture
+def small_imdb():
+    return imdb(rows_per_fact=1_500, num_movies=80, num_persons=120, seed=6)
+
+
+def materialized_frame(db, graph):
+    """Feature matrix + y of the materialized join (test helper)."""
+    from repro.baselines.export import load_feature_matrix
+
+    return load_feature_matrix(db, graph)

@@ -1,0 +1,155 @@
+"""Public API surface (Figure 4 / Example 6) and dataset generators."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets import favorita, imdb, star_schema, tpcds, tpch
+from repro.datasets.synthetic import residual_update_microbenchmark
+from repro.exceptions import TrainingError
+from repro.storage.table import StorageConfig
+
+
+class TestPaperAPI:
+    def test_example_6_flow(self):
+        """The paper's Example 6, nearly verbatim."""
+        rng = np.random.default_rng(0)
+        n = 500
+        conn = repro.connect(
+            sales={
+                "date_id": rng.integers(0, 30, n),
+                "net_profit": rng.normal(size=n),
+            },
+            date={
+                "date_id": np.arange(30),
+                "holiday": rng.integers(0, 2, 30),
+                "weekend": rng.integers(0, 2, 30),
+            },
+        )
+        train_set = repro.join_graph(conn)
+        train_set.add_node("sales", Y=["net_profit"])
+        train_set.add_node("date", X=["holiday", "weekend"])
+        train_set.add_edge("sales", "date", ["date_id"])
+        model = repro.train(
+            {"objective": "regression", "num_iterations": 3, "num_leaves": 4},
+            train_set,
+        )
+        scores = repro.predict(model, train_set)
+        assert len(scores) == n
+        assert np.isfinite(repro.evaluate_rmse(model, train_set))
+
+    def test_rf_via_boosting_type(self, tiny_star):
+        db, graph = tiny_star
+        train_set = repro.join_graph(db)
+        train_set.graph = graph
+        model = repro.train(
+            {"boosting_type": "rf", "num_iterations": 3, "num_leaves": 4,
+             "subsample": 0.8},
+            train_set,
+        )
+        assert len(model.trees) == 3
+
+    def test_single_tree_mode(self, tiny_star):
+        db, graph = tiny_star
+        train_set = repro.join_graph(db)
+        train_set.graph = graph
+        model = repro.train({"model": "tree", "num_leaves": 4}, train_set)
+        assert model.num_leaves <= 4
+
+    def test_train_requires_set(self):
+        with pytest.raises(TrainingError):
+            repro.train({}, None)
+
+    def test_multiple_targets_rejected(self, db):
+        db.create_table("t", {"a": [1], "b": [2.0]})
+        train_set = repro.join_graph(db)
+        with pytest.raises(TrainingError):
+            train_set.add_node("t", Y=["a", "b"])
+
+    def test_unknown_param_rejected(self, tiny_star):
+        db, graph = tiny_star
+        train_set = repro.join_graph(db)
+        train_set.graph = graph
+        with pytest.raises(TrainingError):
+            repro.train({"learning_rat": 0.1}, train_set)
+
+    def test_training_never_modifies_user_data(self, tiny_star):
+        """The paper's safety contract (Section 5.1)."""
+        db, graph = tiny_star
+        before = {
+            name: {
+                col: db.table(name).column(col).values.copy()
+                for col in db.table(name).column_names()
+            }
+            for name in ("fact", "dim0", "dim1")
+        }
+        repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 3, "num_leaves": 4}
+        )
+        for name, columns in before.items():
+            for col, values in columns.items():
+                assert np.array_equal(db.table(name).column(col).values, values)
+
+
+class TestDatasets:
+    def test_favorita_shape(self):
+        db, graph = favorita(num_fact_rows=1000, num_extra_features=3)
+        assert db.table("sales").num_rows() == 1000
+        assert len(graph.all_features()) == 5 + 3
+        graph.validate()
+        from repro.core.boosting import is_snowflake
+
+        assert is_snowflake(graph, "sales")
+
+    def test_favorita_feature_count_configurable(self):
+        db, graph = favorita(num_fact_rows=200, num_extra_features=20)
+        assert len(graph.all_features()) == 25
+
+    def test_tpcds_scales_with_sf(self):
+        db1, g1 = tpcds(sf=0.5, rows_per_sf=1000)
+        db2, g2 = tpcds(sf=2.0, rows_per_sf=1000)
+        assert db2.table("store_sales").num_rows() == 4 * db1.table(
+            "store_sales"
+        ).num_rows()
+
+    def test_tpcds_num_features(self):
+        db, graph = tpcds(sf=0.1, rows_per_sf=1000, num_features=24)
+        assert len(graph.all_features()) == 24
+
+    def test_tpch_orders_is_large_dimension(self):
+        db, graph = tpch(sf=0.5, rows_per_sf=2000)
+        assert db.table("orders").num_rows() == db.table("lineitem").num_rows() // 4
+
+    def test_imdb_is_galaxy(self):
+        db, graph = imdb(rows_per_fact=500)
+        from repro.core.boosting import is_snowflake
+
+        assert not is_snowflake(graph, "cast_info")
+        assert set(graph.detect_fact_tables()) == {
+            "cast_info", "movie_comp", "movie_info", "movie_key", "person_info"
+        }
+
+    def test_star_with_nulls(self):
+        db, graph = star_schema(num_fact_rows=200, with_nulls=True, seed=1)
+        feats = db.table("dim0").column("dfeat0")
+        assert feats.is_null().any() or np.isnan(feats.values).any()
+
+    def test_residual_microbenchmark(self):
+        workload = residual_update_microbenchmark(
+            num_rows=1000, num_extra_columns=2,
+            config=StorageConfig.preset("d-swap"),
+        )
+        assert workload.db.table("f").num_rows() == 1000
+        assert len(workload.leaf_ranges) == 8
+        assert workload.db.table("f").column_names() == ["s", "d", "c1", "c2"]
+
+    def test_training_works_on_every_generator(self):
+        for db, graph in (
+            favorita(num_fact_rows=800, num_extra_features=0),
+            tpcds(sf=0.05, rows_per_sf=10_000),
+            tpch(sf=0.02, rows_per_sf=50_000),
+        ):
+            model = repro.train_gradient_boosting(
+                db, graph, {"num_iterations": 2, "num_leaves": 4},
+            )
+            assert len(model.trees) == 2

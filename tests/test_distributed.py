@@ -1,0 +1,98 @@
+"""Distributed simulation: partitioning and multi-node training."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.predict import feature_frame
+from repro.datasets import star_schema
+from repro.distributed import (
+    ClusterConfig,
+    SimulatedCluster,
+    hash_partition_table,
+    partition_database,
+)
+
+
+class TestPartitioning:
+    def test_partitions_cover_all_rows(self, small_star):
+        db, graph = small_star
+        parts = hash_partition_table(db, "fact", "k0", 4)
+        total = sum(len(p["k0"]) for p in parts)
+        assert total == db.table("fact").num_rows()
+
+    def test_partitioning_is_by_key(self, small_star):
+        db, graph = small_star
+        parts = hash_partition_table(db, "fact", "k0", 3)
+        seen = {}
+        for p, part in enumerate(parts):
+            for key in np.unique(part["k0"]):
+                assert seen.setdefault(int(key), p) == p
+
+    def test_dimensions_replicated(self, small_star):
+        db, graph = small_star
+        workers, worker_graphs = partition_database(db, graph, 2, "k0")
+        for worker in workers:
+            assert worker.table("dim0").num_rows() == db.table("dim0").num_rows()
+
+
+class TestSimulatedCluster:
+    def test_distributed_equals_single_node(self):
+        db, graph = star_schema(num_fact_rows=4000, num_dims=2, seed=2)
+        cluster = SimulatedCluster(
+            db, graph, "k0", ClusterConfig(num_machines=4)
+        )
+        distributed, _ = cluster.train_gradient_boosting(
+            {"num_iterations": 3, "num_leaves": 4, "learning_rate": 0.5}
+        )
+        single = repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 3, "num_leaves": 4,
+                        "learning_rate": 0.5},
+        )
+        frame = feature_frame(db, graph)
+        assert np.allclose(
+            distributed.predict_arrays(frame), single.predict_arrays(frame)
+        )
+
+    def test_shuffle_bytes_accounted(self):
+        db, graph = star_schema(num_fact_rows=2000, num_dims=2, seed=3)
+        cluster = SimulatedCluster(db, graph, "k0", ClusterConfig(num_machines=2))
+        _, seconds = cluster.train_gradient_boosting(
+            {"num_iterations": 1, "num_leaves": 4}
+        )
+        assert cluster.shuffle_bytes > 0
+        assert seconds > 0
+
+    def test_slower_network_costs_more(self):
+        db, graph = star_schema(num_fact_rows=2000, num_dims=2, seed=3)
+        fast = SimulatedCluster(
+            db, graph, "k0",
+            ClusterConfig(num_machines=2, bandwidth_bytes_per_s=1e9),
+        )
+        _, fast_seconds = fast.train_gradient_boosting(
+            {"num_iterations": 1, "num_leaves": 4}
+        )
+        slow = SimulatedCluster(
+            db, graph, "k0",
+            ClusterConfig(num_machines=2, bandwidth_bytes_per_s=1e4),
+        )
+        _, slow_seconds = slow.train_gradient_boosting(
+            {"num_iterations": 1, "num_leaves": 4}
+        )
+        assert slow_seconds > fast_seconds
+
+    def test_decision_tree_distributed(self):
+        db, graph = star_schema(num_fact_rows=2000, num_dims=2, seed=4)
+        cluster = SimulatedCluster(db, graph, "k0", ClusterConfig(num_machines=2))
+        tree, seconds = cluster.train_decision_tree({"num_leaves": 8})
+        assert tree.num_leaves == 8
+        single = repro.train_decision_tree(db, graph, {"num_leaves": 8})
+        assert tree.dump() == single.dump()
+
+    def test_rejects_non_rmse(self):
+        db, graph = star_schema(num_fact_rows=500, num_dims=1, seed=5)
+        cluster = SimulatedCluster(db, graph, "k0", ClusterConfig(num_machines=2))
+        from repro.exceptions import TrainingError
+
+        with pytest.raises(TrainingError):
+            cluster.train_gradient_boosting({"objective": "l1"})

@@ -1,0 +1,126 @@
+"""Update strategies and the inter-query scheduler."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.scheduler import QueryScheduler
+from repro.engine.update import apply_column_update, supported_strategies
+from repro.exceptions import StorageError
+from repro.storage.table import StorageConfig
+
+
+def make_db(preset="plain"):
+    db = Database(config=StorageConfig.preset(preset))
+    db.create_table(
+        "f", {"s": np.arange(10, dtype=np.float64), "d": np.arange(10)}
+    )
+    return db
+
+
+class TestUpdateStrategies:
+    @pytest.mark.parametrize("strategy", ["update", "create", "swap"])
+    def test_strategies_agree(self, strategy):
+        db = make_db("plain" if strategy != "swap" else "d-swap")
+        new = np.full(10, 5.0)
+        apply_column_update(db, "f", "s", new, strategy)
+        assert np.allclose(db.table("f").column("s").values, 5.0)
+        # other columns untouched
+        assert np.array_equal(db.table("f").column("d").values, np.arange(10))
+
+    def test_swap_rejected_on_stock_backend(self):
+        db = make_db("d-mem")
+        with pytest.raises(StorageError):
+            apply_column_update(db, "f", "s", np.zeros(10), "swap")
+
+    def test_swap_on_external_store(self):
+        db = make_db("plain")
+        from repro.storage.column import Column
+        from repro.storage.table import ExternalColumnStore
+
+        table = db.table("f")
+        db.catalog.drop("f")
+        db.register(ExternalColumnStore("f", list(table.columns())))
+        apply_column_update(db, "f", "s", np.ones(10), "swap")
+        assert np.allclose(db.table("f").column("s").values, 1.0)
+
+    def test_unknown_strategy(self):
+        db = make_db()
+        with pytest.raises(StorageError):
+            apply_column_update(db, "f", "s", np.zeros(10), "teleport")
+
+    def test_supported_strategies(self):
+        db = make_db("d-mem")
+        support = supported_strategies(db.table("f"))
+        assert support["update"] and support["create"] and not support["swap"]
+
+    def test_update_in_place_pays_mvcc(self):
+        db = make_db("d-mem")
+        before = db._mvcc.version_count
+        apply_column_update(db, "f", "s", np.zeros(10), "update")
+        assert db._mvcc.version_count == before + 1
+
+    def test_create_preserves_column_order(self):
+        db = make_db()
+        apply_column_update(db, "f", "s", np.zeros(10), "create")
+        assert db.table("f").column_names() == ["s", "d"]
+
+
+class TestScheduler:
+    def test_dependencies_respected(self):
+        scheduler = QueryScheduler(num_workers=4)
+        seen = []
+        lock = threading.Lock()
+
+        def step(name):
+            def run():
+                with lock:
+                    seen.append(name)
+                return name
+            return run
+
+        a = scheduler.submit(step("a"))
+        b = scheduler.submit(step("b"), deps=[a])
+        c = scheduler.submit(step("c"), deps=[a])
+        d = scheduler.submit(step("d"), deps=[b, c])
+        report = scheduler.run()
+        assert seen.index("a") < seen.index("b")
+        assert seen.index("a") < seen.index("c")
+        assert seen.index("d") == 3
+        assert report.results()[0] == "a"
+
+    def test_unknown_dependency(self):
+        scheduler = QueryScheduler()
+        with pytest.raises(ValueError):
+            scheduler.submit(lambda: None, deps=[99])
+
+    def test_error_propagates(self):
+        scheduler = QueryScheduler(num_workers=2)
+
+        def boom():
+            raise RuntimeError("bad query")
+
+        scheduler.submit(boom)
+        with pytest.raises(RuntimeError):
+            scheduler.run()
+
+    def test_critical_path_shorter_than_sequential(self):
+        scheduler = QueryScheduler(num_workers=4)
+
+        def sleepy():
+            time.sleep(0.02)
+
+        first = scheduler.submit(sleepy)
+        for _ in range(3):
+            scheduler.submit(sleepy, deps=[first])
+        report = scheduler.run()
+        assert report.critical_path_seconds < report.sequential_seconds
+        assert report.modelled_speedup() > 1.0
+
+    def test_empty_run(self):
+        report = QueryScheduler().run()
+        assert report.sequential_seconds == 0.0
+        assert report.critical_path_seconds == 0.0

@@ -1,0 +1,127 @@
+"""Random forests and join sampling (Section 5.5.2)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.predict import feature_frame, rmse_on_join
+from repro.factorize.sampling import ancestral_sample, sample_fact_table
+from repro.engine.database import Database
+from repro.joingraph.graph import JoinGraph
+from repro.storage.column import Column
+
+
+class TestRandomForest:
+    def test_regression_beats_constant(self, small_star):
+        db, graph = small_star
+        forest = repro.train_random_forest(
+            db, graph,
+            {"num_iterations": 8, "num_leaves": 8, "subsample": 0.5,
+             "feature_fraction": 0.8, "min_data_in_leaf": 3, "seed": 1},
+        )
+        y = db.table("fact").column("target").values
+        assert rmse_on_join(db, graph, forest) < 0.7 * y.std()
+
+    def test_tree_count(self, tiny_star):
+        db, graph = tiny_star
+        forest = repro.train_random_forest(
+            db, graph, {"num_iterations": 5, "num_leaves": 4, "subsample": 0.8},
+        )
+        assert len(forest.trees) == 5
+        assert len(forest.history) == 5
+
+    def test_prediction_is_average(self, tiny_star):
+        db, graph = tiny_star
+        forest = repro.train_random_forest(
+            db, graph, {"num_iterations": 3, "num_leaves": 4, "subsample": 0.9},
+        )
+        frame = feature_frame(db, graph)
+        stacked = np.stack([t.predict_arrays(frame) for t in forest.trees])
+        assert np.allclose(forest.predict_arrays(frame), stacked.mean(axis=0))
+
+    def test_classification_votes(self, tiny_star):
+        db, graph = tiny_star
+        table = db.table("fact")
+        y = table.column("target").values
+        labels = (y > np.median(y)).astype(np.int64)
+        table.set_column(Column("target", labels))
+        forest = repro.train_random_forest(
+            db, graph,
+            {"objective": "multiclass", "num_class": 2, "num_iterations": 5,
+             "num_leaves": 4, "subsample": 0.8, "seed": 2},
+        )
+        frame = feature_frame(db, graph)
+        accuracy = (forest.predict_arrays(frame) == labels).mean()
+        assert accuracy > 0.7
+
+    def test_seeds_reproduce(self, tiny_star):
+        db, graph = tiny_star
+        a = repro.train_random_forest(
+            db, graph, {"num_iterations": 3, "num_leaves": 4,
+                        "subsample": 0.5, "seed": 7},
+        )
+        b = repro.train_random_forest(
+            db, graph, {"num_iterations": 3, "num_leaves": 4,
+                        "subsample": 0.5, "seed": 7},
+        )
+        frame = feature_frame(db, graph)
+        assert np.allclose(a.predict_arrays(frame), b.predict_arrays(frame))
+
+    def test_temp_tables_cleaned(self, tiny_star):
+        db, graph = tiny_star
+        repro.train_random_forest(
+            db, graph, {"num_iterations": 2, "num_leaves": 4, "subsample": 0.5},
+        )
+        assert db.catalog.temp_names() == []
+
+
+class TestFactTableSampling:
+    def test_fraction_respected(self, small_star):
+        db, graph = small_star
+        rng = np.random.default_rng(0)
+        indexes = sample_fact_table(db, "fact", 0.25, rng)
+        assert len(indexes) == round(0.25 * db.table("fact").num_rows())
+        assert len(set(indexes.tolist())) == len(indexes)  # without replacement
+
+    def test_small_fraction_floors_to_one(self, tiny_star):
+        db, graph = tiny_star
+        indexes = sample_fact_table(db, "fact", 1e-9)
+        assert len(indexes) == 1
+
+
+class TestAncestralSampling:
+    def make_skewed_graph(self):
+        """dim key 0 joins 3 fact rows, key 1 joins 1: sampling dim rows
+        uniformly would be wrong; ancestral sampling must weight 3:1."""
+        db = Database()
+        db.create_table("fact", {"k": [0, 0, 0, 1], "yv": [1.0, 2.0, 3.0, 4.0]})
+        db.create_table("dim", {"k": [0, 1], "feat": [10.0, 20.0]})
+        graph = JoinGraph(db)
+        graph.add_relation("fact", y="yv")
+        graph.add_relation("dim", features=["feat"])
+        graph.add_edge("fact", "dim", ["k"])
+        return db, graph
+
+    def test_root_weighting(self):
+        db, graph = self.make_skewed_graph()
+        rng = np.random.default_rng(0)
+        draws = ancestral_sample(db, graph, 4000, rng, root="dim")
+        keys = db.table("dim").column("k").values[draws["dim"]]
+        frac_zero = (keys == 0).mean()
+        assert frac_zero == pytest.approx(0.75, abs=0.03)
+
+    def test_uniform_over_join_tuples(self):
+        db, graph = self.make_skewed_graph()
+        rng = np.random.default_rng(1)
+        draws = ancestral_sample(db, graph, 6000, rng, root="dim")
+        fact_rows = draws["fact"]
+        counts = np.bincount(fact_rows, minlength=4) / len(fact_rows)
+        assert np.allclose(counts, 0.25, atol=0.03)
+
+    def test_samples_always_join(self, small_star):
+        db, graph = small_star
+        rng = np.random.default_rng(2)
+        draws = ancestral_sample(db, graph, 50, rng)
+        fact_keys = db.table("fact").column("k0").values[draws["fact"]]
+        dim_keys = db.table("dim0").column("k0").values[draws["dim0"]]
+        assert np.array_equal(fact_keys, dim_keys)

@@ -1,0 +1,115 @@
+"""Missing join keys (Appendix D.2) and outer-join factorization.
+
+When fact rows reference keys absent from a dimension, an inner-join
+factorization silently drops them; the paper's fix is full/left outer
+joins in message passing plus NULL-aware split handling.  These tests
+pin both behaviours.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.database import Database
+from repro.factorize.executor import Factorizer
+from repro.joingraph.graph import JoinGraph
+from repro.semiring.variance import VarianceSemiRing
+
+
+@pytest.fixture
+def holey_db():
+    """Fact rows 3 and 4 reference a key missing from the dimension."""
+    db = Database()
+    db.create_table(
+        "fact",
+        {"k": [0, 1, 0, 7, 7], "yv": [1.0, 2.0, 3.0, 4.0, 5.0]},
+    )
+    db.create_table("dim", {"k": [0, 1], "feat": [10.0, 20.0]})
+    graph = JoinGraph(db)
+    graph.add_relation("fact", y="yv")
+    graph.add_relation("dim", features=["feat"])
+    graph.add_edge("fact", "dim", ["k"])
+    return db, graph
+
+
+class TestMissingJoinKeys:
+    def test_inner_factorization_drops_unmatched(self, holey_db):
+        db, graph = holey_db
+        factorizer = Factorizer(db, graph, VarianceSemiRing(), assume_ri=False)
+        factorizer.lift()
+        totals = factorizer.totals()
+        # k=7 rows do not join: inner semantics keep 3 rows.
+        assert totals["c"] == 3
+
+    def test_outer_factorization_keeps_all_rows(self, holey_db):
+        db, graph = holey_db
+        factorizer = Factorizer(
+            db, graph, VarianceSemiRing(), assume_ri=False, outer_joins=True
+        )
+        factorizer.lift()
+        totals = factorizer.totals()
+        assert totals["c"] == 5
+        assert totals["s"] == pytest.approx(15.0)
+
+    def test_outer_group_by_puts_unmatched_in_null_group(self, holey_db):
+        db, graph = holey_db
+        factorizer = Factorizer(
+            db, graph, VarianceSemiRing(), assume_ri=False, outer_joins=True
+        )
+        factorizer.lift()
+        result = factorizer.absorb("fact", ["k"])
+        by_key = dict(zip(result["k"], result["c"]))
+        assert by_key[7] == 2  # unmatched keys keep their own group
+
+    def test_training_with_nulls_routes_missing(self, holey_db):
+        db, graph = holey_db
+        # feature_frame pads missing dimension values with NaN; splits
+        # route them via include_null (missing='right' default).
+        from repro.core.predict import feature_frame
+
+        frame = feature_frame(db, graph)
+        assert np.isnan(frame["feat"][3]) and np.isnan(frame["feat"][4])
+
+    def test_missing_both_tries_null_routing(self):
+        """missing='both' can route NULLs to whichever side wins."""
+        rng = np.random.default_rng(1)
+        db = Database()
+        n = 400
+        k = rng.integers(0, 10, n)
+        feat = rng.normal(size=10) * 10
+        feat[3] = np.nan  # a dimension row with a missing feature value
+        y = np.where(np.isnan(feat[k]), 50.0, feat[k]) + rng.normal(0, 0.1, n)
+        db.create_table("fact", {"k": k, "yv": y})
+        db.create_table("dim", {"k": np.arange(10), "feat": feat})
+        graph = JoinGraph(db)
+        graph.add_relation("fact", y="yv")
+        graph.add_relation("dim", features=["feat"])
+        graph.add_edge("fact", "dim", ["k"])
+        model = repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 3, "num_leaves": 4,
+                        "learning_rate": 0.5, "missing": "both"},
+        )
+        from repro.core.predict import feature_frame
+
+        frame = feature_frame(db, graph)
+        scores = model.predict_arrays(frame)
+        null_rows = np.isnan(frame["feat"])
+        if null_rows.any():
+            # NULL rows (true value 50) must be scored well above the rest.
+            assert scores[null_rows].mean() > scores[~null_rows].mean()
+
+
+class TestBenchReportHelpers:
+    def test_format_table(self):
+        from repro.bench.report import format_table
+
+        text = format_table("T", ["a", "b"], [[1, 2.5], ["x", None]])
+        assert "== T ==" in text
+        assert "2.500" in text
+
+    def test_format_series_alignment(self):
+        from repro.bench.report import format_series
+
+        text = format_series("S", "x", [1, 2], {"y": [10.0], "z": [1.0, 2.0]})
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, two rows

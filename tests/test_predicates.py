@@ -1,0 +1,102 @@
+"""Predicate rendering, negation, hashing and vectorized evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import _eval_predicate
+from repro.exceptions import TrainingError
+from repro.factorize.predicates import (
+    Predicate,
+    add_predicate,
+    predicate_state,
+    render_conjunction,
+)
+
+
+class TestRendering:
+    def test_numeric(self):
+        assert Predicate("age", "<=", 30).render("t") == "t.age <= 30"
+
+    def test_string_escaped(self):
+        rendered = Predicate("name", "=", "o'brien").render()
+        assert rendered == "name = 'o''brien'"
+
+    def test_in_list(self):
+        rendered = Predicate("k", "IN", (1, 2)).render("t")
+        assert rendered == "t.k IN (1, 2)"
+
+    def test_include_null(self):
+        rendered = Predicate("age", ">", 30, include_null=True).render("t")
+        assert rendered == "(t.age > 30 OR t.age IS NULL)"
+
+    def test_is_null(self):
+        assert Predicate("age", "IS NULL").render() == "age IS NULL"
+
+    def test_unknown_op(self):
+        with pytest.raises(TrainingError):
+            Predicate("a", "~~", 1)
+
+    def test_in_requires_tuple(self):
+        with pytest.raises(TrainingError):
+            Predicate("a", "IN", 5)
+
+
+class TestNegation:
+    def test_le_flips_to_gt_with_null_routing(self):
+        negated = Predicate("a", "<=", 3).negate()
+        assert negated.op == ">"
+        assert negated.include_null  # NULLs route right by default
+
+    def test_double_negation_restores(self):
+        pred = Predicate("a", "<=", 3)
+        assert pred.negate().negate() == pred
+
+    def test_in_flips(self):
+        assert Predicate("a", "IN", (1,)).negate().op == "NOT IN"
+
+    def test_is_null_flips(self):
+        assert Predicate("a", "IS NULL").negate().op == "IS NOT NULL"
+
+
+class TestMaps:
+    def test_add_predicate_is_functional(self):
+        base = {}
+        updated = add_predicate(base, "r", Predicate("a", "<=", 1))
+        assert base == {}
+        assert len(updated["r"]) == 1
+
+    def test_predicate_state_restricted_to_side(self):
+        preds = add_predicate({}, "r", Predicate("a", "<=", 1))
+        preds = add_predicate(preds, "s", Predicate("b", ">", 2))
+        state = predicate_state(preds, ["r"])
+        assert len(state) == 1
+
+    def test_render_conjunction(self):
+        preds = (Predicate("a", "<=", 1), Predicate("b", ">", 2))
+        assert render_conjunction(preds, "t") == "t.a <= 1 AND t.b > 2"
+        assert render_conjunction(()) is None
+
+
+class TestVectorizedEvaluation:
+    def test_le_with_nulls(self):
+        values = np.array([1.0, np.nan, 5.0])
+        mask = _eval_predicate(Predicate("x", "<=", 3), values)
+        assert list(mask) == [True, False, False]
+
+    def test_include_null_routes_nan(self):
+        values = np.array([1.0, np.nan])
+        mask = _eval_predicate(Predicate("x", ">", 3, include_null=True), values)
+        assert list(mask) == [False, True]
+
+    def test_in_set(self):
+        mask = _eval_predicate(Predicate("x", "IN", (1, 3)), np.array([1.0, 2.0, 3.0]))
+        assert list(mask) == [True, False, True]
+
+    def test_split_partition_is_exact(self):
+        """σ and ¬σ partition every row, including NULLs."""
+        values = np.array([1.0, 2.0, np.nan, 4.0])
+        pred = Predicate("x", "<=", 2)
+        left = _eval_predicate(pred, values)
+        right = _eval_predicate(pred.negate(), values)
+        assert np.array_equal(left | right, np.ones(4, dtype=bool))
+        assert not (left & right).any()

@@ -1,0 +1,140 @@
+"""Loss-function tests: gradients vs numeric differentiation, SQL face
+agreement with the NumPy face, init scores, and the galaxy restriction."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.exceptions import SemiRingError
+from repro.semiring.losses import LOSSES, SoftmaxLoss, get_loss
+
+REGRESSION_LOSSES = [
+    "l2", "l1", "huber", "fair", "poisson", "quantile", "mape", "gamma",
+    "tweedie",
+]
+
+
+def numeric_gradient(loss, y, pred, eps=1e-5):
+    return (loss.loss(y, pred + eps) - loss.loss(y, pred - eps)) / (2 * eps)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("name", ["l2", "huber", "fair", "poisson",
+                                      "gamma", "tweedie"])
+    def test_gradient_matches_numeric(self, name):
+        loss = get_loss(name)
+        rng = np.random.default_rng(0)
+        y = np.abs(rng.normal(2.0, 0.5, 50)) + 0.5  # positive for log-links
+        pred = rng.normal(0.5, 0.2, 50)
+        expected = numeric_gradient(loss, y, pred)
+        assert np.allclose(loss.gradient(y, pred), expected, atol=1e-4)
+
+    @pytest.mark.parametrize("name", ["poisson", "gamma", "tweedie"])
+    def test_hessian_matches_numeric(self, name):
+        loss = get_loss(name)
+        rng = np.random.default_rng(1)
+        y = np.abs(rng.normal(2.0, 0.5, 30)) + 0.5
+        pred = rng.normal(0.5, 0.2, 30)
+        eps = 1e-5
+        expected = (
+            loss.gradient(y, pred + eps) - loss.gradient(y, pred - eps)
+        ) / (2 * eps)
+        assert np.allclose(loss.hessian(y, pred), expected, atol=1e-3)
+
+    def test_l1_gradient_is_sign(self):
+        loss = get_loss("l1")
+        g = loss.gradient(np.array([1.0, 5.0]), np.array([3.0, 1.0]))
+        assert list(g) == [1.0, -1.0]
+
+    def test_quantile_gradient(self):
+        loss = get_loss("quantile", alpha=0.9)
+        g = loss.gradient(np.array([5.0, 0.0]), np.array([0.0, 5.0]))
+        assert g[0] == pytest.approx(-0.9)
+        assert g[1] == pytest.approx(0.1)
+
+    def test_huber_clips(self):
+        loss = get_loss("huber", delta=1.0)
+        g = loss.gradient(np.array([0.0]), np.array([10.0]))
+        assert g[0] == 1.0
+
+
+class TestSQLFaceAgreement:
+    """The SQL expressions must compute the same values as the NumPy face."""
+
+    @pytest.mark.parametrize("name", REGRESSION_LOSSES)
+    def test_gradient_sql_matches(self, name):
+        loss = get_loss(name)
+        rng = np.random.default_rng(2)
+        y = np.abs(rng.normal(2.0, 0.5, 40)) + 0.5
+        pred = rng.normal(0.5, 0.2, 40)
+        db = Database()
+        db.create_table("t", {"yv": y, "pv": pred})
+        g_sql = db.execute(
+            f"SELECT {loss.gradient_sql('yv', 'pv')} AS g FROM t"
+        )["g"]
+        assert np.allclose(g_sql, loss.gradient(y, pred), atol=1e-9)
+        h_sql = db.execute(
+            f"SELECT {loss.hessian_sql('yv', 'pv')} AS h FROM t"
+        )["h"]
+        expected_h = loss.hessian(y, pred)
+        assert np.allclose(np.broadcast_to(h_sql, expected_h.shape), expected_h,
+                           atol=1e-9)
+
+
+class TestInitScores:
+    def test_l2_mean(self):
+        assert get_loss("l2").init_score(np.array([1.0, 3.0])) == 2.0
+
+    def test_l1_median(self):
+        assert get_loss("l1").init_score(np.array([1.0, 2.0, 9.0])) == 2.0
+
+    def test_poisson_log_mean(self):
+        assert get_loss("poisson").init_score(np.array([np.e, np.e])) == pytest.approx(1.0)
+
+    def test_quantile(self):
+        loss = get_loss("quantile", alpha=0.25)
+        assert loss.init_score(np.arange(101.0)) == pytest.approx(25.0)
+
+
+class TestRegistryAndRestrictions:
+    def test_aliases(self):
+        assert get_loss("rmse").name == "l2"
+        assert get_loss("mae").name == "l1"
+        assert get_loss("multiclass", num_classes=4).num_classes == 4
+
+    def test_unknown(self):
+        with pytest.raises(SemiRingError):
+            get_loss("hinge")
+
+    def test_only_l2_supports_galaxy(self):
+        for name in REGRESSION_LOSSES:
+            loss = get_loss(name)
+            assert loss.supports_galaxy == (name == "l2")
+
+    def test_parameter_validation(self):
+        with pytest.raises(SemiRingError):
+            get_loss("huber", delta=-1)
+        with pytest.raises(SemiRingError):
+            get_loss("quantile", alpha=1.5)
+        with pytest.raises(SemiRingError):
+            get_loss("tweedie", rho=3.0)
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        scores = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        probs = SoftmaxLoss.softmax(scores)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_gradient_class(self):
+        loss = SoftmaxLoss(3)
+        probs = np.array([[0.2, 0.3, 0.5]])
+        y = np.array([2])
+        assert loss.gradient_class(y, probs, 2)[0] == pytest.approx(-0.5)
+        assert loss.gradient_class(y, probs, 0)[0] == pytest.approx(0.2)
+
+    def test_loss_decreases_with_confidence(self):
+        loss = SoftmaxLoss(2)
+        confident = loss.loss(np.array([1]), np.array([[0.0, 3.0]]))
+        unsure = loss.loss(np.array([1]), np.array([[0.0, 0.1]]))
+        assert confident[0] < unsure[0]

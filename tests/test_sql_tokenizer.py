@@ -1,0 +1,66 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.exceptions import TokenizeError
+from repro.sql.tokenizer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_normalized(self):
+        tokens = kinds("select From WHERE")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("MyTable")[0] == (TokenType.IDENT, "MyTable")
+
+    def test_numbers(self):
+        values = [v for t, v in kinds("1 2.5 1e3 1.5E-2 .5")]
+        assert values == ["1", "2.5", "1e3", "1.5E-2", ".5"]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "weird name"
+
+    def test_operators_longest_match(self):
+        values = [v for _, v in kinds("a <= b <> c != d")]
+        assert "<=" in values and "<>" in values and "!=" in values
+
+    def test_line_comment(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_block_comment(self):
+        assert len(kinds("a /* hi */ b")) == 2
+
+    def test_eof_token(self):
+        assert tokenize("a")[-1].type is TokenType.EOF
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TokenizeError):
+            tokenize("/* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("a ? b")

@@ -1,0 +1,122 @@
+"""Catalog, WAL, and MVCC mechanism tests."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CatalogError
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.mvcc import VersionStore
+from repro.storage.table import ColumnTable, StorageConfig
+from repro.storage.wal import KIND_UPDATE, WriteAheadLog
+
+
+def table(name="t", n=5):
+    return ColumnTable(name, [Column("v", np.arange(n, dtype=np.float64))])
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        catalog.create(table("t"))
+        assert catalog.get("t").num_rows() == 5
+        catalog.drop("t")
+        assert not catalog.exists("t")
+
+    def test_case_insensitive(self):
+        catalog = Catalog()
+        catalog.create(table("MyTable"))
+        assert catalog.exists("mytable")
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create(table("t"))
+        with pytest.raises(CatalogError):
+            catalog.create(table("t"))
+
+    def test_replace(self):
+        catalog = Catalog()
+        catalog.create(table("t", 5))
+        catalog.create(table("t", 9), replace=True)
+        assert catalog.get("t").num_rows() == 9
+
+    def test_drop_missing(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop("nope")
+        catalog.drop("nope", if_exists=True)  # no raise
+
+    def test_rename(self):
+        catalog = Catalog()
+        catalog.create(table("old"))
+        catalog.rename("old", "new")
+        assert catalog.exists("new") and not catalog.exists("old")
+
+    def test_temp_namespace(self):
+        catalog = Catalog()
+        name = catalog.temp_name("msg")
+        assert name.startswith("jb_tmp_")
+        catalog.create(table(name))
+        catalog.create(table("user_data"))
+        assert catalog.drop_temp() == 1
+        assert catalog.exists("user_data")
+
+    def test_drop_temp_keeps_requested(self):
+        catalog = Catalog()
+        keep = catalog.temp_name("keep")
+        drop = catalog.temp_name("drop")
+        catalog.create(table(keep))
+        catalog.create(table(drop))
+        assert catalog.drop_temp(keep=[keep]) == 1
+        assert catalog.exists(keep)
+
+
+class TestWAL:
+    def test_appends_accumulate(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.log_array(KIND_UPDATE, "t.v", np.arange(100, dtype=np.float64))
+        assert wal.records_written == 1
+        assert wal.bytes_written > 800
+        assert os.path.getsize(wal.path) == wal.bytes_written
+        wal.close()
+
+    def test_truncate(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.log_marker(KIND_UPDATE, "x")
+        wal.truncate()
+        assert wal.records_written == 0
+        assert os.path.getsize(wal.path) == 0
+        wal.close()
+
+    def test_table_writes_hit_wal(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        config = StorageConfig(wal=True)
+        t = ColumnTable("t", [Column("v", np.arange(10, dtype=np.float64))],
+                        config, wal=wal)
+        before = wal.records_written
+        t.set_column(Column("v", np.zeros(10)))
+        assert wal.records_written == before + 1
+        wal.close()
+
+
+class TestMVCC:
+    def test_versions_recorded(self):
+        store = VersionStore()
+        config = StorageConfig(mvcc=True)
+        t = ColumnTable("t", [Column("v", np.arange(10, dtype=np.float64))],
+                        config, mvcc=store)
+        t.set_column(Column("v", np.ones(10)))
+        chain = store.undo_chain("t", "v")
+        assert len(chain) == 1
+        assert np.allclose(chain[0], np.arange(10))
+        assert store.validations == 1
+
+    def test_chain_bounded(self):
+        store = VersionStore(max_versions=2)
+        config = StorageConfig(mvcc=True)
+        t = ColumnTable("t", [Column("v", np.zeros(4))], config, mvcc=store)
+        for i in range(5):
+            t.set_column(Column("v", np.full(4, float(i))))
+        assert len(store.undo_chain("t", "v")) == 2

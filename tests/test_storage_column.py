@@ -1,0 +1,91 @@
+"""Unit tests for the Column vector type."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.column import Column, ColumnType
+
+
+class TestConstruction:
+    def test_int_inference(self):
+        col = Column("a", [1, 2, 3])
+        assert col.ctype is ColumnType.INT
+        assert col.values.dtype == np.int64
+
+    def test_float_inference(self):
+        col = Column("a", [1.5, 2.5])
+        assert col.ctype is ColumnType.FLOAT
+
+    def test_str_inference(self):
+        col = Column("a", np.array(["x", "y"], dtype=object))
+        assert col.ctype is ColumnType.STR
+
+    def test_scalar_becomes_length_one(self):
+        assert len(Column("a", 5)) == 1
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(StorageError):
+            Column("a", np.zeros((2, 2)))
+
+    def test_float_nan_creates_validity_mask(self):
+        col = Column("a", [1.0, np.nan, 3.0])
+        assert col.valid is not None
+        assert list(col.is_null()) == [False, True, False]
+
+    def test_float_to_int_column_keeps_nulls(self):
+        col = Column("a", np.array([1.0, np.nan]), ColumnType.INT)
+        assert col.values.dtype == np.int64
+        assert list(col.is_null()) == [False, True]
+
+    def test_no_mask_when_no_nans(self):
+        assert Column("a", [1.0, 2.0]).valid is None
+
+
+class TestDerivation:
+    def test_take_gathers(self):
+        col = Column("a", [10, 20, 30])
+        assert list(col.take(np.array([2, 0])).values) == [30, 10]
+
+    def test_take_negative_pads_null(self):
+        col = Column("a", [1.0, 2.0])
+        out = col.take(np.array([0, -1]))
+        assert out.is_null()[1]
+        assert np.isnan(out.values[1])
+
+    def test_take_negative_int_column(self):
+        col = Column("a", [1, 2])
+        out = col.take(np.array([-1, 1]))
+        assert out.is_null()[0] and not out.is_null()[1]
+
+    def test_filter(self):
+        col = Column("a", [1, 2, 3])
+        assert list(col.filter(np.array([True, False, True])).values) == [1, 3]
+
+    def test_rename_shares_data(self):
+        col = Column("a", [1, 2])
+        renamed = col.rename("b")
+        assert renamed.values is col.values
+        assert renamed.name == "b"
+
+    def test_copy_is_independent(self):
+        col = Column("a", [1, 2])
+        dup = col.copy()
+        dup.values[0] = 99
+        assert col.values[0] == 1
+
+
+class TestConversions:
+    def test_as_float_nulls_become_nan(self):
+        col = Column("a", np.array([1.0, np.nan]))
+        out = col.as_float()
+        assert np.isnan(out[1])
+
+    def test_as_float_rejects_strings(self):
+        col = Column("a", np.array(["x"], dtype=object))
+        with pytest.raises(StorageError):
+            col.as_float()
+
+    def test_nbytes_positive(self):
+        assert Column("a", [1, 2, 3]).nbytes() > 0
+        assert Column("a", np.array(["abc"], dtype=object)).nbytes() > 0

@@ -1,0 +1,71 @@
+"""Codec round-trip and size tests, including hypothesis round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.storage.compression import DictionaryCodec, PlainCodec, RLECodec, codec_for
+
+
+class TestRLE:
+    def test_round_trip(self):
+        codec = RLECodec()
+        values = np.array([1, 1, 1, 2, 2, 3])
+        assert list(codec.decode(codec.encode(values))) == [1, 1, 1, 2, 2, 3]
+
+    def test_compresses_runs(self):
+        codec = RLECodec()
+        values = np.repeat(np.arange(10), 1000)
+        payload = codec.encode(values)
+        assert codec.encoded_nbytes(payload) < values.nbytes / 10
+
+    def test_empty(self):
+        codec = RLECodec()
+        assert len(codec.decode(codec.encode(np.zeros(0)))) == 0
+
+    def test_nan_runs_preserved(self):
+        codec = RLECodec()
+        values = np.array([np.nan, np.nan, 1.0])
+        out = codec.decode(codec.encode(values))
+        assert np.isnan(out[0]) and np.isnan(out[1]) and out[2] == 1.0
+
+    @given(st.lists(st.integers(-5, 5), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, data):
+        codec = RLECodec()
+        values = np.array(data, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+
+class TestDictionary:
+    def test_round_trip_ints(self):
+        codec = DictionaryCodec()
+        values = np.array([5, 5, 7, 5, 9])
+        assert list(codec.decode(codec.encode(values))) == [5, 5, 7, 5, 9]
+
+    def test_narrow_codes_for_small_dictionaries(self):
+        codec = DictionaryCodec()
+        values = np.tile(np.arange(10), 100)
+        codes, dictionary = codec.encode(values)
+        assert codes.dtype == np.uint8
+        assert len(dictionary) == 10
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, data):
+        codec = DictionaryCodec()
+        values = np.array(data, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+
+class TestRegistry:
+    def test_codec_for_known(self):
+        assert isinstance(codec_for("plain"), PlainCodec)
+        assert isinstance(codec_for("rle"), RLECodec)
+        assert isinstance(codec_for("dict"), DictionaryCodec)
+
+    def test_codec_for_unknown(self):
+        with pytest.raises(StorageError):
+            codec_for("zstd")

@@ -1,0 +1,137 @@
+"""Tables: columnar, row-oriented, external, and the swap fast path."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.column import Column
+from repro.storage.table import (
+    ColumnTable,
+    ExternalColumnStore,
+    RowTable,
+    StorageConfig,
+    Table,
+)
+
+
+def make_columns(n=10):
+    return [
+        Column("k", np.arange(n)),
+        Column("v", np.linspace(0, 1, n)),
+    ]
+
+
+class TestColumnTable:
+    def test_read_back(self):
+        table = ColumnTable("t", make_columns())
+        assert table.column_names() == ["k", "v"]
+        assert table.num_rows() == 10
+        assert table.column("k").values[3] == 3
+
+    def test_unknown_column(self):
+        table = ColumnTable("t", make_columns())
+        with pytest.raises(StorageError):
+            table.column("nope")
+
+    def test_set_column_replaces(self):
+        table = ColumnTable("t", make_columns())
+        table.set_column(Column("v", np.zeros(10)))
+        assert table.column("v").values.sum() == 0
+
+    def test_set_column_wrong_length(self):
+        table = ColumnTable("t", make_columns())
+        with pytest.raises(StorageError):
+            table.set_column(Column("v", np.zeros(3)))
+
+    def test_drop_column(self):
+        table = ColumnTable("t", make_columns())
+        table.drop_column("v")
+        assert table.column_names() == ["k"]
+
+    def test_compressed_round_trip(self):
+        config = StorageConfig(compression="rle")
+        table = ColumnTable("t", make_columns(), config)
+        assert np.allclose(table.column("v").values, np.linspace(0, 1, 10))
+
+    def test_compressed_stored_smaller_for_runs(self):
+        config = StorageConfig(compression="rle")
+        runs = [Column("v", np.repeat(np.arange(5), 2000))]
+        table = ColumnTable("t", runs, config)
+        assert table.stored_nbytes() < runs[0].nbytes() / 10
+
+
+class TestColumnSwap:
+    def test_swap_exchanges_pointers(self):
+        config = StorageConfig(allow_column_swap=True)
+        a = ColumnTable("a", make_columns(), config)
+        b = ColumnTable("b", [Column("v", np.full(10, 7.0))], config)
+        a.swap_column("v", b, "v")
+        assert np.all(a.column("v").values == 7.0)
+
+    def test_swap_requires_patch(self):
+        config = StorageConfig(allow_column_swap=False)
+        a = ColumnTable("a", make_columns(), config)
+        b = ColumnTable("b", [Column("v", np.zeros(10))], config)
+        with pytest.raises(StorageError):
+            a.swap_column("v", b, "v")
+
+    def test_swap_row_count_mismatch(self):
+        config = StorageConfig(allow_column_swap=True)
+        a = ColumnTable("a", make_columns(), config)
+        b = ColumnTable("b", [Column("v", np.zeros(3))], config)
+        with pytest.raises(StorageError):
+            a.swap_column("v", b, "v")
+
+
+class TestRowTable:
+    def test_round_trip(self):
+        table = RowTable("t", make_columns())
+        assert table.num_rows() == 10
+        assert np.allclose(table.column("v").values, np.linspace(0, 1, 10))
+
+    def test_set_column_rebuilds(self):
+        table = RowTable("t", make_columns())
+        table.set_column(Column("v", np.zeros(10)))
+        assert table.column("v").values.sum() == 0
+        assert table.column("k").values[5] == 5
+
+    def test_string_columns(self):
+        table = RowTable("t", [Column("name", np.array(["ab", "cde"], dtype=object))])
+        assert list(table.column("name").values) == ["ab", "cde"]
+
+
+class TestExternalStore:
+    def test_scan_copy_returns_fresh_array(self):
+        table = ExternalColumnStore("t", make_columns())
+        first = table.column("v").values
+        second = table.column("v").values
+        assert first is not second  # the interop copy
+
+    def test_writes_are_pointer_stores(self):
+        table = ExternalColumnStore("t", make_columns())
+        table.set_column(Column("v", np.full(10, 2.0)))
+        assert np.all(table.column("v").values == 2.0)
+
+
+class TestFactory:
+    def test_layout_dispatch(self):
+        assert isinstance(
+            Table.from_columns("t", make_columns(), StorageConfig(layout="row")),
+            RowTable,
+        )
+        assert isinstance(
+            Table.from_columns("t", make_columns(), StorageConfig(layout="external")),
+            ExternalColumnStore,
+        )
+        assert isinstance(
+            Table.from_columns("t", make_columns(), StorageConfig()),
+            ColumnTable,
+        )
+
+    def test_presets_exist(self):
+        for name in ("x-col", "x-row", "d-disk", "d-mem", "dp", "d-swap", "plain"):
+            StorageConfig.preset(name)
+
+    def test_unknown_preset(self):
+        with pytest.raises(StorageError):
+            StorageConfig.preset("oracle")
