@@ -4,6 +4,10 @@ Paper shape: columnar backends train fastest; the row store pays on
 scans; gradient boosting's update cost dominates on stock backends and
 collapses under column swap (DP / D-Swap), with X-Swap* showing what the
 commercial store would gain from the same patch.
+
+The "sqlite" row is not a storage preset of the embedded engine but a
+real second DBMS (stdlib sqlite3 via the connector layer) running the
+same lifted SQL — the paper's portability claim, measured.
 """
 
 from repro.bench.harness import FIG15_BACKENDS, fig15_backends

@@ -2,7 +2,9 @@
 
 The offline environment lacks the ``wheel`` package, so PEP 660 editable
 installs fail; this shim lets ``pip install -e .`` fall back to
-``setup.py develop``.  All metadata lives in pyproject.toml.
+``setup.py develop``.  Canonical metadata lives in pyproject.toml (PEP
+621); this file mirrors only the fields the legacy path needs and must
+be kept in sync with it.
 """
 
 from setuptools import find_packages, setup
@@ -15,4 +17,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
+    extras_require={"duckdb": ["duckdb>=0.9"], "test": ["pytest>=7"]},
 )

@@ -2,8 +2,9 @@
 
 Reproduction of Huang, Sen, Liu and Wu, *JoinBoost: Grow Trees Over
 Normalized Data Using Only SQL* (VLDB 2023), including the DBMS substrate
-it runs on.  See DESIGN.md for the system inventory and EXPERIMENTS.md
-for the per-figure reproduction results.
+it runs on.  See README.md for install and quickstart, docs/DESIGN.md for
+the system inventory, and docs/EXPERIMENTS.md for the per-figure
+reproduction map.
 
 Quick start::
 
@@ -15,6 +16,11 @@ Quick start::
         db, graph, {"objective": "regression", "num_iterations": 10}
     )
     print(joinboost.rmse_on_join(db, graph, model))
+
+Training runs unchanged on other DBMSes through the connector layer
+(:mod:`repro.backends`)::
+
+    conn = joinboost.connect(backend="sqlite")   # stdlib sqlite3
 """
 
 from repro.api import (
@@ -25,6 +31,12 @@ from repro.api import (
     predict,
     train,
     train_decision_tree,
+)
+from repro.backends import (
+    Connector,
+    DuckDBConnector,
+    EmbeddedConnector,
+    SQLiteConnector,
 )
 from repro.core.boosting import (
     GradientBoostingModel,
@@ -55,6 +67,10 @@ __all__ = [
     "feature_frame",
     "TrainSet",
     "TrainParams",
+    "Connector",
+    "EmbeddedConnector",
+    "SQLiteConnector",
+    "DuckDBConnector",
     "Database",
     "JoinGraph",
     "StorageConfig",

@@ -4,7 +4,7 @@ Usage mirrors Example 6::
 
     import repro as joinboost
 
-    conn = joinboost.connect()            # an embedded Database
+    conn = joinboost.connect()            # a Connector (embedded by default)
     train_set = joinboost.join_graph(conn)
     train_set.add_node("sales", y="net_profit")
     train_set.add_node("date", X=["holiday", "weekend"])
@@ -23,10 +23,9 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.engine.database import Database
+from repro.backends import Connector, get_backend
 from repro.exceptions import TrainingError
 from repro.joingraph.graph import JoinGraph
-from repro.storage.table import StorageConfig
 from repro.core.boosting import train_gradient_boosting
 from repro.core.forest import train_random_forest
 from repro.core.params import TrainParams
@@ -39,18 +38,25 @@ from repro.semiring.variance import VarianceSemiRing
 
 def connect(
     backend: str = "plain", name: str = "repro", **table_data
-) -> Database:
-    """Open an embedded database; ``backend`` picks a storage preset."""
-    db = Database(config=StorageConfig.preset(backend), name=name)
+) -> Connector:
+    """Open a database connection; ``backend`` picks the engine.
+
+    ``backend`` may be an embedded-engine storage preset (``plain``,
+    ``x-col``, ``x-row``, ``d-disk``, ``d-mem``, ``dp``, ``d-swap``), the
+    stdlib ``sqlite`` backend, or ``duckdb`` when the optional package is
+    installed — see :mod:`repro.backends`.  Keyword arguments become
+    tables (column-name -> array mappings), Example 6 style.
+    """
+    conn = get_backend(backend, name=name)
     for table_name, data in table_data.items():
-        db.create_table(table_name, data)
-    return db
+        conn.create_table(table_name, data)
+    return conn
 
 
 class TrainSet:
     """Paper-style training-set wrapper over a join graph."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Connector):
         self.db = db
         self.graph = JoinGraph(db)
 
@@ -88,7 +94,7 @@ class TrainSet:
         return self
 
 
-def join_graph(db: Database) -> TrainSet:
+def join_graph(db: Connector) -> TrainSet:
     """Start defining a training dataset over ``db`` (Figure 4 API)."""
     return TrainSet(db)
 

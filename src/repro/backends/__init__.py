@@ -1,0 +1,49 @@
+"""Pluggable SQL connectors — the system's multi-backend seam.
+
+``connect(backend=...)`` in :mod:`repro.api` resolves names through this
+package's registry:
+
+===============  ==========================================================
+name             engine
+===============  ==========================================================
+``embedded``     the in-process engine (``repro.engine.database.Database``)
+``plain`` ...    embedded-engine *storage presets* (``x-col``, ``x-row``,
+                 ``d-disk``, ``d-mem``, ``dp``, ``d-swap``) — one engine,
+                 different physical layouts (the Figure 5/15 benches)
+``sqlite``       stdlib ``sqlite3`` via a dialect-translation layer — an
+                 actual second DBMS, no extra packages
+``duckdb``       the optional ``duckdb`` package (``pip install
+                 repro[duckdb]``); raises a guided error when absent
+===============  ==========================================================
+
+See docs/DESIGN.md ("Connector layer") for the protocol surface and what
+each capability flag gates.
+"""
+
+from repro.backends.base import (
+    BackendError,
+    Capabilities,
+    Connector,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.backends.embedded import EmbeddedConnector
+from repro.backends.sqlite3_backend import SQLiteConnector, SQLiteTableView
+from repro.backends.duckdb_backend import DuckDBConnector
+from repro.backends.dialect import SQLiteDialect, split_statements
+
+__all__ = [
+    "BackendError",
+    "Capabilities",
+    "Connector",
+    "EmbeddedConnector",
+    "SQLiteConnector",
+    "SQLiteTableView",
+    "DuckDBConnector",
+    "SQLiteDialect",
+    "split_statements",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

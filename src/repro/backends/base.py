@@ -1,0 +1,278 @@
+"""The Connector protocol — JoinBoost's one-DBMS-wide waist.
+
+The paper's portability claim (Section 5.1) is that the Factorizer emits
+*only SQL*, so training runs unchanged atop any DBMS.  This module pins
+down the exact surface that claim needs: a :class:`Connector` executes
+SQL strings and returns :class:`~repro.engine.result.Relation` results,
+manages tables and a temporary namespace, and advertises what its engine
+can do via :class:`Capabilities`.  Everything above this layer — the
+Factorizer, trainers, residual updaters, benches — talks to a Connector
+and never to a concrete engine.
+
+Three implementations ship:
+
+* :class:`~repro.backends.embedded.EmbeddedConnector` — the in-process
+  engine under ``repro.engine.database.Database`` (the default);
+* :class:`~repro.backends.sqlite3_backend.SQLiteConnector` — stdlib
+  ``sqlite3``, an actual second DBMS, with a dialect-translation layer;
+* :class:`~repro.backends.duckdb_backend.DuckDBConnector` — DuckDB when
+  the optional ``duckdb`` package is installed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.result import Relation
+from repro.exceptions import ReproError, StorageError
+from repro.storage.catalog import TEMP_PREFIX
+
+#: the logical residual-update strategies every backend must accept
+#: (external engines map them all onto their own physical write)
+UPDATE_STRATEGIES = ("update", "create", "swap")
+
+
+class BackendError(ReproError):
+    """A connector could not be built or used (unknown name, missing
+    optional dependency, unsupported operation)."""
+
+
+def check_update_strategy(strategy: str) -> None:
+    """Reject typo'd strategies uniformly across backends (the embedded
+    engine raises the same error from its physical dispatch)."""
+    if strategy not in UPDATE_STRATEGIES:
+        raise StorageError(f"unknown update strategy {strategy!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Capabilities:
+    """What a connector's engine supports; callers branch on these flags
+    instead of isinstance-checking connectors."""
+
+    #: pointer-swap of a stored column without a write transaction
+    column_swap: bool = False
+    #: the engine records per-query latency profiles (Figure 9 census)
+    query_profiles: bool = False
+    #: window functions (``SUM(...) OVER (ORDER BY ...)``) are available;
+    #: without them the split finder falls back to client-side prefix scans
+    window_functions: bool = True
+    #: the engine runs inside this process (no network / IPC hop)
+    in_process: bool = True
+
+
+class Connector:
+    """Abstract DBMS connector: execute SQL, manage tables, report caps.
+
+    The protocol is intentionally the surface the training stack already
+    consumes, so a bare :class:`~repro.engine.database.Database` is itself
+    protocol-compatible; :class:`EmbeddedConnector` wraps one to add the
+    capability flags and dialect identity.
+    """
+
+    #: dialect tag ("embedded", "sqlite", "duckdb") for diagnostics
+    dialect: str = "unknown"
+    capabilities: Capabilities = Capabilities()
+
+    # -- statement execution -------------------------------------------
+    def execute(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
+        """Run one or more ``;``-separated statements; return the final
+        SELECT's result, or ``None`` if the last statement was DDL/DML."""
+        raise NotImplementedError
+
+    # -- table management ----------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        data: Dict[str, Union[np.ndarray, Sequence]],
+        config=None,
+        replace: bool = False,
+    ):
+        """Create a table from a column-name -> array mapping.
+
+        ``config`` is a storage preset understood by the embedded engine;
+        external engines accept and ignore it (their storage layout is
+        their own business).
+        """
+        raise NotImplementedError
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        raise NotImplementedError
+
+    def rename_table(self, old: str, new: str) -> None:
+        raise NotImplementedError
+
+    def table(self, name: str):
+        """A read view of a stored table: ``column_names()``,
+        ``num_rows()``, ``column(name) -> Column``, ``in`` support."""
+        raise NotImplementedError
+
+    def has_table(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def table_names(self) -> List[str]:
+        raise NotImplementedError
+
+    # -- temporary namespace (the paper's safety contract) --------------
+    def temp_name(self, hint: str = "t") -> str:
+        """Mint a fresh name in the temporary namespace."""
+        raise NotImplementedError
+
+    def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
+        """Drop JoinBoost's temporary tables; returns how many dropped."""
+        raise NotImplementedError
+
+    # -- physical column replacement (residual updates, Section 5.4) ----
+    def replace_column(
+        self,
+        table_name: str,
+        column_name: str,
+        values: np.ndarray,
+        strategy: str = "swap",
+    ) -> None:
+        """Replace one stored column with ``values`` (row order preserved).
+
+        ``strategy`` is the physical method the embedded engine honours
+        (``update`` / ``create`` / ``swap``); engines without exposed
+        storage internals implement whatever their fastest equivalent is.
+        """
+        raise NotImplementedError
+
+    # -- profiling -------------------------------------------------------
+    #: per-query :class:`~repro.engine.database.QueryProfile` records;
+    #: connectors that profile shadow this with an instance list
+    profiles: Sequence = ()
+
+    def reset_profiles(self) -> None:
+        pass
+
+    def profiles_by_tag(self) -> Dict[str, list]:
+        grouped: Dict[str, list] = {}
+        for profile in self.profiles:
+            grouped.setdefault(profile.tag or "untagged", []).append(profile)
+        return grouped
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Connector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Row <-> Column marshalling shared by the external connectors
+# ---------------------------------------------------------------------------
+def column_from_values(name: str, values: Sequence) -> "Column":
+    """Build a typed, null-masked Column from driver row values.
+
+    None is the SQL NULL; it maps to the embedded engine's convention
+    (NaN + validity mask for floats, masked zeros for ints).
+    """
+    from repro.storage.column import Column, ColumnType
+
+    present = [v for v in values if v is not None]
+    if not present:
+        return Column(name, np.full(len(values), np.nan))
+    if any(isinstance(v, str) for v in present):
+        array = np.array(
+            [None if v is None else str(v) for v in values], dtype=object
+        )
+        valid = np.array([v is not None for v in values], dtype=bool)
+        return Column(name, array, ColumnType.STR,
+                      None if valid.all() else valid)
+    if all(isinstance(v, int) for v in present):
+        if len(present) == len(values):
+            return Column(name, np.array(values, dtype=np.int64))
+        array = np.array([0 if v is None else v for v in values],
+                         dtype=np.int64)
+        valid = np.array([v is not None for v in values], dtype=bool)
+        return Column(name, array, ColumnType.INT, valid)
+    array = np.array(
+        [np.nan if v is None else float(v) for v in values], dtype=np.float64
+    )
+    return Column(name, array)
+
+
+def to_sql_values(array: np.ndarray) -> List:
+    """NumPy array -> driver parameter list (NaN becomes NULL)."""
+    import math
+
+    kind = array.dtype.kind
+    if kind == "f":
+        return [None if math.isnan(v) else float(v) for v in array.tolist()]
+    if kind in ("i", "u", "b"):
+        return [int(v) for v in array.tolist()]
+    return [None if v is None else str(v) for v in array.tolist()]
+
+
+def check_equal_lengths(name: str, arrays: Dict[str, np.ndarray]) -> None:
+    """Ragged create_table input fails loudly, matching the embedded
+    engine, instead of zip() silently truncating to the shortest."""
+    lengths = {col: len(arr) for col, arr in arrays.items()}
+    if len(set(lengths.values())) > 1:
+        raise StorageError(
+            f"table {name!r} columns have unequal lengths: {lengths}"
+        )
+
+
+class TempNamespaceMixin:
+    """Counter-minted ``jb_tmp_`` names + cleanup for external engines.
+
+    Requires ``table_names()`` and ``drop_table(name, if_exists=True)``
+    from the host connector.
+    """
+
+    _temp_counter = 0
+
+    def temp_name(self, hint: str = "t") -> str:
+        self._temp_counter += 1
+        return f"{TEMP_PREFIX}{hint}_{self._temp_counter}"
+
+    def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
+        keep_keys = {k.lower() for k in (keep or [])}
+        doomed = [
+            n for n in self.table_names()
+            if n.startswith(TEMP_PREFIX) and n.lower() not in keep_keys
+        ]
+        for table_name in doomed:
+            self.drop_table(table_name, if_exists=True)
+        return len(doomed)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+_BACKENDS: Dict[str, Callable[..., Connector]] = {}
+
+
+def register_backend(*names: str):
+    """Class decorator: register a connector factory under ``names``."""
+
+    def wrap(factory):
+        for name in names:
+            _BACKENDS[name.lower()] = factory
+        return factory
+
+    return wrap
+
+
+def backend_names() -> List[str]:
+    return sorted(_BACKENDS)
+
+
+def get_backend(backend: str, **kwargs) -> Connector:
+    """Instantiate the connector registered under ``backend``."""
+    try:
+        factory = _BACKENDS[backend.lower()]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {backend!r}; "
+            f"available: {', '.join(backend_names())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,244 @@
+"""DuckDBConnector: the paper's actual demo engine, as an optional extra.
+
+DuckDB speaks essentially the same SQL surface the Factorizer emits (it
+is the dialect the paper developed against), so no translation layer is
+needed — only result marshalling.  The ``duckdb`` package is **not** a
+dependency of this repo; construction raises a clear, actionable error
+when it is absent.  Install it with::
+
+    pip install repro[duckdb]        # or: pip install duckdb
+
+and ``joinboost.connect(backend="duckdb")`` will use it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends.base import (
+    BackendError,
+    Capabilities,
+    Connector,
+    TempNamespaceMixin,
+    check_equal_lengths,
+    check_update_strategy,
+    column_from_values,
+    register_backend,
+    to_sql_values,
+)
+from repro.backends.dialect import SQLiteDialect, split_statements
+from repro.backends.sqlite3_backend import SQLiteTableView
+from repro.engine.database import QueryProfile
+from repro.engine.result import Relation
+from repro.exceptions import CatalogError, ExecutionError
+
+_INSTALL_HINT = (
+    "the 'duckdb' package is not installed in this environment.\n"
+    "The DuckDB backend is an optional extra; install it with\n"
+    "    pip install repro[duckdb]\n"
+    "or\n"
+    "    pip install duckdb\n"
+    "then retry connect(backend='duckdb').  The stdlib alternative is\n"
+    "connect(backend='sqlite'), which needs no extra packages."
+)
+
+
+def _require_duckdb():
+    try:
+        import duckdb  # type: ignore
+    except ImportError as exc:
+        raise BackendError(_INSTALL_HINT) from exc
+    return duckdb
+
+
+@register_backend("duckdb")
+class DuckDBConnector(TempNamespaceMixin, Connector):
+    """Connector over the optional ``duckdb`` package.
+
+    Shares the SQLite connector's table-view/marshalling machinery; the
+    dialect needs no rewriting because DuckDB computes REAL division for
+    ``/`` on aggregates and ships the statistical aggregates natively.
+    """
+
+    dialect = "duckdb"
+
+    def __init__(self, path: str = ":memory:", name: str = "repro"):
+        duckdb = _require_duckdb()
+        self.name = name
+        self.path = path
+        self._conn = duckdb.connect(path)
+        self._temp_counter = 0
+        self.profiles: List[QueryProfile] = []
+        self.profiling_enabled = True
+        self.capabilities = Capabilities(
+            column_swap=False,
+            query_profiles=True,
+            window_functions=True,
+            in_process=True,
+        )
+
+    # -- statement execution -------------------------------------------
+    def execute(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
+        result: Optional[Relation] = None
+        for statement in split_statements(sql):
+            kind, returns_rows = SQLiteDialect.classify(statement)
+            start = time.perf_counter()
+            try:
+                cursor = self._conn.execute(statement)
+            except Exception as exc:  # duckdb.Error hierarchy
+                raise ExecutionError(
+                    f"duckdb backend failed on: {statement!r}: {exc}"
+                ) from exc
+            result = None
+            if returns_rows:
+                names = [d[0] for d in cursor.description]
+                rows = cursor.fetchall()
+                result = Relation([
+                    column_from_values(column, [row[i] for row in rows])
+                    for i, column in enumerate(names)
+                ])
+            elapsed = time.perf_counter() - start
+            if self.profiling_enabled:
+                self.profiles.append(QueryProfile(
+                    sql=statement, kind=kind, seconds=elapsed,
+                    rows_out=result.num_rows if result is not None else 0,
+                    tag=tag,
+                ))
+        return result
+
+    # -- table management ----------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        data: Dict[str, Union[np.ndarray, Sequence]],
+        config=None,
+        replace: bool = False,
+    ):
+        if replace:
+            self.drop_table(name, if_exists=True)
+        elif self.has_table(name):
+            raise CatalogError(f"table {name!r} already exists")
+        arrays = {col: np.asarray(values) for col, values in data.items()}
+        decls = ", ".join(
+            f"{col} {_duck_type(arr)}" for col, arr in arrays.items()
+        )
+        self._conn.execute(f"CREATE TABLE {name} ({decls})")
+        placeholders = ", ".join(["?"] * len(arrays))
+        check_equal_lengths(name, arrays)
+        rows = list(zip(*(to_sql_values(arr) for arr in arrays.values())))
+        self._conn.executemany(
+            f"INSERT INTO {name} VALUES ({placeholders})", rows
+        )
+        return SQLiteTableView(self, name)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if not if_exists and not self.has_table(name):
+            raise CatalogError(f"no such table: {name!r}")
+        self._conn.execute(f"DROP TABLE IF EXISTS {name}")
+
+    def rename_table(self, old: str, new: str) -> None:
+        if not self.has_table(old):
+            raise CatalogError(f"no such table: {old!r}")
+        if self.has_table(new):
+            raise CatalogError(f"table {new!r} already exists")
+        self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
+
+    def table(self, name: str) -> SQLiteTableView:
+        if not self.has_table(name):
+            raise CatalogError(f"no such table: {name!r}")
+        return SQLiteTableView(self, name)
+
+    def has_table(self, name: str) -> bool:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM information_schema.tables "
+            "WHERE lower(table_name) = lower(?)",
+            [name],
+        ).fetchone()
+        return row[0] > 0
+
+    def table_names(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT table_name FROM information_schema.tables ORDER BY table_name"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    # Temp namespace: temp_name/cleanup_temp from TempNamespaceMixin.
+
+    def replace_column(
+        self,
+        table_name: str,
+        column_name: str,
+        values: np.ndarray,
+        strategy: str = "swap",
+    ) -> None:
+        """Rewrite one column via a rowid-keyed scratch join.
+
+        The scratch table is keyed by the table's *actual* rowids (they
+        need not be contiguous after rebuilds), fetched in the same scan
+        order ``values`` was computed in; a length mismatch raises
+        instead of silently NULLing unmatched rows.
+        """
+        check_update_strategy(strategy)
+        rowids = [r[0] for r in self._conn.execute(
+            f"SELECT rowid FROM {table_name} ORDER BY rowid"
+        ).fetchall()]
+        array = np.asarray(values)
+        if len(rowids) != len(array):
+            raise ExecutionError(
+                f"replace_column: {len(array)} values for "
+                f"{len(rowids)} rows of {table_name!r}"
+            )
+        scratch = self.temp_name("swap")
+        self.create_table(
+            scratch,
+            {"rid": np.asarray(rowids, dtype=np.int64), "v": array},
+        )
+        self._conn.execute(
+            f"UPDATE {table_name} SET {column_name} = ("
+            f"SELECT v FROM {scratch} WHERE {scratch}.rid = {table_name}.rowid)"
+        )
+        self.drop_table(scratch)
+
+    # -- view support (duck-typed against SQLiteConnector) ----------------
+    def _column_names(self, table_name: str) -> List[str]:
+        rows = self._conn.execute(
+            f"SELECT column_name FROM information_schema.columns "
+            f"WHERE lower(table_name) = lower(?) ORDER BY ordinal_position",
+            [table_name],
+        ).fetchall()
+        if not rows:
+            raise CatalogError(f"no such table: {table_name!r}")
+        return [r[0] for r in rows]
+
+    def _num_rows(self, table_name: str) -> int:
+        return self._conn.execute(
+            f"SELECT COUNT(*) FROM {table_name}"
+        ).fetchone()[0]
+
+    def _fetch_column(self, table_name: str, column_name: str):
+        values = [r[0] for r in self._conn.execute(
+            f"SELECT {column_name} FROM {table_name} ORDER BY rowid"
+        ).fetchall()]
+        return column_from_values(column_name, values)
+
+    # -- profiling / lifecycle -------------------------------------------
+    def reset_profiles(self) -> None:
+        self.profiles.clear()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"DuckDBConnector({self.path!r})"
+
+
+def _duck_type(array: np.ndarray) -> str:
+    kind = np.asarray(array).dtype.kind
+    if kind in ("i", "u", "b"):
+        return "BIGINT"
+    if kind == "f":
+        return "DOUBLE"
+    return "VARCHAR"

@@ -1,0 +1,124 @@
+"""EmbeddedConnector: the in-process engine behind the Connector protocol.
+
+Wraps :class:`repro.engine.database.Database` — the repo's own DBMS
+substrate — and adds the capability flags and dialect identity the
+protocol requires.  Unknown attributes forward to the wrapped Database,
+so engine-specific surfaces (``catalog``, ``config``, the WAL) stay
+reachable for the storage benches that deliberately poke them.
+
+Storage presets ("plain", "x-col", "d-mem", "dp", "d-swap", ...) are
+*configurations of this one engine*, not separate backends; the factory
+accepts a preset name so ``joinboost.connect(backend="d-swap")`` keeps
+working exactly as before the connector layer existed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends.base import Capabilities, Connector, register_backend
+from repro.engine.database import Database
+from repro.engine.result import Relation
+from repro.storage.table import StorageConfig
+
+
+class EmbeddedConnector(Connector):
+    """Connector over the embedded ``Database`` engine."""
+
+    dialect = "embedded"
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        preset: str = "plain",
+        name: str = "repro",
+    ):
+        self._db = db if db is not None else Database(
+            config=StorageConfig.preset(preset), name=name
+        )
+        self.preset = preset if db is None else "custom"
+        self.capabilities = Capabilities(
+            column_swap=self._db.config.allow_column_swap
+            or self._db.config.layout == "external",
+            query_profiles=True,
+            window_functions=True,
+            in_process=True,
+        )
+
+    @property
+    def db(self) -> Database:
+        """The wrapped embedded Database."""
+        return self._db
+
+    # -- protocol -------------------------------------------------------
+    def execute(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
+        return self._db.execute(sql, tag=tag)
+
+    def create_table(
+        self,
+        name: str,
+        data: Dict[str, Union[np.ndarray, Sequence]],
+        config=None,
+        replace: bool = False,
+    ):
+        return self._db.create_table(name, data, config=config, replace=replace)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        self._db.drop_table(name, if_exists=if_exists)
+
+    def rename_table(self, old: str, new: str) -> None:
+        self._db.rename_table(old, new)
+
+    def table(self, name: str):
+        return self._db.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self._db.has_table(name)
+
+    def table_names(self) -> List[str]:
+        return self._db.table_names()
+
+    def temp_name(self, hint: str = "t") -> str:
+        return self._db.temp_name(hint)
+
+    def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
+        return self._db.cleanup_temp(keep=keep)
+
+    def replace_column(
+        self,
+        table_name: str,
+        column_name: str,
+        values: np.ndarray,
+        strategy: str = "swap",
+    ) -> None:
+        self._db.replace_column(table_name, column_name, values, strategy)
+
+    @property
+    def profiles(self):
+        return self._db.profiles
+
+    def reset_profiles(self) -> None:
+        self._db.reset_profiles()
+
+    def profiles_by_tag(self):
+        return self._db.profiles_by_tag()
+
+    # -- engine-specific passthrough ------------------------------------
+    def __getattr__(self, item):
+        return getattr(self._db, item)
+
+    def __repr__(self) -> str:
+        return f"EmbeddedConnector({self.preset!r}, {self._db!r})"
+
+
+def embedded_factory(preset: str = "plain", **kwargs) -> EmbeddedConnector:
+    return EmbeddedConnector(preset=preset, **kwargs)
+
+
+register_backend("embedded")(embedded_factory)
+for _preset in StorageConfig.PRESETS:
+    register_backend(_preset)(
+        lambda preset=_preset, **kwargs: EmbeddedConnector(preset=preset, **kwargs)
+    )

@@ -284,7 +284,7 @@ class ResidualUpdater:
             tag="residual_update",
         )
         self.db.drop_table(self.fact_table)
-        self.db.catalog.rename(scratch, self.fact_table)
+        self.db.rename_table(scratch, self.fact_table)
 
     def _swap_with(self, new_columns: Dict[str, str]) -> None:
         """Compute new columns with a query, then pointer-swap them in."""
@@ -351,7 +351,7 @@ class ResidualUpdater:
         )
         self.db.drop_table(u_name)
         self.db.drop_table(self.fact_table)
-        self.db.catalog.rename(scratch, self.fact_table)
+        self.db.rename_table(scratch, self.fact_table)
 
     def _referenced_fact_columns(self, tree: DecisionTreeModel) -> List[str]:
         """Fact columns determining leaf membership: local split columns

@@ -86,6 +86,21 @@ class Database:
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         self.catalog.drop(name, if_exists=if_exists)
 
+    def rename_table(self, old: str, new: str) -> None:
+        self.catalog.rename(old, new)
+
+    def replace_column(
+        self,
+        table_name: str,
+        column_name: str,
+        values,
+        strategy: str = "swap",
+    ) -> None:
+        """Replace one stored column (residual updates, Section 5.4)."""
+        from repro.engine.update import embedded_column_update
+
+        embedded_column_update(self, table_name, column_name, values, strategy)
+
     def temp_name(self, hint: str = "t") -> str:
         return self.catalog.temp_name(hint)
 

@@ -34,7 +34,28 @@ def apply_column_update(
     new_values: np.ndarray,
     strategy: str = "update",
 ) -> None:
-    """Replace ``table.column_name`` with ``new_values`` using ``strategy``."""
+    """Replace ``table.column_name`` with ``new_values`` using ``strategy``.
+
+    Dispatches through the connector protocol: any ``db`` exposing
+    ``replace_column`` (external backends map every strategy to their own
+    physical write) handles it; the embedded strategies below are the
+    fallback for a bare catalog-compatible object.
+    """
+    replace = getattr(db, "replace_column", None)
+    if replace is not None:
+        replace(table_name, column_name, np.asarray(new_values), strategy)
+        return
+    embedded_column_update(db, table_name, column_name, new_values, strategy)
+
+
+def embedded_column_update(
+    db,
+    table_name: str,
+    column_name: str,
+    new_values: np.ndarray,
+    strategy: str = "update",
+) -> None:
+    """The embedded engine's physical strategies (Section 5.3/5.4)."""
     table = db.table(table_name)
     if strategy == "update":
         _update_in_place(table, column_name, new_values)
