@@ -1,12 +1,18 @@
 """Figure 9: query census of JoinBoost's first gradient-boosting iteration.
 
-Paper shape: with 8 leaves (15 tree nodes) and 18 features there are
-270 = 15 x 18 best-split queries and one message request per join edge per
-node; split queries are fast, message queries (join + aggregate +
-materialize) form the slow tail of the latency histogram.
+Paper shape (per-leaf mode): with 8 leaves (15 tree nodes) and 18 features
+there are 270 = 15 x 18 best-split queries and one message request per
+join edge per node; split queries are fast, message queries (join +
+aggregate + materialize) form the slow tail of the latency histogram.
+
+Batched mode (the Section 5 batching optimization): each frontier round
+fuses a relation's features into one UNION ALL query with leaf membership
+as a CASE grouping column, dropping the split-query count from
+O(leaves x features) to O(relations) per round — with tree-for-tree
+parity (identical rmse) between the two modes.
 """
 
-from repro.bench.harness import fig09_query_census
+from repro.bench.harness import fig09_batching_comparison
 from repro.bench.report import format_table
 
 _FEATURES = 18
@@ -15,31 +21,53 @@ _LEAVES = 8
 
 def test_fig09_query_census(benchmark, figure_report):
     results = benchmark.pedantic(
-        fig09_query_census,
+        fig09_batching_comparison,
         kwargs={"num_features": _FEATURES, "num_leaves": _LEAVES},
         rounds=1, iterations=1,
     )
+    per_leaf = results["per_leaf"]
+    batched = results["batched"]
 
-    counts, edges = results["latency_histogram_ms"]
+    counts, edges = per_leaf["latency_histogram_ms"]
     rows = [
-        ["feature (best-split)", results["num_feature_queries"]],
-        ["message (passing)", results["num_message_queries"]],
-        ["expected feature queries", results["expected_feature_queries"]],
+        ["feature (best-split), per-leaf", per_leaf["num_feature_queries"]],
+        ["feature (best-split), batched", batched["num_feature_queries"]],
+        ["message (passing), per-leaf", per_leaf["num_message_queries"]],
+        ["message (passing), batched", batched["num_message_queries"]],
+        ["frontier labeling, batched", batched["num_frontier_queries"]],
+        ["expected per-leaf feature queries",
+         per_leaf["expected_feature_queries"]],
+        ["query drop factor", round(results["query_drop_factor"], 1)],
     ]
     text = format_table("Figure 9a — query counts, 1st iteration",
                         ["query type", "count"], rows)
     text += "\n" + format_table(
-        "Figure 9b — query latency histogram",
+        "Figure 9b — query latency histogram (per-leaf)",
         ["bucket >= (ms)", "queries"],
         [[edges[i], counts[i]] for i in range(len(counts))],
     )
     figure_report("fig09", text)
 
     # 15 nodes x 18 features best-split queries, exactly as the paper counts.
-    assert results["num_feature_queries"] == results["expected_feature_queries"]
-    assert results["num_feature_queries"] == (2 * _LEAVES - 1) * _FEATURES
+    assert per_leaf["num_feature_queries"] == per_leaf["expected_feature_queries"]
+    assert per_leaf["num_feature_queries"] == (2 * _LEAVES - 1) * _FEATURES
     # Messages exist and are far fewer than split queries (caching).
-    assert 0 < results["num_message_queries"] < results["num_feature_queries"]
+    assert 0 < per_leaf["num_message_queries"] < per_leaf["num_feature_queries"]
     # The slowest message query dominates the slowest split query
     # (join+materialize vs scan of a per-value aggregate).
-    assert max(results["message_ms"]) > max(results["feature_ms"]) * 0.5
+    assert max(per_leaf["message_ms"]) > max(per_leaf["feature_ms"]) * 0.5
+
+    # Batched mode: at most one fused split query per feature-bearing
+    # relation per frontier round (one labeling query marks each round),
+    # and never more split queries than the per-leaf mode.  The tight
+    # relations x rounds bound assumes each relation's features share one
+    # value kind — true for the all-numeric Favorita schema; a relation
+    # mixing string and numeric features adds one query per extra kind.
+    rounds = batched["num_frontier_queries"]
+    assert 0 < rounds <= _LEAVES
+    assert batched["num_feature_queries"] <= (
+        batched["num_feature_relations"] * rounds
+    )
+    assert batched["num_feature_queries"] < per_leaf["num_feature_queries"]
+    # Tree-for-tree parity between the modes.
+    assert results["rmse_delta"] < 1e-9

@@ -1,0 +1,147 @@
+"""CI perf smoke: downsized Figure 5 + Figure 9 with hard gates.
+
+Runs in the ``perf-smoke`` CI job (see .github/workflows/ci.yml), writes
+``BENCH_ci.json`` as a build artifact — the start of the bench
+trajectory — and exits non-zero when a gate fails:
+
+* **census** — the batched frontier evaluator must issue no more split
+  queries than the per-leaf path, and at most one fused query per
+  feature-bearing relation per frontier round;
+* **wall** — batched training must not regress to more than ``WALL_RATIO``
+  times the per-leaf wall time (absolute seconds are machine-dependent,
+  the ratio is not);
+* **parity** — both modes must train the same model (rmse to 1e-9).
+
+Sizes are deliberately small (seconds, not minutes): this is a smoke
+gate, not the paper reproduction — ``pytest benchmarks/`` is that.
+
+Run locally:  PYTHONPATH=src python benchmarks/ci_perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.bench.harness import fig05_residual_updates, fig09_batching_comparison
+
+#: batched wall time may be at most this multiple of per-leaf wall time
+WALL_RATIO = 2.0
+
+FIG5_SMOKE_ROWS = 60_000
+FIG5_SMOKE_BACKENDS = ("x-col", "d-mem", "d-swap")
+FIG5_SMOKE_METHODS = ("naive", "update", "create-0", "swap")
+
+FIG9_SMOKE_ROWS = 8_000
+FIG9_SMOKE_FEATURES = 18
+FIG9_SMOKE_LEAVES = 8
+
+
+def run_smoke() -> dict:
+    start = time.perf_counter()
+    fig05 = fig05_residual_updates(
+        num_rows=FIG5_SMOKE_ROWS,
+        backends=FIG5_SMOKE_BACKENDS,
+        methods=FIG5_SMOKE_METHODS,
+    )
+    fig09 = fig09_batching_comparison(
+        num_fact_rows=FIG9_SMOKE_ROWS,
+        num_features=FIG9_SMOKE_FEATURES,
+        num_leaves=FIG9_SMOKE_LEAVES,
+    )
+    return {
+        "schema": "bench-ci-v1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "total_seconds": time.perf_counter() - start,
+        "fig05": {
+            backend: methods for backend, methods in fig05.items()
+        },
+        "fig09": {
+            "per_leaf_feature_queries":
+                fig09["per_leaf"]["num_feature_queries"],
+            "batched_feature_queries":
+                fig09["batched"]["num_feature_queries"],
+            "batched_rounds": fig09["batched"]["num_frontier_queries"],
+            "feature_relations": fig09["batched"]["num_feature_relations"],
+            "per_leaf_wall_seconds": fig09["per_leaf"]["wall_seconds"],
+            "batched_wall_seconds": fig09["batched"]["wall_seconds"],
+            "query_drop_factor": fig09["query_drop_factor"],
+            "rmse_delta": fig09["rmse_delta"],
+        },
+    }
+
+
+def gate(results: dict) -> list:
+    """Return the list of failed-gate messages (empty = pass)."""
+    fig09 = results["fig09"]
+    failures = []
+    if fig09["batched_feature_queries"] > fig09["per_leaf_feature_queries"]:
+        failures.append(
+            "census: batched split-query count "
+            f"({fig09['batched_feature_queries']}) exceeds per-leaf "
+            f"({fig09['per_leaf_feature_queries']})"
+        )
+    # One fused query per feature-bearing relation per round.  (A relation
+    # mixing string and numeric features would issue one per value kind;
+    # the Favorita smoke schema is all-numeric, so the tight bound holds.)
+    budget = fig09["feature_relations"] * max(fig09["batched_rounds"], 1)
+    if fig09["batched_feature_queries"] > budget:
+        failures.append(
+            "census: batched split-query count "
+            f"({fig09['batched_feature_queries']}) exceeds relations x "
+            f"rounds ({budget})"
+        )
+    if fig09["batched_wall_seconds"] > WALL_RATIO * fig09["per_leaf_wall_seconds"]:
+        failures.append(
+            f"wall: batched iteration took {fig09['batched_wall_seconds']:.2f}s"
+            f" vs per-leaf {fig09['per_leaf_wall_seconds']:.2f}s"
+            f" (> {WALL_RATIO}x regression gate)"
+        )
+    if fig09["rmse_delta"] > 1e-9:
+        failures.append(
+            f"parity: batched/per-leaf rmse differ by {fig09['rmse_delta']:.3e}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_ci.json", help="where to write the report"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_smoke()
+    failures = gate(results)
+    results["gates"] = {"passed": not failures, "failures": failures}
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+
+    fig09 = results["fig09"]
+    print(
+        f"fig09 split queries: per-leaf={fig09['per_leaf_feature_queries']} "
+        f"batched={fig09['batched_feature_queries']} "
+        f"(drop {fig09['query_drop_factor']:.1f}x, "
+        f"rounds={fig09['batched_rounds']}, "
+        f"relations={fig09['feature_relations']})"
+    )
+    print(
+        f"fig09 wall: per-leaf={fig09['per_leaf_wall_seconds']:.2f}s "
+        f"batched={fig09['batched_wall_seconds']:.2f}s; "
+        f"rmse delta={fig09['rmse_delta']:.2e}"
+    )
+    print(f"report written to {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"PERF GATE FAILED — {failure}", file=sys.stderr)
+        return 1
+    print("all perf gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,9 @@ class Capabilities:
     #: window functions (``SUM(...) OVER (ORDER BY ...)``) are available;
     #: without them the split finder falls back to client-side prefix scans
     window_functions: bool = True
+    #: ``UNION ALL`` is available; without it the frontier evaluator falls
+    #: back to one best-split query per (leaf, feature)
+    union_all: bool = True
     #: the engine runs inside this process (no network / IPC hop)
     in_process: bool = True
 

@@ -77,6 +77,7 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
             column_swap=False,
             query_profiles=True,
             window_functions=True,
+            union_all=True,
             in_process=True,
         )
 

@@ -44,6 +44,7 @@ class EmbeddedConnector(Connector):
             or self._db.config.layout == "external",
             query_profiles=True,
             window_functions=True,
+            union_all=True,
             in_process=True,
         )
 

@@ -138,6 +138,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             column_swap=False,
             query_profiles=True,
             window_functions=sqlite3.sqlite_version_info >= (3, 25, 0),
+            union_all=True,
             in_process=True,
         )
 

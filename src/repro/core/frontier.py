@@ -1,0 +1,418 @@
+"""Batched frontier split evaluation — one split query per relation.
+
+The naive trainer issues one best-split query per (leaf, feature): with L
+open leaves and F features that is L x F queries per evaluation round,
+the query blow-up the paper's batching optimization (Section 5, Figure 9)
+exists to eliminate.  The :class:`FrontierEvaluator` collapses a round to
+one query per relation:
+
+1. **Label.**  Each frontier leaf's selection sigma is rewritten into a
+   fact-table-only condition (the Section 4.1 semi-join movement already
+   used by residual updates), and one pass over the lifted fact table
+   materializes ``CASE WHEN sigma_1 THEN id_1 WHEN sigma_2 THEN id_2 ...
+   END AS jb_leaf`` — rows outside every frontier leaf label NULL.
+
+2. **Carry.**  For each relation R holding candidate features, a
+   multi-group absorption (:meth:`Factorizer.multi_absorption`) routes
+   messages from the labeled fact toward R with ``jb_leaf`` as an extra
+   grouping column; subtrees that do not contain the fact reuse the
+   ordinary cached messages.
+
+3. **Fuse.**  All of R's features become branches of a single ``UNION
+   ALL`` query, each grouped by ``(jb_leaf, feature value)`` with a
+   discriminator literal, so the whole frontier's aggregates for R arrive
+   in one result set.
+
+4. **Scan.**  Per (leaf, feature) slices run through the same client-side
+   prefix-scan kernel as the per-leaf path
+   (:func:`~repro.core.split.best_split_from_aggregates`), and the winner
+   per leaf is reduced in the caller's feature order — so batched and
+   per-leaf modes choose identical splits, tie for tie.
+
+Batching requires leaf membership to be a *function of the fact row*,
+i.e. a snowflake schema (fact 1-1 with the join result).  Galaxy/CPT
+trees, outer-join factorizers and backends without ``UNION ALL`` fall
+back to the per-leaf path; ``split_batching="off"`` forces it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.residual import leaf_fact_condition
+from repro.core.split import (
+    Criterion,
+    SplitCandidate,
+    SplitFinder,
+    best_split_from_aggregates,
+)
+from repro.core.tree import TreeNode
+from repro.exceptions import JoinGraphError, TrainingError
+from repro.factorize.executor import Factorizer
+from repro.factorize.predicates import PredicateMap
+from repro.joingraph.graph import JoinGraph
+from repro.storage.column import ColumnType
+
+#: the leaf-membership grouping column added to the labeled fact table
+LEAF_COLUMN = "jb_leaf"
+
+
+class BatchingUnavailable(TrainingError):
+    """A batched round cannot be expressed for this tree/schema (e.g. the
+    semi-join predicate movement needs single-column join keys).  Auto
+    mode falls back to per-leaf on exactly this error; any other failure
+    inside a batched round propagates."""
+
+
+def merged_predicates(base: PredicateMap, node: TreeNode) -> PredicateMap:
+    """Base predicates plus the node's root-to-leaf path predicates."""
+    merged: PredicateMap = {k: tuple(v) for k, v in base.items()}
+    for relation, preds in node.path_predicates().items():
+        merged[relation] = tuple(merged.get(relation, ())) + tuple(preds)
+    return merged
+
+
+class FrontierEvaluator:
+    """Finds the best split of every open-frontier leaf, batched by
+    relation when the schema allows, per (leaf, feature) otherwise."""
+
+    def __init__(
+        self,
+        db,
+        graph: JoinGraph,
+        factorizer: Factorizer,
+        criterion: Criterion,
+        finder: SplitFinder,
+        mode: str = "auto",
+        missing: str = "right",
+        min_child_samples: int = 1,
+    ):
+        self.db = db
+        self.graph = graph
+        self.factorizer = factorizer
+        self.criterion = criterion
+        self.finder = finder
+        self.mode = mode
+        self.missing = missing
+        self.min_child_samples = min_child_samples
+        # census counters (read by the Figure 9 bench and the CI gate)
+        self.rounds = 0
+        self.batched_rounds = 0
+        self.label_queries = 0
+        self.batched_split_queries = 0
+        self.per_leaf_split_queries = 0
+        self._batch_veto: Optional[str] = None
+        self._veto_checked = False
+        self._kind_cache: Dict[Tuple[str, str], str] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def best_splits(
+        self,
+        nodes: Sequence[TreeNode],
+        base_predicates: PredicateMap,
+        features: Sequence[Tuple[str, str]],
+    ) -> Dict[int, Optional[SplitCandidate]]:
+        """Best split per frontier node (node_id -> candidate or None)."""
+        if not nodes:
+            return {}
+        self.rounds += 1
+        if self.mode != "off":
+            veto = self._batching_veto()
+            if veto is None:
+                try:
+                    return self._batched(nodes, base_predicates, features)
+                except BatchingUnavailable as exc:
+                    if self.mode == "on":
+                        raise
+                    # Remember the real reason and stop attempting
+                    # batched rounds; other errors propagate untouched.
+                    self._batch_veto = str(exc)
+            elif self.mode == "on":
+                raise TrainingError(
+                    f"split_batching='on' but batching is unavailable: {veto}"
+                )
+        return self._per_leaf(nodes, base_predicates, features)
+
+    def census(self) -> Dict[str, object]:
+        """Query accounting for the Figure 9 reproduction and CI gates."""
+        return {
+            "mode": self.mode,
+            "rounds": self.rounds,
+            "batched_rounds": self.batched_rounds,
+            "label_queries": self.label_queries,
+            "batched_split_queries": self.batched_split_queries,
+            "per_leaf_split_queries": self.per_leaf_split_queries,
+            "batching_veto": self._batch_veto or self._batching_veto(),
+        }
+
+    # ------------------------------------------------------------------
+    # Eligibility
+    # ------------------------------------------------------------------
+    def _batching_veto(self) -> Optional[str]:
+        """None when batching can run; otherwise the reason it cannot."""
+        if self._veto_checked:
+            return self._batch_veto
+        self._veto_checked = True
+        self._batch_veto = self._compute_veto()
+        return self._batch_veto
+
+    def _compute_veto(self) -> Optional[str]:
+        capabilities = getattr(self.db, "capabilities", None)
+        if capabilities is not None and not getattr(
+            capabilities, "union_all", True
+        ):
+            return "backend lacks UNION ALL"
+        if self.factorizer.outer_joins:
+            return "outer-join factorizer (missing-key tolerance mode)"
+        try:
+            fact = self.graph.target_relation
+        except JoinGraphError:
+            return "join graph has no target relation"
+        # Leaf membership must be a function of the fact row: every edge
+        # directed away from the fact must be N-to-1 (snowflake).
+        from repro.core.boosting import is_snowflake
+
+        if not is_snowflake(self.graph, fact):
+            return "non-snowflake schema (fact is not 1-1 with the join)"
+        if fact not in self.factorizer.lifted:
+            return "target relation is not lifted"
+        fact_columns = {
+            c.lower()
+            for c in self.db.table(self.factorizer.storage_table(fact)).column_names()
+        }
+        if LEAF_COLUMN in fact_columns:
+            return f"fact table already has a {LEAF_COLUMN!r} column"
+        if not set(self.factorizer.semiring.components) <= fact_columns:
+            return "lifted fact table lacks semi-ring components"
+        return None
+
+    # ------------------------------------------------------------------
+    # Per-leaf fallback (the pre-batching behavior, query for query)
+    # ------------------------------------------------------------------
+    def _per_leaf(
+        self,
+        nodes: Sequence[TreeNode],
+        base_predicates: PredicateMap,
+        features: Sequence[Tuple[str, str]],
+    ) -> Dict[int, Optional[SplitCandidate]]:
+        out: Dict[int, Optional[SplitCandidate]] = {}
+        for node in nodes:
+            if self.criterion.weight(node.aggregates) <= 0:
+                out[node.node_id] = None
+                continue
+            predicates = merged_predicates(base_predicates, node)
+            best: Optional[SplitCandidate] = None
+            for relation, feature in features:
+                candidate = self.finder.best_split(
+                    feature,
+                    relation,
+                    predicates,
+                    node.aggregates,
+                    categorical=self.graph.is_categorical(relation, feature),
+                )
+                self.per_leaf_split_queries += 1
+                if candidate is not None and (
+                    best is None or candidate.gain > best.gain
+                ):
+                    best = candidate
+            out[node.node_id] = best
+        return out
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+    def _batched(
+        self,
+        nodes: Sequence[TreeNode],
+        base_predicates: PredicateMap,
+        features: Sequence[Tuple[str, str]],
+    ) -> Dict[int, Optional[SplitCandidate]]:
+        out: Dict[int, Optional[SplitCandidate]] = {
+            node.node_id: None for node in nodes
+        }
+        eligible = [
+            node for node in nodes if self.criterion.weight(node.aggregates) > 0
+        ]
+        if not eligible:
+            return out
+        fact = self.graph.target_relation
+        label_table = self._label_frontier(eligible, base_predicates, features, fact)
+        self.batched_rounds += 1
+
+        by_relation: Dict[str, List[Tuple[int, str]]] = {}
+        for index, (relation, feature) in enumerate(features):
+            by_relation.setdefault(relation, []).append((index, feature))
+
+        node_by_id = {node.node_id: node for node in eligible}
+        candidates: Dict[Tuple[int, int], SplitCandidate] = {}
+        try:
+            for relation, indexed in by_relation.items():
+                # Carry messages depend on the relation and the label
+                # table only — materialize them once and share across
+                # the relation's kind groups.
+                absorption = self.factorizer.multi_absorption(
+                    relation,
+                    carry={fact: (LEAF_COLUMN,)},
+                    table_override={fact: label_table},
+                )
+                try:
+                    for group in self._split_by_kind(relation, indexed):
+                        self._evaluate_relation(
+                            relation, group, fact, absorption,
+                            node_by_id, candidates,
+                        )
+                finally:
+                    for temp in absorption.temp_tables:
+                        self.db.drop_table(temp, if_exists=True)
+        finally:
+            self.db.drop_table(label_table, if_exists=True)
+
+        # Reduce in the caller's feature order so ties across features
+        # break exactly as the per-leaf scan's first-strict-max does.
+        for node in eligible:
+            best: Optional[SplitCandidate] = None
+            for index in range(len(features)):
+                candidate = candidates.get((node.node_id, index))
+                if candidate is not None and (
+                    best is None or candidate.gain > best.gain
+                ):
+                    best = candidate
+            out[node.node_id] = best
+        return out
+
+    def _label_frontier(
+        self,
+        nodes: Sequence[TreeNode],
+        base_predicates: PredicateMap,
+        features: Sequence[Tuple[str, str]],
+        fact: str,
+    ) -> str:
+        """One pass over the lifted fact: leaf membership as a column."""
+        whens = []
+        for node in nodes:
+            try:
+                condition = leaf_fact_condition(
+                    self.graph,
+                    fact,
+                    merged_predicates(base_predicates, node),
+                    fact_alias="t",
+                )
+            except TrainingError as exc:
+                # The semi-join rewrite refused (multi-column join keys,
+                # no path to the fact): this tree cannot batch.
+                raise BatchingUnavailable(str(exc)) from exc
+            whens.append(f"WHEN {condition} THEN {node.node_id}")
+        fact_table = self.factorizer.storage_table(fact)
+        keep: Dict[str, None] = {}
+        for edge in self.graph.edges_of(fact):
+            for key in edge.keys_for(fact):
+                keep.setdefault(key)
+        for relation, feature in features:
+            if relation == fact:
+                keep.setdefault(feature)
+        for component in self.factorizer.semiring.components:
+            keep.setdefault(component)
+        label_table = self.db.temp_name("frontier")
+        self.db.execute(
+            f"CREATE TABLE {label_table} AS "
+            f"SELECT {', '.join(f't.{c}' for c in keep)}, "
+            f"CASE {' '.join(whens)} END AS {LEAF_COLUMN} "
+            f"FROM {fact_table} AS t",
+            tag="frontier",
+        )
+        self.label_queries += 1
+        return label_table
+
+    def _split_by_kind(
+        self, relation: str, indexed: List[Tuple[int, str]]
+    ) -> List[List[Tuple[int, str]]]:
+        """Partition a relation's features into UNION-compatible groups.
+
+        String-valued and numeric features cannot share a ``jb_value``
+        column, so a relation mixing them issues one query per kind (the
+        common all-numeric relation stays a single query).
+        """
+        groups: Dict[str, List[Tuple[int, str]]] = {}
+        for index, feature in indexed:
+            key = (relation, feature)
+            kind = self._kind_cache.get(key)
+            if kind is None:
+                table = self.db.table(self.factorizer.storage_table(relation))
+                column = table.column(feature)
+                kind = "str" if column.ctype is ColumnType.STR else "num"
+                self._kind_cache[key] = kind
+            groups.setdefault(kind, []).append((index, feature))
+        return list(groups.values())
+
+    def _evaluate_relation(
+        self,
+        relation: str,
+        indexed: List[Tuple[int, str]],
+        fact: str,
+        absorption,
+        node_by_id: Dict[int, TreeNode],
+        candidates: Dict[Tuple[int, int], SplitCandidate],
+    ) -> None:
+        """One fused query for all of ``relation``'s features, then the
+        shared prefix scan per (leaf, feature) slice."""
+        leaf_ref = absorption.ref(fact, LEAF_COLUMN)
+        agg_sql = ", ".join(
+            f"{expr} AS {comp}" for comp, expr in absorption.agg_selects
+        )
+        where_parts = [f"{leaf_ref} IS NOT NULL"]
+        if absorption.where_sql:
+            where_parts.append(absorption.where_sql)
+        where_sql = " AND ".join(where_parts)
+        branches = []
+        for index, feature in indexed:
+            branches.append(
+                f"SELECT {index} AS jb_feature, t.{feature} AS jb_value, "
+                f"{leaf_ref} AS {LEAF_COLUMN}, {agg_sql} "
+                f"{absorption.from_sql} "
+                f"WHERE {where_sql} "
+                f"GROUP BY {leaf_ref}, t.{feature}"
+            )
+        result = self.db.execute(" UNION ALL ".join(branches), tag="feature")
+        self.batched_split_queries += 1
+        if result is None or result.num_rows == 0:
+            return
+
+        feature_ids = result.column("jb_feature").values.astype(np.int64)
+        leaf_ids = np.asarray(
+            result.column(LEAF_COLUMN).values, dtype=np.float64
+        ).astype(np.int64)
+        value_column = result.column("jb_value")
+        values = value_column.values
+        nulls = value_column.is_null()
+        if values.dtype.kind == "f":
+            nulls = nulls | np.isnan(values)
+        agg_arrays = {
+            c: result.column(c).values.astype(np.float64)
+            for c in self.criterion.components
+        }
+
+        for index, feature in indexed:
+            categorical = self.graph.is_categorical(relation, feature)
+            feature_mask = feature_ids == index
+            for node_id, node in node_by_id.items():
+                mask = feature_mask & (leaf_ids == node_id)
+                if not mask.any():
+                    continue
+                candidate = best_split_from_aggregates(
+                    self.criterion,
+                    relation,
+                    feature,
+                    values[mask],
+                    nulls[mask],
+                    {c: a[mask] for c, a in agg_arrays.items()},
+                    node.aggregates,
+                    categorical=categorical,
+                    missing=self.missing,
+                    min_child_samples=self.min_child_samples,
+                )
+                if candidate is not None:
+                    candidates[(node_id, index)] = candidate

@@ -58,6 +58,9 @@ _ALIASES = {
     "tweedie_rho": "tweedie_rho",
     "missing": "missing",
     "update_strategy": "update_strategy",
+    "split_batching": "split_batching",
+    "batch_splits": "split_batching",
+    "frontier_batching": "split_batching",
 }
 
 
@@ -85,6 +88,11 @@ class TrainParams:
     tweedie_rho: float = 1.5
     missing: str = "right"  # NULL routing: "right" (default) or "both"
     update_strategy: str = "swap"  # residual updates: update|create|swap|naive
+    # Frontier split evaluation: "auto" batches each round into one query
+    # per relation where the schema allows (falling back silently), "on"
+    # demands batching (raising when unavailable), "off" keeps the classic
+    # one query per (leaf, feature).
+    split_batching: str = "auto"
 
     def __post_init__(self):
         if self.num_leaves < 2:
@@ -106,6 +114,11 @@ class TrainParams:
         if self.update_strategy not in ("update", "create", "swap", "naive"):
             raise TrainingError(
                 f"unknown update_strategy {self.update_strategy!r}"
+            )
+        if self.split_batching not in ("auto", "on", "off"):
+            raise TrainingError(
+                f"split_batching must be 'auto', 'on' or 'off', "
+                f"got {self.split_batching!r}"
             )
         if self.max_bin is not None and self.max_bin < 2:
             raise TrainingError("max_bin must be at least 2")

@@ -52,6 +52,12 @@ class Criterion:
 
     def weight(self, aggregates: Dict[str, float]) -> float:
         """Mass used for min-child checks (count or hessian sum)."""
+        if not self.components:
+            raise TrainingError(
+                f"criterion {type(self).__name__} declares no aggregate "
+                "components; weight() needs at least one (the count or "
+                "hessian column)"
+            )
         return aggregates.get(self.components[0], 0.0)
 
     def min_weight(self, min_child_samples: int) -> float:
@@ -310,69 +316,107 @@ class SplitFinder:
         )
         if result.num_rows == 0:
             return None
-        comps = [c for c in self.criterion.components]
         f_col = result.column(feature)
         values = f_col.values
         nulls = f_col.is_null()
         if values.dtype.kind == "f":
             nulls = nulls | np.isnan(values)
         agg_arrays: Dict[str, np.ndarray] = {
-            c: result.column(c).values.astype(np.float64) for c in comps
+            c: result.column(c).values.astype(np.float64)
+            for c in self.criterion.components
         }
-
-        null_aggs = {c: float(a[nulls].sum()) for c, a in agg_arrays.items()}
-        keep = ~nulls
-        values = values[keep]
-        agg_arrays = {c: a[keep] for c, a in agg_arrays.items()}
-        if len(values) < 2:
-            return None
-
-        if categorical:
-            order = np.argsort(self.criterion.order_key(agg_arrays), kind="stable")
-        else:
-            order = np.argsort(values.astype(np.float64), kind="stable")
-        values = values[order]
-        prefix = {c: np.cumsum(a[order]) for c, a in agg_arrays.items()}
-
-        min_w = self.criterion.min_weight(self.min_child_samples)
-        w_total = self.criterion.weight(totals)
-        best: Optional[Tuple[float, int, bool]] = None
-        has_nulls = null_aggs.get(comps[0], 0.0) > 0
-        routings = (False, True) if (self.missing == "both" and has_nulls) else (False,)
-        for null_left in routings:
-            for i in range(len(values) - 1):
-                left = {c: float(prefix[c][i]) for c in comps}
-                if null_left:
-                    left = {c: left[c] + null_aggs[c] for c in comps}
-                w_left = self.criterion.weight(left)
-                if w_left < min_w or (w_total - w_left) < min_w:
-                    continue
-                gain = self.criterion.gain_aggs(left, totals)
-                if np.isfinite(gain) and (best is None or gain > best[0]):
-                    best = (gain, i, null_left)
-        if best is None:
-            return None
-        gain, idx, null_left = best
-        left = {c: float(prefix[c][idx]) for c in comps}
-        if null_left:
-            left = {c: left[c] + null_aggs[c] for c in comps}
-        right = {c: totals.get(c, 0.0) - left[c] for c in comps}
-
-        if categorical:
-            members = tuple(_plain(v) for v in values[: idx + 1])
-            predicate = Predicate(feature, "IN", members, include_null=null_left)
-        else:
-            predicate = Predicate(
-                feature, "<=", _plain(values[idx]), include_null=null_left
-            )
-        return SplitCandidate(
-            gain=float(gain),
-            relation=relation,
-            predicate=predicate,
-            left_aggregates=left,
-            right_aggregates=right,
-            feature=feature,
+        return best_split_from_aggregates(
+            self.criterion,
+            relation,
+            feature,
+            values,
+            nulls,
+            agg_arrays,
+            totals,
+            categorical=categorical,
+            missing=self.missing,
+            min_child_samples=self.min_child_samples,
         )
+
+
+def best_split_from_aggregates(
+    criterion: Criterion,
+    relation: str,
+    feature: str,
+    values: np.ndarray,
+    nulls: np.ndarray,
+    agg_arrays: Dict[str, np.ndarray],
+    totals: Dict[str, float],
+    categorical: bool,
+    missing: str = "right",
+    min_child_samples: int = 1,
+) -> Optional[SplitCandidate]:
+    """Prefix-scan a per-value aggregate for the best split of one feature.
+
+    This is the shared client-side kernel: the per-leaf finder feeds it one
+    absorption result, the batched frontier evaluator feeds it per-(leaf,
+    feature) slices of one fused query — both must choose identical splits,
+    so they share this code.  ``values``/``nulls``/``agg_arrays`` hold one
+    row per distinct feature value (nulls included); ``totals`` are the
+    node's aggregates.
+    """
+    comps = list(criterion.components)
+    null_aggs = {c: float(a[nulls].sum()) for c, a in agg_arrays.items()}
+    keep = ~nulls
+    values = values[keep]
+    agg_arrays = {c: a[keep] for c, a in agg_arrays.items()}
+    if len(values) == 0:
+        return None
+
+    if categorical:
+        order = np.argsort(criterion.order_key(agg_arrays), kind="stable")
+    else:
+        order = np.argsort(values.astype(np.float64), kind="stable")
+    values = values[order]
+    prefix = {c: np.cumsum(a[order]) for c, a in agg_arrays.items()}
+
+    min_w = criterion.min_weight(min_child_samples)
+    w_total = criterion.weight(totals)
+    best: Optional[Tuple[float, int, bool]] = None
+    has_nulls = null_aggs.get(comps[0], 0.0) > 0
+    routings = (False, True) if (missing == "both" and has_nulls) else (False,)
+    for null_left in routings:
+        # The last index is the all-non-nulls-left split (nulls route
+        # right); the min-weight filter rejects it unless nulls carry
+        # mass — exactly the candidate set of the SQL window path.
+        for i in range(len(values)):
+            left = {c: float(prefix[c][i]) for c in comps}
+            if null_left:
+                left = {c: left[c] + null_aggs[c] for c in comps}
+            w_left = criterion.weight(left)
+            if w_left < min_w or (w_total - w_left) < min_w:
+                continue
+            gain = criterion.gain_aggs(left, totals)
+            if np.isfinite(gain) and (best is None or gain > best[0]):
+                best = (gain, i, null_left)
+    if best is None:
+        return None
+    gain, idx, null_left = best
+    left = {c: float(prefix[c][idx]) for c in comps}
+    if null_left:
+        left = {c: left[c] + null_aggs[c] for c in comps}
+    right = {c: totals.get(c, 0.0) - left[c] for c in comps}
+
+    if categorical:
+        members = tuple(_plain(v) for v in values[: idx + 1])
+        predicate = Predicate(feature, "IN", members, include_null=null_left)
+    else:
+        predicate = Predicate(
+            feature, "<=", _plain(values[idx]), include_null=null_left
+        )
+    return SplitCandidate(
+        gain=float(gain),
+        relation=relation,
+        predicate=predicate,
+        left_aggregates=left,
+        right_aggregates=right,
+        feature=feature,
+    )
 
 
 def _plain(value):

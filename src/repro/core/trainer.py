@@ -5,18 +5,23 @@ reduction of their best split; each iteration pops the best leaf, splits
 it, finds the best splits of the two children, and pushes them back.
 Depth-wise growth orders by (depth, node id) instead.
 
-All heavy computation — the per-feature best-split queries (line 14) — is
-SQL against the factorizer; the Python driver is bookkeeping, exactly the
-division of labour of Figure 4's ML Compiler.
+All heavy computation — the best-split queries (line 14) — is SQL against
+the factorizer; the Python driver is bookkeeping, exactly the division of
+labour of Figure 4's ML Compiler.  Split search goes through the
+:class:`~repro.core.frontier.FrontierEvaluator`, which batches each
+evaluation round into one query per relation on snowflake schemas
+(``split_batching="auto"``, the default) and otherwise issues the
+classic one query per (leaf, feature).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import TrainingError
+from repro.core.frontier import FrontierEvaluator, merged_predicates
 from repro.core.params import TrainParams
 from repro.core.split import Criterion, SplitCandidate, SplitFinder
 from repro.core.tree import DecisionTreeModel, TreeNode
@@ -51,6 +56,16 @@ class DecisionTreeTrainer:
             min_child_samples=params.min_child_samples,
             missing=params.missing,
         )
+        self.evaluator = FrontierEvaluator(
+            db,
+            graph,
+            factorizer,
+            criterion,
+            self.finder,
+            mode=params.split_batching,
+            missing=params.missing,
+            min_child_samples=params.min_child_samples,
+        )
         self._ids = itertools.count()
 
     # ------------------------------------------------------------------
@@ -82,7 +97,9 @@ class DecisionTreeTrainer:
 
         allowed = list(features)
         heap: List[Tuple[float, int, TreeNode, SplitCandidate]] = []
-        candidate = self._best_split(root, base_predicates, allowed)
+        candidate = self.evaluator.best_splits(
+            [root], base_predicates, allowed
+        ).get(root.node_id)
         if candidate is not None:
             heapq.heappush(heap, self._entry(root, candidate))
 
@@ -96,11 +113,18 @@ class DecisionTreeTrainer:
                 allowed = self._restrict_to_cluster(cand.relation, features)
             self._apply_split(node, cand)
             num_leaves += 1
-            for child in (node.left, node.right):
-                if self.params.max_depth >= 0 and child.depth >= self.params.max_depth:
-                    continue
-                preds = self._merged_predicates(base_predicates, child)
-                child_cand = self._best_split(child, preds, allowed)
+            # Both children are one frontier round: batched mode turns the
+            # 2 x |features| per-leaf queries into one query per relation.
+            frontier = [
+                child
+                for child in (node.left, node.right)
+                if self.params.max_depth < 0 or child.depth < self.params.max_depth
+            ]
+            child_candidates = self.evaluator.best_splits(
+                frontier, base_predicates, allowed
+            )
+            for child in frontier:
+                child_cand = child_candidates.get(child.node_id)
                 if child_cand is not None and child_cand.gain > self.params.min_split_gain:
                     heapq.heappush(heap, self._entry(child, child_cand))
         return model
@@ -116,30 +140,7 @@ class DecisionTreeTrainer:
     def _merged_predicates(
         self, base: PredicateMap, node: TreeNode
     ) -> PredicateMap:
-        merged: PredicateMap = {k: tuple(v) for k, v in base.items()}
-        for relation, preds in node.path_predicates().items():
-            merged[relation] = tuple(merged.get(relation, ())) + tuple(preds)
-        return merged
-
-    def _best_split(
-        self,
-        node: TreeNode,
-        predicates: PredicateMap,
-        features: Sequence[Tuple[str, str]],
-    ) -> Optional[SplitCandidate]:
-        """GetBestSplit (Algorithm 1 L11-16): scan features, keep the max."""
-        best: Optional[SplitCandidate] = None
-        for relation, feature in features:
-            candidate = self.finder.best_split(
-                feature,
-                relation,
-                predicates,
-                node.aggregates,
-                categorical=self.graph.is_categorical(relation, feature),
-            )
-            if candidate is not None and (best is None or candidate.gain > best.gain):
-                best = candidate
-        return best
+        return merged_predicates(base, node)
 
     def _apply_split(self, node: TreeNode, cand: SplitCandidate) -> None:
         node.gain = cand.gain
@@ -171,6 +172,11 @@ class DecisionTreeTrainer:
             if relation in cluster:
                 members = set(cluster.members)
                 return [(rel, f) for rel, f in features if rel in members]
+        known = ", ".join(
+            f"{cluster.fact}={sorted(cluster.members)}"
+            for cluster in self.clusters or ()
+        ) or "none"
         raise TrainingError(
-            f"relation {relation!r} is outside every CPT cluster"
+            f"relation {relation!r} is outside every CPT cluster "
+            f"(known clusters: {known})"
         )

@@ -18,7 +18,7 @@ from repro.exceptions import CatalogError, ExecutionError, PlanError
 from repro.sql import ast_nodes as ast
 from repro.sql.expressions import Frame, evaluate
 from repro.sql.parser import parse
-from repro.engine.planner import run_select, _precompute_subqueries
+from repro.engine.planner import run_query, run_select, _precompute_subqueries
 from repro.engine.result import Relation
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
@@ -132,10 +132,10 @@ class Database:
         start = time.perf_counter()
         kind = type(statement).__name__
         result: Optional[Relation] = None
-        if isinstance(statement, ast.Select):
-            result = run_select(statement, self)
+        if isinstance(statement, (ast.Select, ast.UnionAll)):
+            result = run_query(statement, self)
         elif isinstance(statement, ast.CreateTableAs):
-            relation = run_select(statement.query, self)
+            relation = run_query(statement.query, self)
             table = Table.from_columns(
                 statement.name, relation.columns(), self.config,
                 wal=self._wal, mvcc=self._mvcc,

@@ -29,6 +29,59 @@ from repro.engine.result import Relation
 from repro.storage.column import Column, ColumnType
 
 
+def run_query(query: "ast.Query", db) -> Relation:
+    """Execute a SELECT or a UNION ALL chain against ``db``."""
+    if isinstance(query, ast.UnionAll):
+        return concat_relations([run_select(s, db) for s in query.selects])
+    return run_select(query, db)
+
+
+def concat_relations(relations: List[Relation]) -> Relation:
+    """Bag union of branch results (UNION ALL semantics).
+
+    Column names and order come from the first branch; branches must agree
+    on column count.  Types promote INT -> FLOAT per position; a position
+    mixing strings with numbers is an error (the Factorizer keeps string
+    and numeric features in separate batched queries).
+    """
+    if not relations:
+        raise PlanError("UNION ALL needs at least one branch")
+    if len(relations) == 1:
+        return relations[0]
+    width = relations[0].num_columns
+    for relation in relations[1:]:
+        if relation.num_columns != width:
+            raise PlanError(
+                "UNION ALL branches have different column counts: "
+                f"{width} vs {relation.num_columns}"
+            )
+    out: List[Column] = []
+    for position in range(width):
+        branch_cols = [r.columns()[position] for r in relations]
+        out.append(_concat_columns(branch_cols))
+    return Relation(out)
+
+
+def _concat_columns(columns: List[Column]) -> Column:
+    name = columns[0].name
+    ctypes = {c.ctype for c in columns}
+    if ColumnType.STR in ctypes and len(ctypes) > 1:
+        raise PlanError(
+            f"UNION ALL column {name!r} mixes strings with numbers"
+        )
+    nulls = np.concatenate([c.is_null() for c in columns])
+    valid = ~nulls if nulls.any() else None
+    if ctypes == {ColumnType.INT}:
+        values = np.concatenate([c.values for c in columns])
+        return Column(name, values, ColumnType.INT, valid)
+    if ColumnType.STR in ctypes:
+        values = np.concatenate([c.values.astype(object) for c in columns])
+        return Column(name, values, ColumnType.STR, valid)
+    # INT/FLOAT mix promotes to FLOAT; as_float() turns nulls into NaN.
+    values = np.concatenate([c.as_float() for c in columns])
+    return Column(name, values, ColumnType.FLOAT, valid)
+
+
 def run_select(select: ast.Select, db) -> Relation:
     """Execute a SELECT against ``db`` (a :class:`~repro.engine.database.
     Database`)."""
@@ -66,7 +119,7 @@ def run_select(select: ast.Select, db) -> Relation:
 # ---------------------------------------------------------------------------
 def _frame_for_table_ref(ref: ast.TableRef, db) -> Frame:
     if ref.subquery is not None:
-        relation = run_select(ref.subquery, db)
+        relation = run_query(ref.subquery, db)
         return Frame.from_columns(relation.columns(), binding=ref.binding)
     table = db.table(ref.name)
     frame = Frame(table.num_rows())
@@ -200,7 +253,7 @@ def _precompute_subqueries(expr: Optional[ast.Expr], db, context: Dict[int, obje
         return
     for node in ast.walk(expr):
         if isinstance(node, ast.InSubquery) and ("subq", id(node)) not in context:
-            relation = run_select(node.query, db)
+            relation = run_query(node.query, db)
             if relation.num_columns != 1:
                 raise PlanError("IN subquery must return exactly one column")
             context[("subq", id(node))] = relation.columns()[0].values

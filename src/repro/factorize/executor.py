@@ -13,6 +13,7 @@ per-feature root choice and every tree node.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JoinGraphError, TrainingError
@@ -35,6 +36,33 @@ from repro.factorize.predicates import (
 from repro.joingraph.graph import JoinGraph
 from repro.joingraph.hypertree import edge_between, is_acyclic
 from repro.semiring.base import SemiRing
+
+
+@dataclasses.dataclass
+class MultiAbsorption:
+    """A prepared multi-group absorption rooted at one relation.
+
+    Messages (standard and carry) are already materialized; callers
+    assemble one or more SELECTs from the pieces — the frontier evaluator
+    builds a ``UNION ALL`` branch per feature over the same ``from_sql`` —
+    then drop ``temp_tables`` when done.
+    """
+
+    root: str
+    #: ``FROM <table> AS t <joins>`` — shared by every branch
+    from_sql: str
+    #: root-relation predicate conjunction (None when unfiltered)
+    where_sql: Optional[str]
+    #: ``(component, SUM(...) expression)`` pairs for the select list
+    agg_selects: List[Tuple[str, str]]
+    #: alias-qualified references for carried columns: (relation, column)
+    carry_refs: Dict[Tuple[str, str], str]
+    #: carry-message tables to drop after the query runs
+    temp_tables: List[str]
+
+    def ref(self, relation: str, column: str) -> str:
+        """The SQL reference of a carried (or root-owned) column."""
+        return self.carry_refs[(relation, column)]
 
 
 class Factorizer:
@@ -64,6 +92,7 @@ class Factorizer:
         self._side: Dict[Tuple[str, str], FrozenSet[str]] = {}
         self.message_requests = 0
         self.message_executions = 0
+        self.carry_message_executions = 0
         if any(e.multiplicity is None for e in graph.edges):
             graph.analyze()
         self._compute_sides()
@@ -354,6 +383,169 @@ class Factorizer:
         return {k: (0.0 if v is None else float(v)) for k, v in row.items()}
 
     # ------------------------------------------------------------------
+    # Multi-group absorption (batched frontier evaluation)
+    # ------------------------------------------------------------------
+    def multi_absorption(
+        self,
+        root: str,
+        carry: Dict[str, Sequence[str]],
+        predicates: Optional[PredicateMap] = None,
+        table_override: Optional[Dict[str, str]] = None,
+    ) -> MultiAbsorption:
+        """Prepare an absorption at ``root`` with grouping columns carried
+        in from *other* relations.
+
+        ``carry`` maps relation -> columns to propagate to the root's
+        scope: each message whose sending side contains a carry relation
+        additionally groups by (and re-exposes) those columns, so the root
+        query can group on them — this is how a leaf-membership label on
+        the fact table reaches every relation's split query in one pass.
+        Carry-bearing messages are materialized fresh (never cached: the
+        label changes every frontier round) and listed in ``temp_tables``
+        for the caller to drop; carry-free subtree messages go through the
+        normal cache.  ``table_override`` substitutes physical tables per
+        relation (the labeled copy of the lifted fact).
+        """
+        predicates = predicates or {}
+        override = table_override or {}
+        temps: List[str] = []
+        entries: List[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]] = []
+        for neighbor in self.graph.neighbors(root):
+            entry = self._carry_message(
+                neighbor, root, predicates, carry, override, temps
+            )
+            if entry is not None:
+                entries.append(entry)
+
+        annotation = self._own_annotation(root, "t")
+        joins: List[str] = []
+        carry_refs: Dict[Tuple[str, str], str] = {}
+        for column in carry.get(root, ()):
+            carry_refs[(root, column)] = f"t.{column}"
+        join_kind = "LEFT JOIN" if self.outer_joins else "JOIN"
+        for i, (info, carried) in enumerate(entries):
+            alias = f"m{i}"
+            edge = edge_between(self.graph, root, info.child)
+            own_keys = edge.keys_for(root)
+            condition = " AND ".join(
+                f"t.{ok} = {alias}.{mk}"
+                for ok, mk in zip(own_keys, info.key_columns)
+            )
+            joins.append(f"{join_kind} {info.table} AS {alias} ON {condition}")
+            annotation = combine_annotations(
+                self.semiring,
+                annotation,
+                Annotation.from_columns(
+                    info.kind, alias, self.semiring, outer=self.outer_joins
+                ),
+            )
+            for rel_col in carried:
+                carry_refs[rel_col] = f"{alias}.{rel_col[1]}"
+        table = override.get(root, self.storage_table(root))
+        return MultiAbsorption(
+            root=root,
+            from_sql=f"FROM {table} AS t {' '.join(joins)}".rstrip(),
+            where_sql=render_conjunction(predicates.get(root, ()), alias="t"),
+            agg_selects=aggregate_select_list(self.semiring, annotation),
+            carry_refs=carry_refs,
+            temp_tables=temps,
+        )
+
+    def _carry_message(
+        self,
+        child: str,
+        parent: str,
+        predicates: PredicateMap,
+        carry: Dict[str, Sequence[str]],
+        override: Dict[str, str],
+        temps: List[str],
+    ) -> Optional[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]]:
+        """Message child -> parent, propagating carry columns of the
+        sending side; falls through to the cached standard path when the
+        side carries nothing."""
+        side = self._side[(child, parent)]
+        if not any(rel in side for rel in carry):
+            info = self.message(child, parent, predicates)
+            return None if info is None else (info, ())
+
+        self.message_requests += 1
+        edge = edge_between(self.graph, child, parent)
+        keys = edge.keys_for(child)
+        entries: List[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]] = []
+        for neighbor in self.graph.neighbors(child):
+            if neighbor == parent:
+                continue
+            entry = self._carry_message(
+                neighbor, child, predicates, carry, override, temps
+            )
+            if entry is not None:
+                entries.append(entry)
+
+        annotation = self._own_annotation(child, "t")
+        joins: List[str] = []
+        carried: List[Tuple[str, str]] = []
+        refs: List[str] = []
+        for column in carry.get(child, ()):
+            carried.append((child, column))
+            refs.append(f"t.{column}")
+        join_kind = "LEFT JOIN" if self.outer_joins else "JOIN"
+        for i, (info, sub_carried) in enumerate(entries):
+            alias = f"m{i}"
+            sub_edge = edge_between(self.graph, child, info.child)
+            own_keys = sub_edge.keys_for(child)
+            condition = " AND ".join(
+                f"t.{ok} = {alias}.{mk}"
+                for ok, mk in zip(own_keys, info.key_columns)
+            )
+            joins.append(f"{join_kind} {info.table} AS {alias} ON {condition}")
+            annotation = combine_annotations(
+                self.semiring,
+                annotation,
+                Annotation.from_columns(
+                    info.kind, alias, self.semiring, outer=self.outer_joins
+                ),
+            )
+            for rel_col in sub_carried:
+                carried.append(rel_col)
+                refs.append(f"{alias}.{rel_col[1]}")
+
+        select_parts = [f"t.{k} AS {k}" for k in keys]
+        select_parts += [f"{ref} AS {col}" for (_, col), ref in zip(carried, refs)]
+        select_parts += [
+            f"{expr} AS {comp}"
+            for comp, expr in aggregate_select_list(self.semiring, annotation)
+        ]
+        where_parts = []
+        own = render_conjunction(predicates.get(child, ()), alias="t")
+        if own:
+            where_parts.append(own)
+        # Rows without a carry label (outside every frontier leaf) cannot
+        # contribute to any group — drop them at the earliest hop.
+        where_parts += [f"{ref} IS NOT NULL" for ref in refs]
+        group_refs = [f"t.{k}" for k in keys] + refs
+        table = override.get(child, self.storage_table(child))
+        msg_name = self.db.temp_name(f"msg_{child}_{parent}")
+        sql = (
+            f"CREATE TABLE {msg_name} AS "
+            f"SELECT {', '.join(select_parts)} "
+            f"FROM {table} AS t {' '.join(joins)}"
+            + (f" WHERE {' AND '.join(where_parts)}" if where_parts else "")
+            + f" GROUP BY {', '.join(group_refs)}"
+        )
+        self.db.execute(sql, tag="message")
+        self.message_executions += 1
+        self.carry_message_executions += 1
+        temps.append(msg_name)
+        info = MessageInfo(
+            table=msg_name,
+            kind=aggregated_kind(annotation),
+            key_columns=tuple(keys),
+            child=child,
+            parent=parent,
+        )
+        return (info, tuple(carried))
+
+    # ------------------------------------------------------------------
     # Cache control
     # ------------------------------------------------------------------
     def invalidate_for_relation(self, relation: str) -> int:
@@ -377,6 +569,7 @@ class Factorizer:
         return {
             "message_requests": self.message_requests,
             "message_executions": self.message_executions,
+            "carry_message_executions": self.carry_message_executions,
             **self.cache.stats(),
         }
 

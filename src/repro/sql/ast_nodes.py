@@ -151,7 +151,7 @@ class InList(Expr):
 @dataclasses.dataclass
 class InSubquery(Expr):
     operand: Expr
-    query: "Select"
+    query: "Query"
     negated: bool = False
 
     def sql(self) -> str:
@@ -225,7 +225,7 @@ class TableRef:
     """A named table or a derived table (subquery) with an optional alias."""
 
     name: Optional[str] = None
-    subquery: Optional["Select"] = None
+    subquery: Optional["Query"] = None
     alias: Optional[str] = None
 
     def sql(self) -> str:
@@ -288,9 +288,28 @@ class Select:
 
 
 @dataclasses.dataclass
+class UnionAll:
+    """Bag union of two or more SELECTs (the batched split-query shape).
+
+    Only ``UNION ALL`` is modelled: the Factorizer's per-feature branches
+    are disjoint by construction (each carries a distinct discriminator
+    literal), so distinct-union semantics are never needed.
+    """
+
+    selects: List[Select]
+
+    def sql(self) -> str:
+        return " UNION ALL ".join(s.sql() for s in self.selects)
+
+
+#: anything that produces rows: a plain SELECT or a UNION ALL of them
+Query = Union[Select, "UnionAll"]
+
+
+@dataclasses.dataclass
 class CreateTableAs:
     name: str
-    query: Select
+    query: Query
     replace: bool = False
 
     def sql(self) -> str:
@@ -320,7 +339,7 @@ class Update:
         return f"UPDATE {self.table} SET {sets}{tail}"
 
 
-Statement = Union[Select, CreateTableAs, DropTable, Update]
+Statement = Union[Select, UnionAll, CreateTableAs, DropTable, Update]
 
 
 def walk(expr: Expr):

@@ -2,8 +2,9 @@
 
 Grammar (informal)::
 
-    statement   := select | create | drop | update
-    create      := CREATE [OR REPLACE] TABLE name AS select
+    statement   := query | create | drop | update
+    query       := select (UNION ALL select)*
+    create      := CREATE [OR REPLACE] TABLE name AS query
     drop        := DROP TABLE [IF EXISTS] name
     update      := UPDATE name SET col '=' expr (',' col '=' expr)* [WHERE expr]
     select      := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
@@ -84,7 +85,7 @@ class _Parser:
     def parse_statement(self) -> ast.Statement:
         token = self.peek()
         if token.matches(TokenType.KEYWORD, "SELECT"):
-            return self.parse_select()
+            return self.parse_query()
         if token.matches(TokenType.KEYWORD, "CREATE"):
             return self.parse_create()
         if token.matches(TokenType.KEYWORD, "DROP"):
@@ -102,7 +103,7 @@ class _Parser:
         self.expect_keyword("TABLE")
         name = self.expect_identifier()
         self.expect_keyword("AS")
-        query = self.parse_select()
+        query = self.parse_query()
         return ast.CreateTableAs(name=name, query=query, replace=replace)
 
     def parse_drop(self) -> ast.DropTable:
@@ -130,6 +131,25 @@ class _Parser:
         if self.accept_keyword("WHERE"):
             where = self.parse_expr()
         return ast.Update(table=table, assignments=assignments, where=where)
+
+    def parse_query(self) -> "ast.Query":
+        """A SELECT, or a ``UNION ALL`` chain of SELECTs.
+
+        The engine supports bag union only (the Factorizer's batched
+        split queries never need duplicate elimination); a bare ``UNION``
+        is rejected rather than silently reinterpreted.
+        """
+        first = self.parse_select()
+        if not self.peek().matches(TokenType.KEYWORD, "UNION"):
+            return first
+        selects = [first]
+        while self.accept_keyword("UNION"):
+            if not self.accept_keyword("ALL"):
+                raise ParseError(
+                    "only UNION ALL is supported (bag union)", self.peek()
+                )
+            selects.append(self.parse_select())
+        return ast.UnionAll(selects=selects)
 
     def parse_select(self) -> ast.Select:
         self.expect_keyword("SELECT")
@@ -207,7 +227,7 @@ class _Parser:
 
     def parse_table_ref(self) -> ast.TableRef:
         if self.accept_punct("("):
-            subquery = self.parse_select()
+            subquery = self.parse_query()
             self.expect_punct(")")
             alias = None
             if self.accept_keyword("AS"):
@@ -299,7 +319,7 @@ class _Parser:
         if self.accept_keyword("IN"):
             self.expect_punct("(")
             if self.peek().matches(TokenType.KEYWORD, "SELECT"):
-                query = self.parse_select()
+                query = self.parse_query()
                 self.expect_punct(")")
                 return ast.InSubquery(left, query, negated=negated)
             items = [self.parse_expr()]

@@ -235,3 +235,47 @@ class TestSubqueries:
             " ORDER BY criteria DESC LIMIT 1"
         )
         assert result.num_rows == 1
+
+
+class TestUnionAll:
+    def test_concatenates_branches(self, db):
+        result = db.execute(
+            "SELECT k, v FROM t WHERE k = 1 UNION ALL "
+            "SELECT k, v FROM t WHERE k = 2"
+        )
+        assert result.num_rows == 4
+        assert list(result["k"]) == [1, 1, 2, 2]
+
+    def test_discriminator_and_grouped_branches(self, db):
+        # The batched split-query shape: per-branch literals + GROUP BY.
+        result = db.execute(
+            "SELECT 0 AS f, k, SUM(v) AS s FROM t GROUP BY k UNION ALL "
+            "SELECT 1 AS f, k, SUM(w) AS s FROM u GROUP BY k"
+        )
+        assert result.num_rows == 5
+        assert sorted(result["f"]) == [0, 0, 0, 1, 1]
+
+    def test_int_float_promotion(self, db):
+        result = db.execute("SELECT k AS x FROM u UNION ALL SELECT v AS x FROM t")
+        column = result.column("x")
+        assert column.values.dtype == np.float64
+        assert column.is_null().sum() == 1  # t.v carries one NaN
+
+    def test_duplicates_survive(self, db):
+        result = db.execute("SELECT k FROM u UNION ALL SELECT k FROM u")
+        assert result.num_rows == 4
+
+    def test_create_table_from_union(self, db):
+        db.execute(
+            "CREATE TABLE both_keys AS "
+            "SELECT k FROM t UNION ALL SELECT k FROM u"
+        )
+        assert db.execute("SELECT COUNT(*) AS n FROM both_keys").scalar() == 7
+
+    def test_mismatched_column_count_raises(self, db):
+        with pytest.raises(PlanError, match="column counts"):
+            db.execute("SELECT k, v FROM t UNION ALL SELECT k FROM u")
+
+    def test_string_number_mix_raises(self, db):
+        with pytest.raises(PlanError, match="mixes strings"):
+            db.execute("SELECT name FROM t UNION ALL SELECT k FROM u")

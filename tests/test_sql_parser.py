@@ -140,6 +140,45 @@ class TestExpressions:
         assert expr.distinct
 
 
+class TestUnionAll:
+    def test_parse_union_all(self):
+        stmt = one("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert isinstance(stmt, ast.UnionAll)
+        assert len(stmt.selects) == 2
+        assert all(isinstance(s, ast.Select) for s in stmt.selects)
+
+    def test_chained_branches_keep_clauses(self):
+        stmt = one(
+            "SELECT a, SUM(b) AS s FROM t WHERE a > 1 GROUP BY a "
+            "UNION ALL SELECT a, SUM(b) AS s FROM u GROUP BY a "
+            "UNION ALL SELECT a, SUM(b) AS s FROM v GROUP BY a"
+        )
+        assert isinstance(stmt, ast.UnionAll)
+        assert len(stmt.selects) == 3
+        assert stmt.selects[0].where is not None
+        assert stmt.selects[2].group_by
+
+    def test_round_trip(self):
+        text = "SELECT a FROM t UNION ALL SELECT a FROM u"
+        assert one(text).sql() == text
+
+    def test_create_table_as_union(self):
+        stmt = one("CREATE TABLE x AS SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert isinstance(stmt, ast.CreateTableAs)
+        assert isinstance(stmt.query, ast.UnionAll)
+
+    def test_union_in_from_subquery(self):
+        stmt = one(
+            "SELECT COUNT(*) AS n FROM "
+            "(SELECT a FROM t UNION ALL SELECT a FROM u) AS both_tables"
+        )
+        assert isinstance(stmt.source.subquery, ast.UnionAll)
+
+    def test_bare_union_rejected(self):
+        with pytest.raises(ParseError, match="UNION ALL"):
+            parse("SELECT a FROM t UNION SELECT a FROM u")
+
+
 class TestErrors:
     def test_empty(self):
         with pytest.raises(ParseError):
