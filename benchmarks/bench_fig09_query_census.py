@@ -7,12 +7,19 @@ aggregate + materialize) form the slow tail of the latency histogram.
 
 Batched mode (the Section 5 batching optimization): each frontier round
 fuses a relation's features into one UNION ALL query with leaf membership
-as a CASE grouping column, dropping the split-query count from
+as a grouping column, dropping the split-query count from
 O(leaves x features) to O(relations) per round — with tree-for-tree
-parity (identical rmse) between the two modes.
+parity (identical rmse) between the two modes.  Leaf membership itself
+is maintained incrementally (one root pass per tree + two narrow
+UPDATEs per split) rather than rebuilt per round; the second figure
+reports the label passes, label bytes and carry-cache hit rate of both
+strategies.
 """
 
-from repro.bench.harness import fig09_batching_comparison
+from repro.bench.harness import (
+    fig09_batching_comparison,
+    fig09_frontier_state_comparison,
+)
 from repro.bench.report import format_table
 
 _FEATURES = 18
@@ -63,11 +70,52 @@ def test_fig09_query_census(benchmark, figure_report):
     # relations x rounds bound assumes each relation's features share one
     # value kind — true for the all-numeric Favorita schema; a relation
     # mixing string and numeric features adds one query per extra kind.
-    rounds = batched["num_frontier_queries"]
+    rounds = batched["frontier_census"]["batched_rounds"]
     assert 0 < rounds <= _LEAVES
     assert batched["num_feature_queries"] <= (
         batched["num_feature_relations"] * rounds
     )
     assert batched["num_feature_queries"] < per_leaf["num_feature_queries"]
     # Tree-for-tree parity between the modes.
+    assert results["rmse_delta"] < 1e-9
+    # Incremental labeling (the default): zero full-fact rebuild passes,
+    # exactly one root pass, at most two delta updates per split.
+    census = batched["frontier_census"]
+    assert batched["num_frontier_queries"] == 0
+    assert census["label_queries"] == 0
+    assert census["root_label_passes"] == 1
+    assert 0 < census["delta_label_updates"] <= 2 * (_LEAVES - 1)
+
+
+def test_fig09_frontier_state(benchmark, figure_report):
+    results = benchmark.pedantic(
+        fig09_frontier_state_comparison,
+        kwargs={"num_features": _FEATURES, "num_leaves": _LEAVES},
+        rounds=1, iterations=1,
+    )
+    rebuild = results["rebuild"]["frontier_census"]
+    incremental = results["incremental"]["frontier_census"]
+    rows = [
+        ["full-fact label passes, rebuild", rebuild["label_queries"]],
+        ["full-fact label passes, incremental", incremental["label_queries"]],
+        ["root label passes, incremental", incremental["root_label_passes"]],
+        ["delta label updates, incremental",
+         incremental["delta_label_updates"]],
+        ["label bytes, rebuild", rebuild["label_bytes_written"]],
+        ["label bytes, incremental", incremental["label_bytes_written"]],
+        ["label bytes drop factor",
+         round(results["label_bytes_drop_factor"], 1)],
+        ["carry-cache hits, incremental", incremental["carry_cache_hits"]],
+        ["carry-cache hits, rebuild", rebuild["carry_cache_hits"]],
+    ]
+    figure_report("fig09_frontier", format_table(
+        "Figure 9c — incremental vs rebuilt leaf membership",
+        ["metric", "value"], rows,
+    ))
+
+    # The paper's work-sharing principle, census-asserted: membership is
+    # maintained (rows that move), not recomputed (full-fact copies).
+    assert incremental["label_queries"] == 0
+    assert results["label_bytes_drop_factor"] >= 5.0
+    assert incremental["carry_cache_hits"] > 0
     assert results["rmse_delta"] < 1e-9

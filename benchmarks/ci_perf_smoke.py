@@ -1,16 +1,23 @@
 """CI perf smoke: downsized Figure 5 + Figure 9 with hard gates.
 
 Runs in the ``perf-smoke`` CI job (see .github/workflows/ci.yml), writes
-``BENCH_ci.json`` as a build artifact — the start of the bench
-trajectory — and exits non-zero when a gate fails:
+``BENCH_ci.json`` as a build artifact — the bench trajectory whose
+per-PR snapshots live at the repo root (``BENCH_pr3.json``, ...) — and
+exits non-zero when a gate fails:
 
 * **census** — the batched frontier evaluator must issue no more split
   queries than the per-leaf path, and at most one fused query per
   feature-bearing relation per frontier round;
-* **wall** — batched training must not regress to more than ``WALL_RATIO``
-  times the per-leaf wall time (absolute seconds are machine-dependent,
-  the ratio is not);
-* **parity** — both modes must train the same model (rmse to 1e-9).
+* **labels** — incremental frontier state must do zero full-fact label
+  rebuilds after the one root pass per tree, at most two delta updates
+  per committed split, write at least ``LABEL_BYTES_MIN_DROP`` times
+  fewer label bytes than the per-round rebuild, and score carry-message
+  cache hits;
+* **wall** — batched training must not regress to more than
+  ``WALL_RATIO`` times the per-leaf wall time, nor incremental labeling
+  to more than ``WALL_RATIO`` times rebuild labeling (absolute seconds
+  are machine-dependent, the ratios are not);
+* **parity** — all three modes must train the same model (rmse to 1e-9).
 
 Sizes are deliberately small (seconds, not minutes): this is a smoke
 gate, not the paper reproduction — ``pytest benchmarks/`` is that.
@@ -26,10 +33,15 @@ import platform
 import sys
 import time
 
-from repro.bench.harness import fig05_residual_updates, fig09_batching_comparison
+from repro.bench.harness import fig05_residual_updates, fig09_query_census
 
 #: batched wall time may be at most this multiple of per-leaf wall time
+#: (and incremental labeling at most this multiple of rebuild labeling)
 WALL_RATIO = 2.0
+
+#: incremental label maintenance must write at least this many times
+#: fewer label bytes than per-round full-fact rebuilds
+LABEL_BYTES_MIN_DROP = 5.0
 
 FIG5_SMOKE_ROWS = 60_000
 FIG5_SMOKE_BACKENDS = ("x-col", "d-mem", "d-swap")
@@ -47,13 +59,22 @@ def run_smoke() -> dict:
         backends=FIG5_SMOKE_BACKENDS,
         methods=FIG5_SMOKE_METHODS,
     )
-    fig09 = fig09_batching_comparison(
-        num_fact_rows=FIG9_SMOKE_ROWS,
-        num_features=FIG9_SMOKE_FEATURES,
-        num_leaves=FIG9_SMOKE_LEAVES,
+    per_leaf = fig09_query_census(
+        FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
+        split_batching="off",
     )
+    rebuild = fig09_query_census(
+        FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
+        split_batching="on", frontier_state="rebuild",
+    )
+    incremental = fig09_query_census(
+        FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
+        split_batching="on", frontier_state="incremental",
+    )
+    inc_census = incremental["frontier_census"]
+    reb_census = rebuild["frontier_census"]
     return {
-        "schema": "bench-ci-v1",
+        "schema": "bench-ci-v2",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -61,16 +82,30 @@ def run_smoke() -> dict:
             backend: methods for backend, methods in fig05.items()
         },
         "fig09": {
-            "per_leaf_feature_queries":
-                fig09["per_leaf"]["num_feature_queries"],
-            "batched_feature_queries":
-                fig09["batched"]["num_feature_queries"],
-            "batched_rounds": fig09["batched"]["num_frontier_queries"],
-            "feature_relations": fig09["batched"]["num_feature_relations"],
-            "per_leaf_wall_seconds": fig09["per_leaf"]["wall_seconds"],
-            "batched_wall_seconds": fig09["batched"]["wall_seconds"],
-            "query_drop_factor": fig09["query_drop_factor"],
-            "rmse_delta": fig09["rmse_delta"],
+            "per_leaf_feature_queries": per_leaf["num_feature_queries"],
+            "batched_feature_queries": incremental["num_feature_queries"],
+            "rebuild_feature_queries": rebuild["num_feature_queries"],
+            "batched_rounds": inc_census.get("batched_rounds", 0),
+            "rebuild_rounds": reb_census.get("batched_rounds", 0),
+            "feature_relations": incremental["num_feature_relations"],
+            "per_leaf_wall_seconds": per_leaf["wall_seconds"],
+            "rebuild_wall_seconds": rebuild["wall_seconds"],
+            "batched_wall_seconds": incremental["wall_seconds"],
+            "query_drop_factor": per_leaf["num_feature_queries"]
+            / max(incremental["num_feature_queries"], 1),
+            "rmse_delta": abs(per_leaf["rmse"] - incremental["rmse"]),
+            "rebuild_rmse_delta": abs(rebuild["rmse"] - incremental["rmse"]),
+        },
+        "labels": {
+            "rebuild_label_queries": reb_census.get("label_queries", 0),
+            "incremental_label_queries": inc_census.get("label_queries", 0),
+            "root_label_passes": inc_census.get("root_label_passes", 0),
+            "delta_label_updates": inc_census.get("delta_label_updates", 0),
+            "rebuild_label_bytes": rebuild["label_bytes_written"],
+            "incremental_label_bytes": incremental["label_bytes_written"],
+            "label_bytes_drop_factor": rebuild["label_bytes_written"]
+            / max(incremental["label_bytes_written"], 1),
+            "carry_cache_hits": incremental["carry_cache_hits"],
         },
     }
 
@@ -78,6 +113,7 @@ def run_smoke() -> dict:
 def gate(results: dict) -> list:
     """Return the list of failed-gate messages (empty = pass)."""
     fig09 = results["fig09"]
+    labels = results["labels"]
     failures = []
     if fig09["batched_feature_queries"] > fig09["per_leaf_feature_queries"]:
         failures.append(
@@ -101,10 +137,47 @@ def gate(results: dict) -> list:
             f" vs per-leaf {fig09['per_leaf_wall_seconds']:.2f}s"
             f" (> {WALL_RATIO}x regression gate)"
         )
+    if fig09["batched_wall_seconds"] > WALL_RATIO * fig09["rebuild_wall_seconds"]:
+        failures.append(
+            "wall: incremental labeling took "
+            f"{fig09['batched_wall_seconds']:.2f}s vs rebuild "
+            f"{fig09['rebuild_wall_seconds']:.2f}s"
+            f" (> {WALL_RATIO}x regression gate)"
+        )
     if fig09["rmse_delta"] > 1e-9:
         failures.append(
             f"parity: batched/per-leaf rmse differ by {fig09['rmse_delta']:.3e}"
         )
+    if fig09["rebuild_rmse_delta"] > 1e-9:
+        failures.append(
+            "parity: incremental/rebuild rmse differ by "
+            f"{fig09['rebuild_rmse_delta']:.3e}"
+        )
+    # Incremental frontier state: no full-fact relabel after the root
+    # pass, bounded delta updates, and a real label-byte reduction.
+    if labels["incremental_label_queries"] != 0:
+        failures.append(
+            "labels: incremental mode issued "
+            f"{labels['incremental_label_queries']} full-fact label rebuilds"
+        )
+    if labels["root_label_passes"] != 1:
+        failures.append(
+            f"labels: expected 1 root label pass per tree, saw "
+            f"{labels['root_label_passes']}"
+        )
+    if labels["delta_label_updates"] > 2 * (FIG9_SMOKE_LEAVES - 1):
+        failures.append(
+            "labels: delta update census grew past two per committed "
+            f"split ({labels['delta_label_updates']})"
+        )
+    if labels["label_bytes_drop_factor"] < LABEL_BYTES_MIN_DROP:
+        failures.append(
+            "labels: label bytes written dropped only "
+            f"{labels['label_bytes_drop_factor']:.2f}x vs rebuild "
+            f"(gate: >= {LABEL_BYTES_MIN_DROP}x)"
+        )
+    if labels["carry_cache_hits"] <= 0:
+        failures.append("labels: carry-message cache scored no hits")
     return failures
 
 
@@ -122,6 +195,7 @@ def main(argv=None) -> int:
         json.dump(results, handle, indent=2)
 
     fig09 = results["fig09"]
+    labels = results["labels"]
     print(
         f"fig09 split queries: per-leaf={fig09['per_leaf_feature_queries']} "
         f"batched={fig09['batched_feature_queries']} "
@@ -131,8 +205,17 @@ def main(argv=None) -> int:
     )
     print(
         f"fig09 wall: per-leaf={fig09['per_leaf_wall_seconds']:.2f}s "
-        f"batched={fig09['batched_wall_seconds']:.2f}s; "
+        f"rebuild={fig09['rebuild_wall_seconds']:.2f}s "
+        f"incremental={fig09['batched_wall_seconds']:.2f}s; "
         f"rmse delta={fig09['rmse_delta']:.2e}"
+    )
+    print(
+        f"labels: rebuild bytes={labels['rebuild_label_bytes']} "
+        f"incremental bytes={labels['incremental_label_bytes']} "
+        f"(drop {labels['label_bytes_drop_factor']:.1f}x), "
+        f"root passes={labels['root_label_passes']}, "
+        f"delta updates={labels['delta_label_updates']}, "
+        f"carry-cache hits={labels['carry_cache_hits']}"
     )
     print(f"report written to {args.output}")
     if failures:

@@ -94,13 +94,14 @@ def census_tour() -> None:
         )
         counts = query_census(db)["counts"]
         rmse = joinboost.rmse_on_join(db, graph, model)
-        # One frontier-labeling query marks each batched round.
+        rounds = model.frontier_census.get("batched_rounds", 0)
         print(f" {mode:8s} {counts.get('feature', 0):6d} "
-              f"{counts.get('message', 0):8d} {counts.get('frontier', 0):7d} "
+              f"{counts.get('message', 0):8d} {rounds:7d} "
               f"{rmse:14.9f}")
     print("   (same rmse, O(leaves x features) -> O(relations) split queries:")
-    print("    each round labels the frontier once, then issues one fused")
-    print("    UNION ALL query per feature-bearing relation)")
+    print("    leaf membership lives in a persistent jb_leaf column —")
+    print("    maintained by narrow delta UPDATEs — and each round issues")
+    print("    one fused UNION ALL query per feature-bearing relation)")
 
 
 def main() -> None:

@@ -62,6 +62,11 @@ class Capabilities:
     #: ``UNION ALL`` is available; without it the frontier evaluator falls
     #: back to one best-split query per (leaf, feature)
     union_all: bool = True
+    #: predicated in-place ``UPDATE t SET col = v WHERE ...`` (with
+    #: semi-join ``IN`` subqueries) is available; without it the frontier
+    #: evaluator keeps per-round label rebuilds instead of maintaining a
+    #: persistent leaf-membership column incrementally
+    narrow_update: bool = True
     #: the engine runs inside this process (no network / IPC hop)
     in_process: bool = True
 

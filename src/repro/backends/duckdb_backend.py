@@ -78,6 +78,7 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
             query_profiles=True,
             window_functions=True,
             union_all=True,
+            narrow_update=True,
             in_process=True,
         )
 

@@ -45,6 +45,7 @@ class EmbeddedConnector(Connector):
             query_profiles=True,
             window_functions=True,
             union_all=True,
+            narrow_update=True,
             in_process=True,
         )
 

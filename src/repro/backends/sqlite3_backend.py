@@ -139,6 +139,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             query_profiles=True,
             window_functions=sqlite3.sqlite_version_info >= (3, 25, 0),
             union_all=True,
+            narrow_update=True,
             in_process=True,
         )
 
@@ -196,11 +197,19 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             self._bump_version()
         elapsed = time.perf_counter() - start
         if self.profiling_enabled:
+            if result is not None:
+                rows_out = result.num_rows
+            elif kind == "Update":
+                # sqlite3 reports rows matched by the UPDATE — the
+                # frontier census prices narrow label updates with it.
+                rows_out = max(cursor.rowcount, 0)
+            else:
+                rows_out = 0
             self.profiles.append(QueryProfile(
                 sql=statement,
                 kind=kind,
                 seconds=elapsed,
-                rows_out=result.num_rows if result is not None else 0,
+                rows_out=rows_out,
                 tag=tag,
             ))
         return result

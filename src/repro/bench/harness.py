@@ -236,6 +236,7 @@ def fig09_query_census(
     num_features: int = 18,
     num_leaves: int = 8,
     split_batching: str = "off",
+    frontier_state: str = "incremental",
 ) -> Dict[str, object]:
     """One gradient-boosting iteration's query census.
 
@@ -243,7 +244,11 @@ def fig09_query_census(
     best-split query per (node, feature), 270 = 15 x 18 by default.
     ``"on"`` runs the batched frontier evaluator: one fused split query
     per feature-bearing relation per evaluation round, so the count drops
-    from O(leaves x features) to O(relations).
+    from O(leaves x features) to O(relations).  ``frontier_state``
+    selects the label strategy for batched rounds: ``"rebuild"`` copies
+    the full fact with a CASE per round; ``"incremental"`` maintains a
+    persistent ``jb_leaf`` column with narrow delta UPDATEs (label bytes
+    proportional to the rows that move).
     """
     db, graph = favorita(
         num_fact_rows=num_fact_rows, num_extra_features=num_features - 5
@@ -252,7 +257,8 @@ def fig09_query_census(
     start = time.perf_counter()
     model = repro.train_gradient_boosting(
         db, graph, {"num_iterations": 1, "num_leaves": num_leaves,
-                    "min_data_in_leaf": 3, "split_batching": split_batching},
+                    "min_data_in_leaf": 3, "split_batching": split_batching,
+                    "frontier_state": frontier_state},
     )
     wall_seconds = time.perf_counter() - start
     census = query_census(db)
@@ -260,16 +266,22 @@ def fig09_query_census(
     feature_times = by_tag.get("feature", [])
     message_times = by_tag.get("message", [])
     frontier_times = by_tag.get("frontier", [])
+    delta_times = by_tag.get("frontier_delta", [])
+    root_times = by_tag.get("frontier_root", [])
     histogram = np.histogram(
         np.array(feature_times + message_times) * 1000.0,
         bins=[0, 1, 2, 5, 10, 20, 50, 100, 1e9],
     )
     feature_relations = {rel for rel, _ in graph.all_features()}
+    frontier_census = dict(getattr(model, "frontier_census", {}) or {})
     return {
         "split_batching": split_batching,
+        "frontier_state": frontier_state,
         "num_feature_queries": len(feature_times),
         "num_message_queries": len(message_times),
         "num_frontier_queries": len(frontier_times),
+        "num_delta_update_queries": len(delta_times),
+        "num_root_label_queries": len(root_times),
         "num_feature_relations": len(feature_relations),
         "expected_feature_queries": (2 * num_leaves - 1) * num_features,
         "feature_ms": sorted(t * 1000 for t in feature_times),
@@ -278,6 +290,9 @@ def fig09_query_census(
                                  [float(b) for b in histogram[1][:-1]]),
         "wall_seconds": wall_seconds,
         "rmse": rmse_on_join(db, graph, model),
+        "frontier_census": frontier_census,
+        "label_bytes_written": frontier_census.get("label_bytes_written", 0),
+        "carry_cache_hits": frontier_census.get("carry_cache_hits", 0),
     }
 
 
@@ -285,6 +300,7 @@ def fig09_batching_comparison(
     num_fact_rows: int = 30_000,
     num_features: int = 18,
     num_leaves: int = 8,
+    frontier_state: str = "incremental",
 ) -> Dict[str, object]:
     """Per-leaf vs batched census on the same workload (the paper's
     queries-per-iteration drop, plus a tree-parity check via rmse)."""
@@ -292,7 +308,8 @@ def fig09_batching_comparison(
         num_fact_rows, num_features, num_leaves, split_batching="off"
     )
     batched = fig09_query_census(
-        num_fact_rows, num_features, num_leaves, split_batching="on"
+        num_fact_rows, num_features, num_leaves, split_batching="on",
+        frontier_state=frontier_state,
     )
     drop = per_leaf["num_feature_queries"] / max(
         batched["num_feature_queries"], 1
@@ -302,6 +319,33 @@ def fig09_batching_comparison(
         "batched": batched,
         "query_drop_factor": drop,
         "rmse_delta": abs(per_leaf["rmse"] - batched["rmse"]),
+    }
+
+
+def fig09_frontier_state_comparison(
+    num_fact_rows: int = 30_000,
+    num_features: int = 18,
+    num_leaves: int = 8,
+) -> Dict[str, object]:
+    """Incremental vs rebuild label maintenance on the batched evaluator:
+    label passes, label bytes written and the carry-cache hit rate, with
+    tree parity asserted via rmse."""
+    rebuild = fig09_query_census(
+        num_fact_rows, num_features, num_leaves,
+        split_batching="on", frontier_state="rebuild",
+    )
+    incremental = fig09_query_census(
+        num_fact_rows, num_features, num_leaves,
+        split_batching="on", frontier_state="incremental",
+    )
+    bytes_drop = rebuild["label_bytes_written"] / max(
+        incremental["label_bytes_written"], 1
+    )
+    return {
+        "rebuild": rebuild,
+        "incremental": incremental,
+        "label_bytes_drop_factor": bytes_drop,
+        "rmse_delta": abs(rebuild["rmse"] - incremental["rmse"]),
     }
 
 

@@ -62,6 +62,9 @@ class GradientBoostingModel:
         self.learning_rate = learning_rate
         self.loss = loss
         self.history = history if history is not None else []
+        #: frontier/label/carry-cache accounting from the trainer (set by
+        #: the training drivers; read by the Figure 9 bench and CI gates)
+        self.frontier_census: Dict[str, object] = {}
 
     @property
     def required_features(self) -> List[str]:
@@ -253,13 +256,21 @@ def _train_snowflake(
         train_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
+        # The incremental frontier state leaves a current leaf-membership
+        # column on the lifted fact: residual updates become one CASE over
+        # it instead of per-leaf semi-join scans (falls back when absent).
+        label_column = trainer.leaf_label_column(tree)
         if loss.supports_galaxy:
             # L2: the gradient shifts additively by lr·p* — one column.
-            updater.apply_additive(tree, params.learning_rate, component="g")
+            updater.apply_additive(
+                tree, params.learning_rate, component="g",
+                label_column=label_column,
+            )
         else:
             updater.apply_general(
                 tree, params.learning_rate, y_column=y,
                 hessian_constant=hessian_constant,
+                label_column=label_column,
             )
         factorizer.invalidate_for_relation(fact)
         update_seconds = time.perf_counter() - start
@@ -270,6 +281,10 @@ def _train_snowflake(
         if evaluate_every and (iteration + 1) % evaluate_every == 0:
             record.rmse = rmse_on_join(db, graph, model)
         history.append(record)
+    model.frontier_census = {
+        **trainer.evaluator.census(),
+        "factorizer": factorizer.census(),
+    }
     factorizer.cleanup()
     return model
 
@@ -334,6 +349,10 @@ def _train_galaxy(
         # exactly what CPT exists to avoid — so galaxy history records
         # timings only (Figure 14 plots time, not accuracy).
         history.append(IterationRecord(iteration, train_seconds, update_seconds))
+    model.frontier_census = {
+        **trainer.evaluator.census(),
+        "factorizer": factorizer.census(),
+    }
     factorizer.cleanup()
     return model
 

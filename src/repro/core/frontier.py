@@ -33,11 +33,31 @@ Batching requires leaf membership to be a *function of the fact row*,
 i.e. a snowflake schema (fact 1-1 with the join result).  Galaxy/CPT
 trees, outer-join factorizers and backends without ``UNION ALL`` fall
 back to the per-leaf path; ``split_batching="off"`` forces it.
+
+Two label strategies exist (``frontier_state``):
+
+* ``"incremental"`` (default) — a persistent leaf-membership column is
+  maintained on the lifted fact by :class:`FrontierState`: one cheap
+  root pass per tree, then two depth-1 ``UPDATE``\\ s per committed
+  split relabel only the split leaf's rows.  No per-round full-fact
+  copy, no re-evaluation of ancestor sigmas; carry messages become
+  cacheable under a leaf-epoch key, and the final labels drive the
+  residual update (one ``CASE jb_leaf`` pass instead of per-leaf
+  semi-join scans).
+* ``"rebuild"`` — the pre-incremental behavior: each round materializes
+  a labeled copy of the fact with a ``CASE`` over every frontier leaf's
+  full-path sigma, and drops it afterwards.
+
+Incremental mode degrades to rebuild (never errors) when the backend
+lacks predicated in-place ``UPDATE`` (``Capabilities.narrow_update``),
+when the tree carries base predicates, or when a delta update fails
+mid-training.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -49,14 +69,24 @@ from repro.core.split import (
     best_split_from_aggregates,
 )
 from repro.core.tree import TreeNode
-from repro.exceptions import JoinGraphError, TrainingError
+from repro.exceptions import (
+    ExecutionError,
+    JoinGraphError,
+    ReproError,
+    TrainingError,
+)
 from repro.factorize.executor import Factorizer
 from repro.factorize.predicates import PredicateMap
 from repro.joingraph.graph import JoinGraph
-from repro.storage.column import ColumnType
+from repro.storage.column import Column, ColumnType
 
 #: the leaf-membership grouping column added to the labeled fact table
 LEAF_COLUMN = "jb_leaf"
+
+#: physical names for persistent (incremental) label columns — distinct
+#: from the bare grouping alias so several trainers can share one lifted
+#: fact (multiclass) without tripping the user-column collision veto
+_STATE_COLUMNS = itertools.count(1)
 
 
 class BatchingUnavailable(TrainingError):
@@ -74,6 +104,181 @@ def merged_predicates(base: PredicateMap, node: TreeNode) -> PredicateMap:
     return merged
 
 
+class FrontierState:
+    """Persistent, incrementally maintained leaf membership for one tree.
+
+    Leaf membership over a snowflake join is monotone-refining state: a
+    committed split only moves rows of the split leaf to one of its two
+    children.  The state therefore keeps a physical label column on the
+    lifted fact table and maintains it with narrow updates:
+
+    * **root pass** (once per tree) — every row is labeled with the root
+      node id (adding the column on first use);
+    * **delta update** (per committed split) — two depth-1 ``UPDATE``
+      statements relabel rows of the split leaf only, using the child's
+      one-level predicate rewritten through the Section 4.1 semi-join
+      movement.  Rows matching neither side (e.g. null join keys under
+      an inner-join factorizer) keep the parent label and fall outside
+      every ``jb_leaf IN (...)`` filter — exactly the rows the rebuild
+      CASE would have labeled NULL.
+
+    ``epoch`` counts committed splits and keys the carry-message cache;
+    the census counters feed the Figure 9 bench and CI label-byte gates.
+    """
+
+    def __init__(self, db, graph: JoinGraph, factorizer: Factorizer):
+        self.db = db
+        self.graph = graph
+        self.factorizer = factorizer
+        self.column: Optional[str] = None
+        self.active = False
+        self.epoch = 0
+        self.leaf_ids: Set[int] = set()
+        self._pending_root: Optional[TreeNode] = None
+        self._base_blocked = False
+        # census
+        self.root_label_passes = 0
+        self.delta_label_updates = 0
+        self.label_rows_written = 0
+        self.label_bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def begin_tree(
+        self, root: TreeNode, base_predicates: Optional[PredicateMap]
+    ) -> None:
+        """A new tree starts: previous labels are stale until re-rooted."""
+        self.active = False
+        self._pending_root = root
+        self._base_blocked = any(
+            preds for preds in (base_predicates or {}).values()
+        )
+        self.epoch = 0
+        self.leaf_ids = set()
+
+    def deactivate(self) -> None:
+        self.active = False
+        self._pending_root = None
+
+    # ------------------------------------------------------------------
+    def ensure(self, fact: str) -> bool:
+        """Labels current?  Runs the root pass when a tree is pending."""
+        if self.active:
+            return True
+        if self._pending_root is None or self._base_blocked:
+            # Base predicates precondition the whole tree (bagging by
+            # predicate); the rebuild CASE encodes them, a blanket root
+            # label would not — so such trees use rebuild labels.
+            return False
+        root_id = self._pending_root.node_id
+        table = self.factorizer.storage_table(fact)
+        if not self._root_pass(table, root_id):
+            return False
+        self._pending_root = None
+        self.active = True
+        self.epoch = 0
+        self.leaf_ids = {root_id}
+        self.root_label_passes += 1
+        rows = self.db.table(table).num_rows()
+        self.label_rows_written += rows
+        self.label_bytes_written += 8 * rows
+        return True
+
+    def _root_pass(self, table: str, root_id: int) -> bool:
+        names = {c.lower() for c in self.db.table(table).column_names()}
+        if self.column is not None and self.column in names:
+            # Column survives across trees: re-rooting is one narrow pass.
+            self.db.execute(
+                f"UPDATE {table} SET {self.column} = {root_id}",
+                tag="frontier_root",
+            )
+            return True
+        name = f"{LEAF_COLUMN}_s{next(_STATE_COLUMNS)}"
+        while name in names:  # pragma: no cover - counter names are fresh
+            name = f"{LEAF_COLUMN}_s{next(_STATE_COLUMNS)}"
+        try:
+            self.db.execute(
+                f"ALTER TABLE {table} ADD COLUMN {name} INTEGER",
+                tag="frontier_root",
+            )
+            self.db.execute(
+                f"UPDATE {table} SET {name} = {root_id}", tag="frontier_root"
+            )
+        except ReproError:
+            # The embedded engine has no ALTER: add the column through
+            # the storage layer instead (pre-filled, no second pass).
+            target = self.db.table(table)
+            set_column = getattr(target, "set_column", None)
+            if set_column is None:
+                return False
+            set_column(
+                Column(name, np.full(len(target), root_id, dtype=np.int64))
+            )
+        self.column = name
+        return True
+
+    # ------------------------------------------------------------------
+    def apply_split(self, node: TreeNode) -> None:
+        """Relabel the split leaf's rows with two depth-1 narrow updates.
+
+        Each child's predicate is rewritten fact-side on its own (depth
+        1) — ancestor sigmas are already encoded in ``jb_leaf = parent``,
+        so no depth-long semi-join chain is re-evaluated.
+        """
+        if not self.active:
+            return
+        fact = self.graph.target_relation
+        table = self.factorizer.storage_table(fact)
+        parent_id = node.node_id
+        for child in (node.left, node.right):
+            condition = leaf_fact_condition(
+                self.graph,
+                fact,
+                {child.relation: (child.predicate,)},
+                fact_alias=table,
+            )
+            self.db.execute(
+                f"UPDATE {table} SET {self.column} = {child.node_id} "
+                f"WHERE {self.column} = {parent_id} AND {condition}",
+                tag="frontier_delta",
+            )
+            self.delta_label_updates += 1
+            self._count_written(table)
+        self.leaf_ids.discard(parent_id)
+        self.leaf_ids.update((node.left.node_id, node.right.node_id))
+        self.epoch += 1
+
+    def _count_written(self, table: str) -> None:
+        """Label cells written by the last delta update (from the query
+        profile when available, conservatively the full column size
+        otherwise)."""
+        rows = None
+        profiles = getattr(self.db, "profiles", None)
+        if profiles:
+            last = profiles[-1]
+            if getattr(last, "kind", None) == "Update":
+                rows = last.rows_out
+        if rows is None:
+            rows = self.db.table(table).num_rows()
+        self.label_rows_written += rows
+        self.label_bytes_written += 8 * rows
+
+    # ------------------------------------------------------------------
+    def scope(self, frontier_ids: Sequence[int]):
+        """Cache scope for carry messages: epoch + evaluated frontier."""
+        return (self.epoch, frozenset(int(i) for i in frontier_ids))
+
+    def covers(self, nodes: Sequence[TreeNode]) -> bool:
+        return all(node.node_id in self.leaf_ids for node in nodes)
+
+    def census(self) -> Dict[str, int]:
+        return {
+            "root_label_passes": self.root_label_passes,
+            "delta_label_updates": self.delta_label_updates,
+            "label_rows_written": self.label_rows_written,
+            "label_bytes_written": self.label_bytes_written,
+        }
+
+
 class FrontierEvaluator:
     """Finds the best split of every open-frontier leaf, batched by
     relation when the schema allows, per (leaf, feature) otherwise."""
@@ -88,6 +293,7 @@ class FrontierEvaluator:
         mode: str = "auto",
         missing: str = "right",
         min_child_samples: int = 1,
+        state_mode: str = "incremental",
     ):
         self.db = db
         self.graph = graph
@@ -97,15 +303,64 @@ class FrontierEvaluator:
         self.mode = mode
         self.missing = missing
         self.min_child_samples = min_child_samples
+        self.state_mode = state_mode
+        self.state = FrontierState(db, graph, factorizer)
         # census counters (read by the Figure 9 bench and the CI gate)
         self.rounds = 0
         self.batched_rounds = 0
+        self.incremental_rounds = 0
         self.label_queries = 0
+        self.rebuild_label_cells = 0
         self.batched_split_queries = 0
         self.per_leaf_split_queries = 0
         self._batch_veto: Optional[str] = None
         self._veto_checked = False
+        self._incremental_veto: Optional[str] = None
         self._kind_cache: Dict[Tuple[str, str], str] = {}
+
+    # ------------------------------------------------------------------
+    # Tree lifecycle (driven by the trainer)
+    # ------------------------------------------------------------------
+    def begin_tree(
+        self, root: TreeNode, base_predicates: Optional[PredicateMap] = None
+    ) -> None:
+        """Reset the incremental state for a new tree's root."""
+        self.state.begin_tree(root, base_predicates)
+
+    def notify_split(self, node: TreeNode) -> None:
+        """A split committed: apply the delta label update (incremental
+        state only).  Failures degrade to rebuild labels, never error."""
+        if not self.state.active:
+            return
+        try:
+            self.state.apply_split(node)
+        except (TrainingError, ExecutionError) as exc:
+            self.state.deactivate()
+            self._incremental_veto = f"delta label update failed: {exc}"
+
+    def leaf_label_column(self, model) -> Optional[str]:
+        """The persistent label column, when it is current for ``model``
+        (drives the residual updater's ``CASE jb_leaf`` fast path)."""
+        if not self.state.active or self.state.column is None:
+            return None
+        leaf_ids = {leaf.node_id for leaf in model.leaves()}
+        if not leaf_ids <= self.state.leaf_ids:
+            return None
+        return self.state.column
+
+    def _incremental_blocked(self) -> Optional[str]:
+        """Why incremental labels cannot be used (None = usable)."""
+        if self.state_mode != "incremental":
+            return f"frontier_state={self.state_mode!r}"
+        if self._incremental_veto is not None:
+            return self._incremental_veto
+        capabilities = getattr(self.db, "capabilities", None)
+        if capabilities is not None and not getattr(
+            capabilities, "narrow_update", True
+        ):
+            self._incremental_veto = "backend lacks narrow predicated UPDATE"
+            return self._incremental_veto
+        return None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -139,14 +394,28 @@ class FrontierEvaluator:
 
     def census(self) -> Dict[str, object]:
         """Query accounting for the Figure 9 reproduction and CI gates."""
+        state = self.state.census()
         return {
             "mode": self.mode,
+            "frontier_state": self.state_mode,
             "rounds": self.rounds,
             "batched_rounds": self.batched_rounds,
+            "incremental_rounds": self.incremental_rounds,
             "label_queries": self.label_queries,
+            "root_label_passes": state["root_label_passes"],
+            "delta_label_updates": state["delta_label_updates"],
+            "label_cells_written": (
+                state["label_rows_written"] + self.rebuild_label_cells
+            ),
+            "label_bytes_written": (
+                state["label_bytes_written"] + 8 * self.rebuild_label_cells
+            ),
+            "carry_cache_hits": self.factorizer.carry_cache_hits,
+            "carry_cache_misses": self.factorizer.carry_cache_misses,
             "batched_split_queries": self.batched_split_queries,
             "per_leaf_split_queries": self.per_leaf_split_queries,
             "batching_veto": self._batch_veto or self._batching_veto(),
+            "incremental_veto": self._incremental_veto,
         }
 
     # ------------------------------------------------------------------
@@ -240,7 +509,31 @@ class FrontierEvaluator:
         if not eligible:
             return out
         fact = self.graph.target_relation
-        label_table = self._label_frontier(eligible, base_predicates, features, fact)
+
+        incremental = (
+            self._incremental_blocked() is None
+            and self.state.ensure(fact)
+            and self.state.covers(eligible)
+        )
+        frontier_ids = sorted(node.node_id for node in eligible)
+        label_table: Optional[str] = None
+        override: Optional[Dict[str, str]] = None
+        carry_filters = None
+        scope = None
+        if incremental:
+            label_column = self.state.column
+            carry_filters = {(fact, label_column): tuple(frontier_ids)}
+            scope = self.state.scope(frontier_ids)
+            self.incremental_rounds += 1
+        else:
+            label_column = LEAF_COLUMN
+            label_table = self._label_frontier(
+                eligible, base_predicates, features, fact
+            )
+            override = {fact: label_table}
+        # Evict carry messages keyed to any other leaf epoch — their
+        # labels are stale the moment a split commits.
+        self.factorizer.begin_carry_scope(scope)
         self.batched_rounds += 1
 
         by_relation: Dict[str, List[Tuple[int, str]]] = {}
@@ -251,25 +544,30 @@ class FrontierEvaluator:
         candidates: Dict[Tuple[int, int], SplitCandidate] = {}
         try:
             for relation, indexed in by_relation.items():
-                # Carry messages depend on the relation and the label
-                # table only — materialize them once and share across
-                # the relation's kind groups.
+                # Carry messages depend on the relation and the leaf
+                # labels only — within one round every relation whose
+                # routing path shares a prefix reuses them (scoped cache
+                # in incremental mode, shared kind groups in both).
                 absorption = self.factorizer.multi_absorption(
                     relation,
-                    carry={fact: (LEAF_COLUMN,)},
-                    table_override={fact: label_table},
+                    carry={fact: (label_column,)},
+                    table_override=override,
+                    carry_filters=carry_filters,
+                    cache_scope=scope,
                 )
                 try:
                     for group in self._split_by_kind(relation, indexed):
                         self._evaluate_relation(
                             relation, group, fact, absorption,
                             node_by_id, candidates,
+                            label_column, frontier_ids if incremental else None,
                         )
                 finally:
                     for temp in absorption.temp_tables:
                         self.db.drop_table(temp, if_exists=True)
         finally:
-            self.db.drop_table(label_table, if_exists=True)
+            if label_table is not None:
+                self.db.drop_table(label_table, if_exists=True)
 
         # Reduce in the caller's feature order so ties across features
         # break exactly as the per-leaf scan's first-strict-max does.
@@ -325,6 +623,10 @@ class FrontierEvaluator:
             tag="frontier",
         )
         self.label_queries += 1
+        # Rebuild cost accounting: a full-fact copy writes every kept
+        # column plus the label, 8 bytes per cell in the census model.
+        rows = self.db.table(label_table).num_rows()
+        self.rebuild_label_cells += rows * (len(keep) + 1)
         return label_table
 
     def _split_by_kind(
@@ -356,14 +658,22 @@ class FrontierEvaluator:
         absorption,
         node_by_id: Dict[int, TreeNode],
         candidates: Dict[Tuple[int, int], SplitCandidate],
+        label_column: str = LEAF_COLUMN,
+        frontier_ids: Optional[Sequence[int]] = None,
     ) -> None:
         """One fused query for all of ``relation``'s features, then the
         shared prefix scan per (leaf, feature) slice."""
-        leaf_ref = absorption.ref(fact, LEAF_COLUMN)
+        leaf_ref = absorption.ref(fact, label_column)
         agg_sql = ", ".join(
             f"{expr} AS {comp}" for comp, expr in absorption.agg_selects
         )
-        where_parts = [f"{leaf_ref} IS NOT NULL"]
+        if frontier_ids is not None:
+            # Incremental labels cover every open leaf; restrict to the
+            # round's frontier.
+            rendered = ", ".join(str(int(i)) for i in frontier_ids)
+            where_parts = [f"{leaf_ref} IN ({rendered})"]
+        else:
+            where_parts = [f"{leaf_ref} IS NOT NULL"]
         if absorption.where_sql:
             where_parts.append(absorption.where_sql)
         where_sql = " AND ".join(where_parts)

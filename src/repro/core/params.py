@@ -61,6 +61,8 @@ _ALIASES = {
     "split_batching": "split_batching",
     "batch_splits": "split_batching",
     "frontier_batching": "split_batching",
+    "frontier_state": "frontier_state",
+    "leaf_state": "frontier_state",
 }
 
 
@@ -93,6 +95,11 @@ class TrainParams:
     # demands batching (raising when unavailable), "off" keeps the classic
     # one query per (leaf, feature).
     split_batching: str = "auto"
+    # Leaf labeling for batched rounds: "incremental" maintains a
+    # persistent leaf-membership column via narrow delta UPDATEs (falling
+    # back to rebuild when the backend or tree cannot support it);
+    # "rebuild" re-materializes a labeled fact copy every round.
+    frontier_state: str = "incremental"
 
     def __post_init__(self):
         if self.num_leaves < 2:
@@ -119,6 +126,11 @@ class TrainParams:
             raise TrainingError(
                 f"split_batching must be 'auto', 'on' or 'off', "
                 f"got {self.split_batching!r}"
+            )
+        if self.frontier_state not in ("incremental", "rebuild"):
+            raise TrainingError(
+                f"frontier_state must be 'incremental' or 'rebuild', "
+                f"got {self.frontier_state!r}"
             )
         if self.max_bin is not None and self.max_bin < 2:
             raise TrainingError("max_bin must be at least 2")

@@ -143,6 +143,32 @@ class ResidualUpdater:
         self.loss = loss
         self.strategy = strategy
 
+    # -- leaf-label fast path --------------------------------------------
+    def _labels_usable(self, label_column: Optional[str]) -> Optional[str]:
+        """The label column when the fast path applies, else None.
+
+        The persistent ``jb_leaf`` column (incremental frontier state)
+        already encodes every leaf's σ, so residual updates become one
+        ``CASE`` over an integer column instead of per-leaf depth-long
+        semi-join scans.  The ``naive`` strategy keeps the Section 4.2.1
+        baseline untouched (it is the thing Figure 5 measures).
+        """
+        if label_column is None or self.strategy == "naive":
+            return None
+        names = {c.lower() for c in self.db.table(self.fact_table).column_names()}
+        if label_column.lower() not in names:
+            return None
+        return label_column
+
+    @staticmethod
+    def _label_deltas(
+        tree: DecisionTreeModel, scale: float, label_ref: str
+    ) -> List[Tuple[str, float]]:
+        return [
+            (f"{label_ref} = {leaf.node_id}", scale * leaf.prediction)
+            for leaf in tree.leaves()
+        ]
+
     # -- additive shape (L2 / galaxy clusters) ---------------------------
     def apply_additive(
         self,
@@ -150,14 +176,41 @@ class ResidualUpdater:
         learning_rate: float,
         component: str = "g",
         sign: float = 1.0,
+        label_column: Optional[str] = None,
     ) -> None:
         """Shift ``component`` by ``sign·lr·leaf_value`` per matched tuple.
 
         The shift is the semi-ring ⊗ with lift(δ): the component moves by
         δ times the row's weight component (h or c) — 1 for base fact rows,
-        the group count for pre-aggregated cuboids.
+        the group count for pre-aggregated cuboids.  ``label_column``
+        (when current) switches the leaf conditions from semi-join scans
+        to equality tests on the persistent leaf-membership column.
         """
         weight = self._weight_column()
+        label = self._labels_usable(label_column)
+        if label is not None:
+            if self.strategy == "update":
+                deltas = self._label_deltas(
+                    tree, sign * learning_rate, f"{self.fact_table}.{label}"
+                )
+                case_expr = self._case_expr(deltas, component, weight=weight)
+                self.db.execute(
+                    f"UPDATE {self.fact_table} SET {component} = {case_expr}",
+                    tag="residual_update",
+                )
+            else:
+                deltas = self._label_deltas(
+                    tree, sign * learning_rate, f"t.{label}"
+                )
+                case_expr = self._case_expr(
+                    deltas, f"t.{component}",
+                    weight=f"t.{weight}" if weight else None,
+                )
+                if self.strategy == "create":
+                    self._recreate_with({component: case_expr})
+                else:
+                    self._swap_with({component: case_expr})
+            return
         if self.strategy == "update":
             pairs = leaf_conditions(
                 self.graph, self.fact, tree, fact_alias=self.fact_table
@@ -199,30 +252,46 @@ class ResidualUpdater:
         y_column: str,
         pred_column: str = "pred",
         hessian_constant: bool = False,
+        label_column: Optional[str] = None,
     ) -> None:
         """Shift the prediction per leaf, then recompute g (and h)."""
-        pairs = leaf_conditions(self.graph, self.fact, tree, fact_alias="t")
-        deltas = [
-            (condition, learning_rate * leaf.prediction)
-            for leaf, condition in pairs
-        ]
+        label = self._labels_usable(label_column)
+        if label is not None:
+            deltas = self._label_deltas(tree, learning_rate, f"t.{label}")
+        else:
+            pairs = leaf_conditions(self.graph, self.fact, tree, fact_alias="t")
+            deltas = [
+                (condition, learning_rate * leaf.prediction)
+                for leaf, condition in pairs
+            ]
         pred_expr = self._case_expr(deltas, f"t.{pred_column}")
         new_columns = {pred_column: pred_expr}
         new_columns["g"] = self.loss.gradient_sql(f"t.{y_column}", f"({pred_expr})")
         if not hessian_constant:
             new_columns["h"] = self.loss.hessian_sql(f"t.{y_column}", f"({pred_expr})")
         if self.strategy == "update":
-            bare_pairs = leaf_conditions(
-                self.graph, self.fact, tree, fact_alias=self.fact_table
-            )
-            for leaf, condition in bare_pairs:
-                delta = learning_rate * leaf.prediction
+            if label is not None:
+                bare_deltas = self._label_deltas(
+                    tree, learning_rate, f"{self.fact_table}.{label}"
+                )
+                case_expr = self._case_expr(bare_deltas, pred_column)
                 self.db.execute(
                     f"UPDATE {self.fact_table} "
-                    f"SET {pred_column} = {pred_column} + {delta!r} "
-                    f"WHERE {condition}",
+                    f"SET {pred_column} = {case_expr}",
                     tag="residual_update",
                 )
+            else:
+                bare_pairs = leaf_conditions(
+                    self.graph, self.fact, tree, fact_alias=self.fact_table
+                )
+                for leaf, condition in bare_pairs:
+                    delta = learning_rate * leaf.prediction
+                    self.db.execute(
+                        f"UPDATE {self.fact_table} "
+                        f"SET {pred_column} = {pred_column} + {delta!r} "
+                        f"WHERE {condition}",
+                        tag="residual_update",
+                    )
             g_expr = self.loss.gradient_sql(
                 f"{self.fact_table}.{y_column}", f"{self.fact_table}.{pred_column}"
             )

@@ -18,10 +18,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import TrainingError
-from repro.core.frontier import FrontierEvaluator, merged_predicates
+from repro.core.frontier import FrontierEvaluator
 from repro.core.params import TrainParams
 from repro.core.split import Criterion, SplitCandidate, SplitFinder
 from repro.core.tree import DecisionTreeModel, TreeNode
@@ -65,6 +65,7 @@ class DecisionTreeTrainer:
             mode=params.split_batching,
             missing=params.missing,
             min_child_samples=params.min_child_samples,
+            state_mode=params.frontier_state,
         )
         self._ids = itertools.count()
 
@@ -94,6 +95,9 @@ class DecisionTreeTrainer:
         model = DecisionTreeModel(
             root, {f: rel for rel, f in features}
         )
+        # New tree: the incremental frontier state re-roots its persistent
+        # leaf-membership column on the first batched round.
+        self.evaluator.begin_tree(root, base_predicates)
 
         allowed = list(features)
         heap: List[Tuple[float, int, TreeNode, SplitCandidate]] = []
@@ -112,6 +116,8 @@ class DecisionTreeTrainer:
                 # CPT: the first realized split pins the cluster (§4.2.2).
                 allowed = self._restrict_to_cluster(cand.relation, features)
             self._apply_split(node, cand)
+            # Delta label update: relabel only the split leaf's rows.
+            self.evaluator.notify_split(node)
             num_leaves += 1
             # Both children are one frontier round: batched mode turns the
             # 2 x |features| per-leaf queries into one query per relation.
@@ -129,6 +135,13 @@ class DecisionTreeTrainer:
                     heapq.heappush(heap, self._entry(child, child_cand))
         return model
 
+    def leaf_label_column(self, model: DecisionTreeModel) -> Optional[str]:
+        """The persistent leaf-membership column for the tree just
+        trained, or None when labels are unavailable/stale.  The boosting
+        driver hands it to the residual updater's ``CASE jb_leaf`` fast
+        path instead of per-leaf semi-join scans."""
+        return self.evaluator.leaf_label_column(model)
+
     # ------------------------------------------------------------------
     def _entry(self, node: TreeNode, cand: SplitCandidate):
         if self.params.growth == "depth-wise":
@@ -136,11 +149,6 @@ class DecisionTreeTrainer:
         else:  # best-first: largest gain first
             priority = (-cand.gain, node.node_id)
         return (priority, node.node_id, node, cand)
-
-    def _merged_predicates(
-        self, base: PredicateMap, node: TreeNode
-    ) -> PredicateMap:
-        return merged_predicates(base, node)
 
     def _apply_split(self, node: TreeNode, cand: SplitCandidate) -> None:
         node.gain = cand.gain

@@ -144,41 +144,70 @@ class Database:
         elif isinstance(statement, ast.DropTable):
             self.catalog.drop(statement.name, if_exists=statement.if_exists)
         elif isinstance(statement, ast.Update):
-            self._run_update(statement)
+            rows_affected = self._run_update(statement)
         else:
             raise ExecutionError(f"unsupported statement {kind}")
         elapsed = time.perf_counter() - start
         if self.profiling_enabled:
+            if result is not None:
+                rows_out = result.num_rows
+            elif isinstance(statement, ast.Update):
+                # Rows the WHERE matched — the frontier census reads this
+                # to price narrow label updates by rows actually moved.
+                rows_out = rows_affected
+            else:
+                rows_out = 0
             self.profiles.append(
                 QueryProfile(
                     sql=statement.sql(),
                     kind=kind,
                     seconds=elapsed,
-                    rows_out=result.num_rows if result is not None else 0,
+                    rows_out=rows_out,
                     tag=tag,
                 )
             )
         return result
 
-    def _run_update(self, statement: ast.Update) -> None:
+    def _run_update(self, statement: ast.Update) -> int:
+        from repro.engine.update import apply_masked_update
+
         table = self.catalog.get(statement.table)
         frame = Frame(table.num_rows())
         for col in table.columns():
             frame.bind(col, binding=statement.table)
         context: Dict[int, object] = {}
         mask = None
+        affected = table.num_rows()
         if statement.where is not None:
             _precompute_subqueries(statement.where, self, context)
             mask = np.asarray(evaluate(statement.where, frame, context), dtype=bool)
+            affected = int(mask.sum())
+        # Evaluate every assignment against the pre-update row values
+        # before applying any write (SQL semantics: `SET a = b, b = a`
+        # swaps) — the in-place masked write below would otherwise feed
+        # already-updated values into later assignments.
+        computed = []
         for col_name, expr in statement.assignments:
             _precompute_subqueries(expr, self, context)
             new_values = np.asarray(evaluate(expr, frame, context))
-            old = table.column(col_name)
+            if new_values.ndim == 0:
+                new_values = np.full(table.num_rows(), new_values[()])
+            elif mask is not None:
+                # Snapshot: evaluate() may return a view of a stored
+                # array that a later in-place masked write would mutate.
+                new_values = new_values.copy()
+            computed.append((col_name, new_values))
+        for col_name, new_values in computed:
             if mask is not None:
-                merged = old.as_float() if old.ctype.name != "STR" else old.values.astype(object)
-                merged = np.where(mask, new_values, merged)
-                new_values = merged
-            table.set_column(Column(col_name, new_values, old.ctype))
+                # Partial write: only the matched rows are touched (the
+                # in-place fast path when the storage config allows it).
+                apply_masked_update(
+                    self, statement.table, col_name, new_values, mask
+                )
+            else:
+                old = table.column(col_name)
+                table.set_column(Column(col_name, new_values, old.ctype))
+        return affected
 
     # ------------------------------------------------------------------
     # Profiling helpers (Figure 9)

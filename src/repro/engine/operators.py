@@ -23,7 +23,10 @@ def _normalize_key(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         if nulls.any():
             values = values.copy()
             values[nulls] = _NULL_SENTINEL
-        return values.astype("U64") if len(values) else values, nulls
+        # Size the unicode dtype from the data: a fixed-width cast (the
+        # old "U64") silently truncates longer keys, merging distinct
+        # join keys and groups that only differ past the cutoff.
+        return values.astype("U") if len(values) else values, nulls
     if values.dtype.kind == "f":
         nulls = np.isnan(values)
         if nulls.any():

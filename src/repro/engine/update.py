@@ -21,10 +21,81 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.exceptions import StorageError
-from repro.storage.column import Column
+from repro.storage.column import Column, ColumnType
 from repro.storage.table import ColumnTable, ExternalColumnStore, Table
 
 STRATEGIES = ("update", "create", "swap")
+
+
+def apply_masked_update(
+    db,
+    table_name: str,
+    column_name: str,
+    new_values: np.ndarray,
+    mask: np.ndarray,
+) -> int:
+    """Write only the ``mask`` positions of one stored column.
+
+    This is the physical half of the narrow predicated ``UPDATE`` the
+    incremental frontier state issues: the logical write touches only the
+    rows whose leaf membership changed.  It reuses the column-swap
+    permission — a table whose configuration allows pointer swaps has no
+    WAL, MVCC or compression to honor, so a masked-merged copy of the
+    column is pointer-swapped into the store with no logging, no value
+    re-inference and no dtype round-trip.  (The merge is a fresh buffer,
+    never a write through the stored array: stored arrays can be
+    buffer-aliased with other columns or tables — ``UPDATE t SET a = b``,
+    ``CREATE TABLE AS SELECT`` — and an in-place write would corrupt
+    every alias.)  Anything else goes through the logged ``set_column``
+    slow path, preserving the backend cost model of Section 5.4.
+    Returns the rows written.
+    """
+    table = db.table(table_name)
+    mask = np.asarray(mask, dtype=bool)
+    count = int(mask.sum())
+    old = table.column(column_name)
+    new_values = np.asarray(new_values)
+
+    swap_path = (
+        count > 0
+        and isinstance(table, ColumnTable)
+        and table.config.allow_column_swap
+        and table.config.compression is None
+        and not table.config.wal
+        and not table.config.mvcc
+        and not table.config.scan_copy
+        and isinstance(table._store.get(column_name), Column)
+        and old.valid is None
+    )
+    if swap_path and old.ctype is not ColumnType.STR:
+        if old.ctype is ColumnType.INT and new_values.dtype.kind in "iub":
+            fresh = old.values.copy()
+            fresh[mask] = new_values[mask].astype(np.int64)
+            table._store[column_name] = Column(column_name, fresh, old.ctype)
+            return count
+        if old.ctype is ColumnType.FLOAT:
+            as_float = new_values.astype(np.float64, copy=False)
+            if not np.isnan(as_float[mask]).any():
+                fresh = old.values.copy()
+                fresh[mask] = as_float[mask]
+                table._store[column_name] = Column(
+                    column_name, fresh, old.ctype
+                )
+                return count
+
+    # Merge + full write (logged) — the general path.
+    if old.ctype is ColumnType.STR:
+        merged = old.values.astype(object, copy=True)
+        merged[mask] = new_values[mask]
+    elif old.ctype is ColumnType.INT and new_values.dtype.kind in "iub" \
+            and old.valid is None:
+        merged = old.values.copy()
+        merged[mask] = new_values[mask]
+    else:
+        merged = np.where(mask, new_values.astype(np.float64, copy=False),
+                          old.as_float())
+    table.set_column(Column(column_name, merged, old.ctype))
+    return count
 
 
 def apply_column_update(

@@ -14,7 +14,7 @@ per-feature root choice and every tree node.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JoinGraphError, TrainingError
 from repro.engine.result import Relation
@@ -93,6 +93,8 @@ class Factorizer:
         self.message_requests = 0
         self.message_executions = 0
         self.carry_message_executions = 0
+        self.carry_cache_hits = 0
+        self.carry_cache_misses = 0
         if any(e.multiplicity is None for e in graph.edges):
             graph.analyze()
         self._compute_sides()
@@ -391,6 +393,8 @@ class Factorizer:
         carry: Dict[str, Sequence[str]],
         predicates: Optional[PredicateMap] = None,
         table_override: Optional[Dict[str, str]] = None,
+        carry_filters: Optional[Dict[Tuple[str, str], Sequence]] = None,
+        cache_scope: Optional[Hashable] = None,
     ) -> MultiAbsorption:
         """Prepare an absorption at ``root`` with grouping columns carried
         in from *other* relations.
@@ -400,22 +404,44 @@ class Factorizer:
         additionally groups by (and re-exposes) those columns, so the root
         query can group on them — this is how a leaf-membership label on
         the fact table reaches every relation's split query in one pass.
-        Carry-bearing messages are materialized fresh (never cached: the
-        label changes every frontier round) and listed in ``temp_tables``
-        for the caller to drop; carry-free subtree messages go through the
-        normal cache.  ``table_override`` substitutes physical tables per
-        relation (the labeled copy of the lifted fact).
+        ``table_override`` substitutes physical tables per relation (the
+        rebuild mode's labeled copy of the lifted fact).
+
+        ``carry_filters`` maps a carried (relation, column) to the values
+        worth propagating — the incremental frontier passes the round's
+        open leaf ids, so carry messages aggregate only rows that can
+        contribute (cost proportional to the frontier, not the table).
+
+        ``cache_scope`` controls carry-message reuse.  ``None`` keeps the
+        historical behavior — carry messages are materialized fresh and
+        listed in ``temp_tables`` for the caller to drop.  A hashable
+        scope (the frontier's leaf epoch) caches them instead, shared by
+        every relation evaluated in the same round; stale scopes are
+        evicted via :meth:`begin_carry_scope`.  Temps materialized before
+        a mid-build failure are dropped, not stranded.
         """
         predicates = predicates or {}
         override = table_override or {}
+        carry_filters = carry_filters or {}
+        if not self.cache.enabled:
+            # A disabled cache makes store() a silent no-op: scoped carry
+            # tables would be owned by nobody and leak.  Fall back to the
+            # caller-dropped temp path.
+            cache_scope = None
         temps: List[str] = []
-        entries: List[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]] = []
-        for neighbor in self.graph.neighbors(root):
-            entry = self._carry_message(
-                neighbor, root, predicates, carry, override, temps
-            )
-            if entry is not None:
-                entries.append(entry)
+        try:
+            entries: List[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]] = []
+            for neighbor in self.graph.neighbors(root):
+                entry = self._carry_message(
+                    neighbor, root, predicates, carry, override, temps,
+                    carry_filters, cache_scope,
+                )
+                if entry is not None:
+                    entries.append(entry)
+        except Exception:
+            for temp in temps:
+                self.db.drop_table(temp, if_exists=True)
+            raise
 
         annotation = self._own_annotation(root, "t")
         joins: List[str] = []
@@ -451,6 +477,20 @@ class Factorizer:
             temp_tables=temps,
         )
 
+    @staticmethod
+    def _carry_condition(
+        ref: str,
+        rel_col: Tuple[str, str],
+        carry_filters: Dict[Tuple[str, str], Sequence],
+    ) -> str:
+        """Earliest-hop pruning of carried columns: restrict to the
+        frontier's values when known, else drop unlabeled rows."""
+        values = carry_filters.get(rel_col)
+        if values is not None:
+            rendered = ", ".join(str(int(v)) for v in values)
+            return f"{ref} IN ({rendered})"
+        return f"{ref} IS NOT NULL"
+
     def _carry_message(
         self,
         child: str,
@@ -459,6 +499,8 @@ class Factorizer:
         carry: Dict[str, Sequence[str]],
         override: Dict[str, str],
         temps: List[str],
+        carry_filters: Dict[Tuple[str, str], Sequence],
+        cache_scope: Optional[Hashable],
     ) -> Optional[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]]:
         """Message child -> parent, propagating carry columns of the
         sending side; falls through to the cached standard path when the
@@ -469,6 +511,14 @@ class Factorizer:
             return None if info is None else (info, ())
 
         self.message_requests += 1
+        state = predicate_state(predicates, side)
+        if cache_scope is not None:
+            cached = self.cache.lookup(child, parent, state, scope=cache_scope)
+            if cached is not None:
+                self.carry_cache_hits += 1
+                return (cached, cached.carried)
+            self.carry_cache_misses += 1
+
         edge = edge_between(self.graph, child, parent)
         keys = edge.keys_for(child)
         entries: List[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]] = []
@@ -476,7 +526,8 @@ class Factorizer:
             if neighbor == parent:
                 continue
             entry = self._carry_message(
-                neighbor, child, predicates, carry, override, temps
+                neighbor, child, predicates, carry, override, temps,
+                carry_filters, cache_scope,
             )
             if entry is not None:
                 entries.append(entry)
@@ -519,9 +570,13 @@ class Factorizer:
         own = render_conjunction(predicates.get(child, ()), alias="t")
         if own:
             where_parts.append(own)
-        # Rows without a carry label (outside every frontier leaf) cannot
-        # contribute to any group — drop them at the earliest hop.
-        where_parts += [f"{ref} IS NOT NULL" for ref in refs]
+        # Rows outside every frontier leaf cannot contribute to any group —
+        # drop them at the earliest hop (and, when the frontier's leaf ids
+        # are known, everything outside the open leaves with them).
+        where_parts += [
+            self._carry_condition(ref, rel_col, carry_filters)
+            for rel_col, ref in zip(carried, refs)
+        ]
         group_refs = [f"t.{k}" for k in keys] + refs
         table = override.get(child, self.storage_table(child))
         msg_name = self.db.temp_name(f"msg_{child}_{parent}")
@@ -535,15 +590,26 @@ class Factorizer:
         self.db.execute(sql, tag="message")
         self.message_executions += 1
         self.carry_message_executions += 1
-        temps.append(msg_name)
         info = MessageInfo(
             table=msg_name,
             kind=aggregated_kind(annotation),
             key_columns=tuple(keys),
             child=child,
             parent=parent,
+            carried=tuple(carried),
         )
+        if cache_scope is not None:
+            # The cache owns the table now; eviction happens on epoch
+            # advance (begin_carry_scope) or relation invalidation.
+            self.cache.store(child, parent, state, info, scope=cache_scope)
+        else:
+            temps.append(msg_name)
         return (info, tuple(carried))
+
+    def begin_carry_scope(self, scope: Optional[Hashable]) -> int:
+        """Evict carry messages cached under any other scope (their leaf
+        labels are stale once the frontier epoch advances)."""
+        return self.cache.drop_scoped(keep_scope=scope)
 
     # ------------------------------------------------------------------
     # Cache control
@@ -553,7 +619,7 @@ class Factorizer:
         (called after that relation's lifted data changes)."""
         doomed = []
         for key, info in list(self.cache._store.items()):
-            child, parent, _ = key
+            child, parent = key[0], key[1]
             if relation in self._side[(child, parent)]:
                 doomed.append(key)
         for key in doomed:
@@ -570,6 +636,8 @@ class Factorizer:
             "message_requests": self.message_requests,
             "message_executions": self.message_executions,
             "carry_message_executions": self.carry_message_executions,
+            "carry_cache_hits": self.carry_cache_hits,
+            "carry_cache_misses": self.carry_cache_misses,
             **self.cache.stats(),
         }
 

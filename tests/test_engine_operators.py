@@ -197,3 +197,43 @@ class TestSortIndices:
     def test_nan_sorts_last_descending(self):
         idx = ops.sort_indices([(np.array([np.nan, 1.0, 2.0]), False)], 3)
         assert idx[-1] == 0
+
+
+class TestLongStringKeys:
+    """Keys longer than 64 chars must stay distinct: the old fixed
+    ``astype("U64")`` silently truncated them, merging join keys and
+    groups that only differ past the cutoff."""
+
+    def _keys(self):
+        prefix = "p" * 70  # identical through char 64 and beyond
+        return np.array([prefix + "A", prefix + "B", prefix + "A"],
+                        dtype=object)
+
+    def test_factorize_distinguishes_past_64_chars(self):
+        codes, ngroups, _, _ = ops.factorize([self._keys()])
+        assert ngroups == 2
+        assert codes[0] == codes[2] != codes[1]
+
+    def test_join_indices_long_keys(self):
+        left = self._keys()
+        right = np.array(["p" * 70 + "B"], dtype=object)
+        left_idx, right_idx = ops.join_indices([left], [right])
+        assert list(left_idx) == [1]
+
+    def test_semi_join_mask_long_keys(self):
+        left = self._keys()
+        right = np.array(["p" * 70 + "A"], dtype=object)
+        mask = ops.semi_join_mask([left], [right])
+        assert list(mask) == [True, False, True]
+
+    def test_group_by_long_keys_via_sql(self):
+        from repro.engine.database import Database
+
+        db = Database()
+        db.create_table(
+            "t", {"k": self._keys(), "v": np.array([1.0, 10.0, 100.0])}
+        )
+        result = db.execute("SELECT k, SUM(v) AS s FROM t GROUP BY k")
+        assert result.num_rows == 2
+        sums = sorted(result.column("s").values.tolist())
+        assert sums == [10.0, 101.0]

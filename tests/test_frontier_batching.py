@@ -129,12 +129,16 @@ class TestParity:
 class TestCensus:
     def test_batched_query_budget(self):
         """Batched mode issues <= relations x rounds fused split queries;
-        per-leaf mode issues nodes x features."""
+        per-leaf mode issues nodes x features.  (Pinned to rebuild labels:
+        the "frontier" profile tag counts per-round label rebuilds, which
+        incremental mode exists to eliminate — see
+        tests/test_frontier_incremental.py for that mode's census.)"""
         db, graph = favorita(num_fact_rows=3000, num_extra_features=2, seed=5)
         db.reset_profiles()
         repro.train_gradient_boosting(
             db, graph,
-            {"num_iterations": 1, "num_leaves": 6, "min_data_in_leaf": 3},
+            {"num_iterations": 1, "num_leaves": 6, "min_data_in_leaf": 3,
+             "frontier_state": "rebuild"},
         )
         counts = {
             tag: len(profiles)
@@ -169,10 +173,36 @@ class TestCensus:
         trainer.train()
         census = trainer.evaluator.census()
         assert census["mode"] == "auto"
+        assert census["frontier_state"] == "incremental"
         assert census["batched_rounds"] == census["rounds"] > 0
+        assert census["incremental_rounds"] == census["batched_rounds"]
         assert census["batched_split_queries"] > 0
         assert census["per_leaf_split_queries"] == 0
+        # Incremental labeling: one root pass, zero full-fact rebuilds,
+        # two narrow updates per committed split.
+        assert census["label_queries"] == 0
+        assert census["root_label_passes"] == 1
+        assert census["delta_label_updates"] % 2 == 0
+        assert census["delta_label_updates"] > 0
+        factorizer.cleanup()
+
+    def test_rebuild_census_surface(self, tiny_star):
+        db, graph = tiny_star
+        factorizer = Factorizer(db, graph, VarianceSemiRing())
+        factorizer.lift()
+        trainer = DecisionTreeTrainer(
+            db, graph, factorizer, VarianceCriterion(),
+            TrainParams.from_dict(
+                {"num_leaves": 4, "frontier_state": "rebuild"}
+            ),
+        )
+        trainer.train()
+        census = trainer.evaluator.census()
+        assert census["frontier_state"] == "rebuild"
+        assert census["batched_rounds"] == census["rounds"] > 0
+        assert census["incremental_rounds"] == 0
         assert census["label_queries"] == census["batched_rounds"]
+        assert census["root_label_passes"] == 0
         factorizer.cleanup()
 
 
