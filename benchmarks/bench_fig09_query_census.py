@@ -18,6 +18,7 @@ strategies.
 
 from repro.bench.harness import (
     fig09_batching_comparison,
+    fig09_encoding_cache_comparison,
     fig09_frontier_state_comparison,
 )
 from repro.bench.report import format_table
@@ -118,4 +119,39 @@ def test_fig09_frontier_state(benchmark, figure_report):
     assert incremental["label_queries"] == 0
     assert results["label_bytes_drop_factor"] >= 5.0
     assert incremental["carry_cache_hits"] > 0
+    assert results["rmse_delta"] < 1e-9
+
+
+def test_fig09_encoding_cache(benchmark, figure_report):
+    """The static-work-sharing principle one layer down: join/group-by
+    key columns factorize once per training run, not once per query
+    (string natural keys — the raw Favorita join-key dtype — are the
+    workload where the per-query re-encode hurts most)."""
+    results = benchmark.pedantic(
+        fig09_encoding_cache_comparison,
+        kwargs={"num_features": _FEATURES, "num_leaves": _LEAVES,
+                "key_dtype": "str"},
+        rounds=1, iterations=1,
+    )
+    stats = results["on"]["encoding_cache_stats"]
+    rows = [
+        ["encode passes, cache off", results["off"]["encode_passes"]],
+        ["encode passes, cache on", results["on"]["encode_passes"]],
+        ["encode-pass drop factor",
+         round(results["encode_pass_drop_factor"], 1)],
+        ["encode seconds, cache off",
+         round(results["encode_seconds_off"], 3)],
+        ["encode seconds, cache on",
+         round(results["encode_seconds_on"], 3)],
+        ["wall speedup factor", round(results["wall_speedup_factor"], 2)],
+        ["cache stores / invalidations",
+         f"{stats.get('stores', 0)} / {stats.get('invalidations', 0)}"],
+    ]
+    figure_report("fig09_encoding", format_table(
+        "Figure 9d — encoded-key cache (string-keyed Favorita)",
+        ["metric", "value"], rows,
+    ))
+
+    assert results["encode_pass_drop_factor"] >= 5.0
+    assert results["encode_seconds_on"] < results["encode_seconds_off"]
     assert results["rmse_delta"] < 1e-9

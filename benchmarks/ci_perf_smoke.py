@@ -17,7 +17,13 @@ exits non-zero when a gate fails:
   ``WALL_RATIO`` times the per-leaf wall time, nor incremental labeling
   to more than ``WALL_RATIO`` times rebuild labeling (absolute seconds
   are machine-dependent, the ratios are not);
-* **parity** — all three modes must train the same model (rmse to 1e-9).
+* **parity** — all three modes must train the same model (rmse to 1e-9);
+* **encoding** — on the string-keyed Figure 9 config (embedded,
+  ``split_batching="auto"``, ``frontier_state="incremental"``) the
+  version-stamped encoded-key cache must cut full key-encode passes by
+  at least ``ENCODING_PASS_MIN_DROP``x and end-to-end train wall by at
+  least ``ENCODING_WALL_MIN_SPEEDUP``x vs ``encoding_cache="off"``,
+  with tree-for-tree parity between the two.
 
 Sizes are deliberately small (seconds, not minutes): this is a smoke
 gate, not the paper reproduction — ``pytest benchmarks/`` is that.
@@ -33,7 +39,11 @@ import platform
 import sys
 import time
 
-from repro.bench.harness import fig05_residual_updates, fig09_query_census
+from repro.bench.harness import (
+    fig05_residual_updates,
+    fig09_encoding_cache_comparison,
+    fig09_query_census,
+)
 
 #: batched wall time may be at most this multiple of per-leaf wall time
 #: (and incremental labeling at most this multiple of rebuild labeling)
@@ -43,6 +53,12 @@ WALL_RATIO = 2.0
 #: fewer label bytes than per-round full-fact rebuilds
 LABEL_BYTES_MIN_DROP = 5.0
 
+#: the encoded-key cache must cut full key-encode passes by this factor
+ENCODING_PASS_MIN_DROP = 5.0
+
+#: ... and end-to-end train wall by this factor (string-keyed config)
+ENCODING_WALL_MIN_SPEEDUP = 1.3
+
 FIG5_SMOKE_ROWS = 60_000
 FIG5_SMOKE_BACKENDS = ("x-col", "d-mem", "d-swap")
 FIG5_SMOKE_METHODS = ("naive", "update", "create-0", "swap")
@@ -50,6 +66,10 @@ FIG5_SMOKE_METHODS = ("naive", "update", "create-0", "swap")
 FIG9_SMOKE_ROWS = 8_000
 FIG9_SMOKE_FEATURES = 18
 FIG9_SMOKE_LEAVES = 8
+
+#: encoding-cache leg: string natural keys (the raw Favorita join-key
+#: dtype) at a size where per-query re-encoding visibly dominates
+FIG9_ENCODING_ROWS = 30_000
 
 
 def run_smoke() -> dict:
@@ -71,10 +91,14 @@ def run_smoke() -> dict:
         FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
         split_batching="on", frontier_state="incremental",
     )
+    encoding = fig09_encoding_cache_comparison(
+        FIG9_ENCODING_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
+        key_dtype="str",
+    )
     inc_census = incremental["frontier_census"]
     reb_census = rebuild["frontier_census"]
     return {
-        "schema": "bench-ci-v2",
+        "schema": "bench-ci-v3",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -106,6 +130,20 @@ def run_smoke() -> dict:
             "label_bytes_drop_factor": rebuild["label_bytes_written"]
             / max(incremental["label_bytes_written"], 1),
             "carry_cache_hits": incremental["carry_cache_hits"],
+        },
+        "encoding": {
+            "key_dtype": "str",
+            "rows": FIG9_ENCODING_ROWS,
+            "off_encode_passes": encoding["off"]["encode_passes"],
+            "on_encode_passes": encoding["on"]["encode_passes"],
+            "encode_pass_drop_factor": encoding["encode_pass_drop_factor"],
+            "off_wall_seconds": encoding["off"]["wall_seconds"],
+            "on_wall_seconds": encoding["on"]["wall_seconds"],
+            "wall_speedup_factor": encoding["wall_speedup_factor"],
+            "off_encode_seconds": encoding["encode_seconds_off"],
+            "on_encode_seconds": encoding["encode_seconds_on"],
+            "cache_stats": encoding["on"]["encoding_cache_stats"],
+            "rmse_delta": encoding["rmse_delta"],
         },
     }
 
@@ -178,6 +216,25 @@ def gate(results: dict) -> list:
         )
     if labels["carry_cache_hits"] <= 0:
         failures.append("labels: carry-message cache scored no hits")
+    # Encoded-key cache: a real pass drop, a real wall win, no model drift.
+    encoding = results["encoding"]
+    if encoding["encode_pass_drop_factor"] < ENCODING_PASS_MIN_DROP:
+        failures.append(
+            "encoding: key-encode passes dropped only "
+            f"{encoding['encode_pass_drop_factor']:.2f}x "
+            f"(gate: >= {ENCODING_PASS_MIN_DROP}x)"
+        )
+    if encoding["wall_speedup_factor"] < ENCODING_WALL_MIN_SPEEDUP:
+        failures.append(
+            "encoding: cache sped training up only "
+            f"{encoding['wall_speedup_factor']:.2f}x "
+            f"(gate: >= {ENCODING_WALL_MIN_SPEEDUP}x)"
+        )
+    if encoding["rmse_delta"] > 1e-9:
+        failures.append(
+            "encoding: cache-on/cache-off rmse differ by "
+            f"{encoding['rmse_delta']:.3e}"
+        )
     return failures
 
 
@@ -216,6 +273,16 @@ def main(argv=None) -> int:
         f"root passes={labels['root_label_passes']}, "
         f"delta updates={labels['delta_label_updates']}, "
         f"carry-cache hits={labels['carry_cache_hits']}"
+    )
+    encoding = results["encoding"]
+    print(
+        f"encoding: passes off={encoding['off_encode_passes']} "
+        f"on={encoding['on_encode_passes']} "
+        f"(drop {encoding['encode_pass_drop_factor']:.1f}x); "
+        f"wall off={encoding['off_wall_seconds']:.2f}s "
+        f"on={encoding['on_wall_seconds']:.2f}s "
+        f"(speedup {encoding['wall_speedup_factor']:.2f}x); "
+        f"rmse delta={encoding['rmse_delta']:.1e}"
     )
     print(f"report written to {args.output}")
     if failures:

@@ -32,7 +32,11 @@ from repro.core.params import TrainParams
 from repro.core.predict import predict_join, rmse_on_join
 from repro.core.split import VarianceCriterion
 from repro.core.trainer import DecisionTreeTrainer
-from repro.factorize.executor import Factorizer
+from repro.factorize.executor import (
+    Factorizer,
+    configure_encoding_cache,
+    prepare_training_paths,
+)
 from repro.semiring.variance import VarianceSemiRing
 
 
@@ -121,8 +125,10 @@ def train_decision_tree(db, graph: JoinGraph, params=None, **overrides):
     """Train one factorized decision tree (variance criterion)."""
     train_params = TrainParams.from_dict(params, **overrides)
     graph.validate()
+    configure_encoding_cache(db, train_params.encoding_cache)
     factorizer = Factorizer(db, graph, VarianceSemiRing())
     factorizer.lift()
+    prepare_training_paths(db, graph, factorizer)
     trainer = DecisionTreeTrainer(
         db, graph, factorizer, VarianceCriterion(), train_params
     )

@@ -148,6 +148,21 @@ class Connector:
         """
         raise NotImplementedError
 
+    # -- training setup ---------------------------------------------------
+    def prepare_training(self, graph, lifted: Optional[Dict[str, str]] = None) -> float:
+        """One-time physical setup before message passing starts.
+
+        ``graph`` is the join graph about to be trained on and ``lifted``
+        maps relations to their lifted physical tables.  Engines use this
+        to build access paths the training workload will hammer — the
+        sqlite connector creates indexes on every join-key column
+        (including the lifted fact's) and refreshes planner statistics
+        with ``ANALYZE``; the embedded engine pre-warms its encoded-key
+        cache through :meth:`Factorizer.warm_encodings` instead.  Returns
+        the seconds spent (0.0 for the default no-op).
+        """
+        return 0.0
+
     # -- profiling -------------------------------------------------------
     #: per-query :class:`~repro.engine.database.QueryProfile` records;
     #: connectors that profile shadow this with an instance list

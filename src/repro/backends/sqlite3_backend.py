@@ -24,6 +24,7 @@ import math
 import sqlite3
 import statistics
 import time
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -132,6 +133,8 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         self._schema_cache: Dict[str, Tuple[int, List[str]]] = {}
         self._column_cache: Dict[Tuple[str, str], Tuple[int, Column]] = {}
         self._rows_cache: Dict[str, Tuple[int, int]] = {}
+        self._indexed: set = set()
+        self.index_seconds = 0.0
         self.profiles: List[QueryProfile] = []
         self.profiling_enabled = True
         self.capabilities = Capabilities(
@@ -249,6 +252,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             self.drop_table(name, if_exists=True)
         elif self.has_table(name):
             raise CatalogError(f"table {name!r} already exists")
+        self._forget_indexes(name)
         decls = ", ".join(
             f"{col} {self._affinity(arr)}" for col, arr in arrays.items()
         )
@@ -262,10 +266,17 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         self._bump_version()
         return SQLiteTableView(self, name)
 
+    def _forget_indexes(self, table_name: str) -> None:
+        """Drop the idempotency record of a table's training indexes — a
+        recreated table starts unindexed and must be indexable again."""
+        key = table_name.lower()
+        self._indexed = {i for i in self._indexed if i[0] != key}
+
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         if not if_exists and not self.has_table(name):
             raise CatalogError(f"no such table: {name!r}")
         self._conn.execute(f"DROP TABLE IF EXISTS {name}")
+        self._forget_indexes(name)
         self._bump_version()
 
     def rename_table(self, old: str, new: str) -> None:
@@ -274,6 +285,10 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         if self.has_table(new):
             raise CatalogError(f"table {new!r} already exists")
         self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
+        # The physical indexes follow the table; the name-keyed records
+        # do not — a future table under either name must re-index.
+        self._forget_indexes(old)
+        self._forget_indexes(new)
         self._bump_version()
 
     def table(self, name: str) -> SQLiteTableView:
@@ -330,6 +345,58 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             zip(to_sql_values(array), rowids),
         )
         self._bump_version()
+
+    # ------------------------------------------------------------------
+    # Training setup: join-key indexes (the sqlite analogue of the
+    # embedded engine's encoded-key cache — build the per-key access
+    # structure once per training run, not once per query)
+    # ------------------------------------------------------------------
+    def prepare_training(self, graph, lifted: Optional[Dict[str, str]] = None) -> float:
+        """Index every join-key column of the training tables + ANALYZE.
+
+        The Factorizer's message and absorption queries join on the same
+        key columns hundreds of times per tree; without indexes SQLite
+        re-scans per query.  The lifted fact (``lifted[relation]``) is
+        the important target — dimension keys help the nested-loop side.
+        Idempotent per (table, key tuple); indexes on lifted temps vanish
+        with their tables.  The time spent is recorded both on
+        ``index_seconds`` and as an ``"index"``-tagged query profile.
+        """
+        lifted = dict(lifted or {})
+        start = time.perf_counter()
+        created = []
+        for edge in graph.edges:
+            for relation in (edge.left, edge.right):
+                table = lifted.get(relation, relation)
+                keys = tuple(edge.keys_for(relation))
+                ident = (table.lower(), keys)
+                if ident in self._indexed or not self.has_table(table):
+                    continue
+                # Deterministic digest: underscore-joined names can collide
+                # across (table, keys) pairs, and a colliding name would
+                # make CREATE INDEX IF NOT EXISTS a silent no-op.
+                digest = zlib.crc32("|".join((table.lower(),) + keys).encode())
+                index_name = f"jb_idx_{digest:08x}"
+                self._conn.execute(
+                    f"CREATE INDEX IF NOT EXISTS {index_name} "
+                    f"ON {table} ({', '.join(keys)})"
+                )
+                self._indexed.add(ident)
+                created.append(index_name)
+        if created:
+            # Refresh planner statistics so the fresh indexes get picked.
+            self._conn.execute("ANALYZE")
+        elapsed = time.perf_counter() - start
+        self.index_seconds += elapsed
+        if self.profiling_enabled and created:
+            self.profiles.append(QueryProfile(
+                sql=f"-- training setup: {len(created)} join-key indexes + ANALYZE",
+                kind="Index",
+                seconds=elapsed,
+                rows_out=len(created),
+                tag="index",
+            ))
+        return elapsed
 
     # ------------------------------------------------------------------
     # Cached metadata reads (invalidated on any write)

@@ -220,15 +220,34 @@ def fig08_favorita(
 # Figure 9 — query census of the first iteration
 # ---------------------------------------------------------------------------
 def query_census(db) -> Dict[str, object]:
-    """Count executed statements per profile tag (the census primitive)."""
+    """Count executed statements per profile tag (the census primitive).
+
+    Besides per-tag counts/latencies, the census splits query time into
+    key-encode work vs everything else (``encode_seconds`` vs
+    ``aggregate_seconds``) and totals the encode passes — the numbers the
+    encoded-key cache exists to shrink.
+    """
     by_tag: Dict[str, List[float]] = {}
+    encode_passes = 0
+    encode_seconds = 0.0
+    total_seconds = 0.0
     for profile in db.profiles:
         by_tag.setdefault(profile.tag or "untagged", []).append(profile.seconds)
-    return {
+        encode_passes += getattr(profile, "encode_passes", 0)
+        encode_seconds += getattr(profile, "encode_seconds", 0.0)
+        total_seconds += profile.seconds
+    out: Dict[str, object] = {
         "counts": {tag: len(times) for tag, times in by_tag.items()},
         "seconds": {tag: float(sum(times)) for tag, times in by_tag.items()},
         "times": by_tag,
+        "encode_passes": encode_passes,
+        "encode_seconds": encode_seconds,
+        "aggregate_seconds": total_seconds - encode_seconds,
     }
+    encodings = getattr(db, "encodings", None)
+    if encodings is not None:
+        out["encoding_cache"] = encodings.stats()
+    return out
 
 
 def fig09_query_census(
@@ -237,6 +256,8 @@ def fig09_query_census(
     num_leaves: int = 8,
     split_batching: str = "off",
     frontier_state: str = "incremental",
+    encoding_cache: str = "auto",
+    key_dtype: str = "int",
 ) -> Dict[str, object]:
     """One gradient-boosting iteration's query census.
 
@@ -248,19 +269,31 @@ def fig09_query_census(
     selects the label strategy for batched rounds: ``"rebuild"`` copies
     the full fact with a CASE per round; ``"incremental"`` maintains a
     persistent ``jb_leaf`` column with narrow delta UPDATEs (label bytes
-    proportional to the rows that move).
+    proportional to the rows that move).  ``encoding_cache="off"``
+    disables the version-stamped encoded-key cache (every query
+    re-encodes its keys, the pre-PR4 behavior); ``key_dtype="str"`` uses
+    natural string join keys, the workload where re-encoding hurts most.
     """
     db, graph = favorita(
-        num_fact_rows=num_fact_rows, num_extra_features=num_features - 5
+        num_fact_rows=num_fact_rows, num_extra_features=num_features - 5,
+        key_dtype=key_dtype,
     )
     db.reset_profiles()
+    from repro.engine import operators as ops
+
+    ops.reset_encode_census()
     start = time.perf_counter()
     model = repro.train_gradient_boosting(
         db, graph, {"num_iterations": 1, "num_leaves": num_leaves,
                     "min_data_in_leaf": 3, "split_batching": split_batching,
-                    "frontier_state": frontier_state},
+                    "frontier_state": frontier_state,
+                    "encoding_cache": encoding_cache},
     )
     wall_seconds = time.perf_counter() - start
+    # Encode accounting from the process-wide census, not the per-profile
+    # sums: setup work (warm_encodings) runs outside profiled statements
+    # and must count against the cached leg too.
+    encode_totals = ops.encode_census()
     census = query_census(db)
     by_tag = census["times"]
     feature_times = by_tag.get("feature", [])
@@ -277,6 +310,12 @@ def fig09_query_census(
     return {
         "split_batching": split_batching,
         "frontier_state": frontier_state,
+        "encoding_cache": encoding_cache,
+        "key_dtype": key_dtype,
+        "encode_passes": int(encode_totals["passes"]),
+        "encode_seconds": float(encode_totals["seconds"]),
+        "aggregate_seconds": census["aggregate_seconds"],
+        "encoding_cache_stats": census.get("encoding_cache", {}),
         "num_feature_queries": len(feature_times),
         "num_message_queries": len(message_times),
         "num_frontier_queries": len(frontier_times),
@@ -346,6 +385,42 @@ def fig09_frontier_state_comparison(
         "incremental": incremental,
         "label_bytes_drop_factor": bytes_drop,
         "rmse_delta": abs(rebuild["rmse"] - incremental["rmse"]),
+    }
+
+
+def fig09_encoding_cache_comparison(
+    num_fact_rows: int = 30_000,
+    num_features: int = 18,
+    num_leaves: int = 8,
+    key_dtype: str = "str",
+) -> Dict[str, object]:
+    """Encoded-key cache on vs off on the batched/incremental config.
+
+    Reports the encode-pass drop (how many fewer full key-encode passes
+    over base relations the cache leaves), the end-to-end wall speedup,
+    and the tree-parity check via rmse.  String keys are the default
+    workload: the raw Favorita dump joins on string-typed natural keys,
+    where per-query ``np.unique`` re-encoding dominates.
+    """
+    off = fig09_query_census(
+        num_fact_rows, num_features, num_leaves,
+        split_batching="auto", frontier_state="incremental",
+        encoding_cache="off", key_dtype=key_dtype,
+    )
+    on = fig09_query_census(
+        num_fact_rows, num_features, num_leaves,
+        split_batching="auto", frontier_state="incremental",
+        encoding_cache="auto", key_dtype=key_dtype,
+    )
+    return {
+        "off": off,
+        "on": on,
+        "encode_pass_drop_factor": off["encode_passes"]
+        / max(on["encode_passes"], 1),
+        "wall_speedup_factor": off["wall_seconds"] / max(on["wall_seconds"], 1e-12),
+        "encode_seconds_off": off["encode_seconds"],
+        "encode_seconds_on": on["encode_seconds"],
+        "rmse_delta": abs(off["rmse"] - on["rmse"]),
     }
 
 

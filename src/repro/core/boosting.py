@@ -27,7 +27,11 @@ from repro.core.residual import ResidualUpdater
 from repro.core.split import GradientCriterion
 from repro.core.trainer import DecisionTreeTrainer
 from repro.core.tree import DecisionTreeModel
-from repro.factorize.executor import Factorizer
+from repro.factorize.executor import (
+    Factorizer,
+    configure_encoding_cache,
+    prepare_training_paths,
+)
 from repro.joingraph.clusters import Cluster, cluster_graph
 from repro.joingraph.graph import JoinGraph
 from repro.joingraph.hypertree import rooted_tree
@@ -203,6 +207,7 @@ def train_gradient_boosting(
     train_params = TrainParams.from_dict(params, **overrides)
     loss = get_loss(train_params.objective, **train_params.loss_kwargs())
     graph.validate()
+    configure_encoding_cache(db, train_params.encoding_cache)
     if isinstance(loss, SoftmaxLoss):
         return _train_multiclass(db, graph, train_params, loss)
 
@@ -239,6 +244,11 @@ def _train_snowflake(
         loss.gradient_sql(f"t.{y}", init_lit),
     )
     fact_table = factorizer.lift(lift_exprs)
+    # Training setup: factorize every join-key column once (embedded
+    # encoding cache) and let external backends build physical access
+    # paths — the sqlite connector indexes the lifted fact's join keys
+    # and runs ANALYZE here.
+    prepare_training_paths(db, graph, factorizer)
     updater = ResidualUpdater(
         db, graph, fact, fact_table, loss, strategy=params.update_strategy
     )
@@ -320,6 +330,7 @@ def _train_galaxy(
                 strategy=params.update_strategy,
             )
 
+    prepare_training_paths(db, graph, factorizer)
     criterion = GradientCriterion(reg_lambda=params.reg_lambda)
     trainer = DecisionTreeTrainer(
         db, graph, factorizer, criterion, params, clusters=clusters
@@ -421,6 +432,7 @@ def _train_multiclass(
     fact_table = factorizers[0].lift(lift_exprs)
     for factorizer in factorizers[1:]:
         factorizer.adopt_lifted(fact, fact_table)
+    prepare_training_paths(db, graph, factorizers[0])
 
     trainers = [
         DecisionTreeTrainer(

@@ -20,7 +20,11 @@ from repro.core.params import TrainParams
 from repro.core.split import ClassificationCriterion, VarianceCriterion
 from repro.core.trainer import DecisionTreeTrainer
 from repro.core.tree import DecisionTreeModel
-from repro.factorize.executor import Factorizer
+from repro.factorize.executor import (
+    Factorizer,
+    configure_encoding_cache,
+    prepare_training_paths,
+)
 from repro.factorize.sampling import ancestral_sample, sample_fact_table
 from repro.joingraph.graph import JoinGraph
 from repro.semiring.classcount import ClassCountSemiRing
@@ -76,6 +80,7 @@ def train_random_forest(
     """
     train_params = TrainParams.from_dict(params, **overrides)
     graph.validate()
+    configure_encoding_cache(db, train_params.encoding_cache)
     classification = train_params.objective.lower() in (
         "multiclass", "softmax", "binary", "classification",
     )
@@ -103,6 +108,7 @@ def train_random_forest(
             db, graph, fact, train_params, rng, snowflake
         )
         factorizer.lift(source_table=sampled_fact)
+        prepare_training_paths(db, graph, factorizer)
 
         feature_subset = _feature_sample(all_features, train_params, rng)
         trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, train_params)

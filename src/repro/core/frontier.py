@@ -173,6 +173,7 @@ class FrontierState:
         table = self.factorizer.storage_table(fact)
         if not self._root_pass(table, root_id):
             return False
+        self._exempt_from_encoding_cache(table)
         self._pending_root = None
         self.active = True
         self.epoch = 0
@@ -215,6 +216,18 @@ class FrontierState:
             )
         self.column = name
         return True
+
+    def _exempt_from_encoding_cache(self, table: str) -> None:
+        """The persistent label column churns with every committed split:
+        keep it out of the encoded-key cache (delta updates stay cheap,
+        and the cache spends its budget on genuinely static columns)."""
+        cache = getattr(self.db, "encodings", None)
+        if cache is None or self.column is None:
+            return
+        target = self.db.table(table)
+        uid = getattr(target, "uid", None)
+        if uid is not None:
+            cache.mark_uncached(uid, self.column)
 
     # ------------------------------------------------------------------
     def apply_split(self, node: TreeNode) -> None:

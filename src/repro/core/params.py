@@ -63,6 +63,8 @@ _ALIASES = {
     "frontier_batching": "split_batching",
     "frontier_state": "frontier_state",
     "leaf_state": "frontier_state",
+    "encoding_cache": "encoding_cache",
+    "key_encoding_cache": "encoding_cache",
 }
 
 
@@ -100,6 +102,11 @@ class TrainParams:
     # back to rebuild when the backend or tree cannot support it);
     # "rebuild" re-materializes a labeled fact copy every round.
     frontier_state: str = "incremental"
+    # Version-stamped encoded-key cache (embedded engine): "auto"/"on"
+    # factorize each join/group-by column once per training run; "off"
+    # re-encodes per query (the pre-PR4 behavior, kept for ablations and
+    # the CI parity gate).  External backends ignore the knob.
+    encoding_cache: str = "auto"
 
     def __post_init__(self):
         if self.num_leaves < 2:
@@ -131,6 +138,11 @@ class TrainParams:
             raise TrainingError(
                 f"frontier_state must be 'incremental' or 'rebuild', "
                 f"got {self.frontier_state!r}"
+            )
+        if self.encoding_cache not in ("auto", "on", "off"):
+            raise TrainingError(
+                f"encoding_cache must be 'auto', 'on' or 'off', "
+                f"got {self.encoding_cache!r}"
             )
         if self.max_bin is not None and self.max_bin < 2:
             raise TrainingError("max_bin must be at least 2")

@@ -36,15 +36,29 @@ def favorita(
     noise: float = 0.1,
     seed: int = 7,
     fact_config: Optional[StorageConfig] = None,
+    key_dtype: str = "int",
 ) -> Tuple[Database, JoinGraph]:
     """Generate the Favorita star schema; returns (db, join graph).
 
     The default 13 features (5 imputed + 8 extra) match the paper's
     Favorita configuration; ``num_extra_features`` widens it for the
-    scalability sweeps.
+    scalability sweeps.  ``key_dtype="str"`` renders every join key as a
+    natural string key (``"it_00042"`` style) — the raw Favorita dump
+    joins on string-typed dates and item codes, and string keys exercise
+    the expensive dictionary-encode path that the engine's encoded-key
+    cache exists to amortize.
     """
+    if key_dtype not in ("int", "str"):
+        raise ValueError(f"key_dtype must be 'int' or 'str', got {key_dtype!r}")
     rng = np.random.default_rng(seed)
     db = db or Database()
+
+    def key_domain(prefix: str, size: int) -> np.ndarray:
+        """The dimension's primary-key vector in the requested dtype."""
+        if key_dtype == "str":
+            return np.array([f"{prefix}_{i:05d}" for i in range(size)],
+                            dtype=object)
+        return np.arange(size)
 
     f_items = rng.integers(1, 1001, num_items).astype(np.float64)
     f_stores = rng.integers(1, 1001, num_stores).astype(np.float64)
@@ -67,12 +81,16 @@ def favorita(
         + rng.normal(0.0, noise, num_fact_rows)
     )
 
+    item_keys = key_domain("it", num_items)
+    store_keys = key_domain("st", num_stores)
+    date_keys = key_domain("dt", num_dates)
+    trans_keys = key_domain("tr", num_trans)
     dim_tables = {
-        "items": {"item_id": np.arange(num_items), "f_items": f_items},
-        "stores": {"store_id": np.arange(num_stores), "f_stores": f_stores},
-        "dates": {"date_id": np.arange(num_dates), "f_dates": f_dates},
-        "trans": {"trans_id": np.arange(num_trans), "f_trans": f_trans},
-        "oil": {"date_id": np.arange(num_dates), "f_oil": f_oil},
+        "items": {"item_id": item_keys, "f_items": f_items},
+        "stores": {"store_id": store_keys, "f_stores": f_stores},
+        "dates": {"date_id": date_keys, "f_dates": f_dates},
+        "trans": {"trans_id": trans_keys, "f_trans": f_trans},
+        "oil": {"date_id": date_keys, "f_oil": f_oil},
     }
     dim_features = {name: [f"f_{name}"] for name in DIMS}
 
@@ -90,10 +108,10 @@ def favorita(
     db.create_table(
         "sales",
         {
-            "item_id": item_id,
-            "store_id": store_id,
-            "date_id": date_id,
-            "trans_id": trans_id,
+            "item_id": item_keys[item_id],
+            "store_id": store_keys[store_id],
+            "date_id": date_keys[date_id],
+            "trans_id": trans_keys[trans_id],
             "unit_sales": y,
         },
         config=fact_config,

@@ -18,6 +18,8 @@ from repro.exceptions import CatalogError, ExecutionError, PlanError
 from repro.sql import ast_nodes as ast
 from repro.sql.expressions import Frame, evaluate
 from repro.sql.parser import parse
+from repro.engine import operators as ops
+from repro.engine.encodings import EncodingCache
 from repro.engine.planner import run_query, run_select, _precompute_subqueries
 from repro.engine.result import Relation
 from repro.storage.catalog import Catalog
@@ -29,13 +31,20 @@ from repro.storage.wal import WriteAheadLog
 
 @dataclasses.dataclass
 class QueryProfile:
-    """One executed statement: text, classification tag, latency, fan-out."""
+    """One executed statement: text, classification tag, latency, fan-out.
+
+    ``encode_passes``/``encode_seconds`` split the latency into key-encode
+    work vs everything else (aggregation, joins, projection): the Figure 9
+    census and the encoding-cache CI gate read the split.
+    """
 
     sql: str
     kind: str
     seconds: float
     rows_out: int
     tag: Optional[str] = None
+    encode_passes: int = 0
+    encode_seconds: float = 0.0
 
 
 class Database:
@@ -51,6 +60,11 @@ class Database:
         self._mvcc = VersionStore() if self.config.mvcc else None
         self.profiles: List[QueryProfile] = []
         self.profiling_enabled = True
+        # Encoded-key cache: dictionary codes per (table uid, column,
+        # version).  Immutable base relations factorize once per training
+        # run instead of once per query; version stamps make any mutation
+        # (UPDATE, replace_column, swap, WAL/MVCC write) detectable.
+        self.encodings = EncodingCache()
         # Plan cache: statement ASTs keyed by SQL text (DBMSes cache plans;
         # JoinBoost re-issues structurally identical statements constantly).
         self._parse_cache: Dict[str, List[ast.Statement]] = {}
@@ -66,6 +80,8 @@ class Database:
 
     def register(self, table: Table, replace: bool = False) -> None:
         """Register an externally built table (e.g. the DP fact dataframe)."""
+        if replace:
+            self._forget_encodings(table.name)
         self.catalog.create(table, replace=replace)
 
     def create_table(
@@ -80,14 +96,24 @@ class Database:
         table = Table.from_columns(
             name, columns, config or self.config, wal=self._wal, mvcc=self._mvcc
         )
+        if replace:
+            self._forget_encodings(name)
         self.catalog.create(table, replace=replace)
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
+        self._forget_encodings(name)
         self.catalog.drop(name, if_exists=if_exists)
 
     def rename_table(self, old: str, new: str) -> None:
+        # Renames preserve table identity (uid): cached encodings stay
+        # valid because the data did not move.
         self.catalog.rename(old, new)
+
+    def _forget_encodings(self, name: str) -> None:
+        """Release cache entries of a table that is about to disappear."""
+        if self.catalog.exists(name):
+            self.encodings.invalidate_table(self.catalog.get(name).uid)
 
     def replace_column(
         self,
@@ -106,6 +132,10 @@ class Database:
 
     def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
         """Drop JoinBoost's temporary tables (the safety contract)."""
+        keep_keys = {k.lower() for k in (keep or [])}
+        for temp in self.catalog.temp_names():
+            if temp.lower() not in keep_keys:
+                self._forget_encodings(temp)
         return self.catalog.drop_temp(keep=keep)
 
     # ------------------------------------------------------------------
@@ -130,6 +160,7 @@ class Database:
 
     def _run_statement(self, statement: ast.Statement, tag: Optional[str]) -> Optional[Relation]:
         start = time.perf_counter()
+        encode_before = ops.encode_census()
         kind = type(statement).__name__
         result: Optional[Relation] = None
         if isinstance(statement, (ast.Select, ast.UnionAll)):
@@ -140,8 +171,11 @@ class Database:
                 statement.name, relation.columns(), self.config,
                 wal=self._wal, mvcc=self._mvcc,
             )
+            if statement.replace:
+                self._forget_encodings(statement.name)
             self.catalog.create(table, replace=statement.replace)
         elif isinstance(statement, ast.DropTable):
+            self._forget_encodings(statement.name)
             self.catalog.drop(statement.name, if_exists=statement.if_exists)
         elif isinstance(statement, ast.Update):
             rows_affected = self._run_update(statement)
@@ -149,6 +183,7 @@ class Database:
             raise ExecutionError(f"unsupported statement {kind}")
         elapsed = time.perf_counter() - start
         if self.profiling_enabled:
+            encode_after = ops.encode_census()
             if result is not None:
                 rows_out = result.num_rows
             elif isinstance(statement, ast.Update):
@@ -164,6 +199,12 @@ class Database:
                     seconds=elapsed,
                     rows_out=rows_out,
                     tag=tag,
+                    encode_passes=int(
+                        encode_after["passes"] - encode_before["passes"]
+                    ),
+                    encode_seconds=float(
+                        encode_after["seconds"] - encode_before["seconds"]
+                    ),
                 )
             )
         return result
@@ -175,7 +216,7 @@ class Database:
         frame = Frame(table.num_rows())
         for col in table.columns():
             frame.bind(col, binding=statement.table)
-        context: Dict[int, object] = {}
+        context: Dict[int, object] = {"__encodings__": self.encodings}
         mask = None
         affected = table.num_rows()
         if statement.where is not None:

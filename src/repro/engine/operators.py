@@ -7,7 +7,8 @@ group in GROUP BY, and aggregates skip nulls.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -15,24 +16,221 @@ from repro.exceptions import ExecutionError
 
 _NULL_SENTINEL = "\x00__null__"
 
+# ---------------------------------------------------------------------------
+# Encode census: every full pass over a key/grouping column is counted here
+# (the Figure 9 "encode vs aggregate" split and the PR 4 CI gate read it).
+# The encoding cache exists to make these numbers drop: a cached lookup
+# performs no pass and leaves the census untouched.
+# ---------------------------------------------------------------------------
+_ENCODE_CENSUS = {"passes": 0, "rows": 0, "seconds": 0.0}
+
+
+def encode_census() -> Dict[str, float]:
+    """A snapshot of the process-wide encode counters."""
+    return dict(_ENCODE_CENSUS)
+
+
+def reset_encode_census() -> None:
+    _ENCODE_CENSUS["passes"] = 0
+    _ENCODE_CENSUS["rows"] = 0
+    _ENCODE_CENSUS["seconds"] = 0.0
+
+
+def _count_pass(rows: int, seconds: float) -> None:
+    _ENCODE_CENSUS["passes"] += 1
+    _ENCODE_CENSUS["rows"] += int(rows)
+    _ENCODE_CENSUS["seconds"] += seconds
+
+
+def _object_nulls(values: np.ndarray) -> np.ndarray:
+    """Vectorized None detection for object columns (no Python loop)."""
+    if not len(values):
+        return np.zeros(0, dtype=bool)
+    # Elementwise equality against the None singleton; ~2x faster than a
+    # list comprehension and allocation-free on the hot path.
+    return np.asarray(values == None, dtype=bool)  # noqa: E711
+
 
 def _normalize_key(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Return (comparable array, null mask) for a key/grouping column."""
+    start = time.perf_counter()
     if values.dtype == object:
-        nulls = np.array([v is None for v in values], dtype=bool)
+        nulls = _object_nulls(values)
         if nulls.any():
             values = values.copy()
             values[nulls] = _NULL_SENTINEL
         # Size the unicode dtype from the data: a fixed-width cast (the
         # old "U64") silently truncates longer keys, merging distinct
         # join keys and groups that only differ past the cutoff.
-        return values.astype("U") if len(values) else values, nulls
+        out = values.astype("U") if len(values) else values
+        _count_pass(len(values), time.perf_counter() - start)
+        return out, nulls
     if values.dtype.kind == "f":
         nulls = np.isnan(values)
         if nulls.any():
             values = np.where(nulls, 0.0, values)
+        _count_pass(len(values), time.perf_counter() - start)
         return values, nulls
+    _count_pass(len(values), time.perf_counter() - start)
     return values, np.zeros(len(values), dtype=bool)
+
+
+class ColumnEncoding:
+    """A dictionary-encoded view of one column.
+
+    ``codes`` maps each row into ``[0, cardinality)``, value-ordered with
+    the null group (when ``has_null``) coded last; ``uniques`` is the
+    sorted non-null dictionary in comparable dtype (unicode for strings,
+    int64/float64 for numbers).  ``group_index`` is the lazily built
+    hash-join-side structure: row positions grouped by code plus per-code
+    bucket offsets, so a cached join side skips its per-query sort.
+    """
+
+    __slots__ = ("codes", "cardinality", "null_mask", "uniques", "has_null",
+                 "group_index")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        cardinality: int,
+        null_mask: Optional[np.ndarray],
+        uniques: np.ndarray,
+        has_null: bool,
+    ):
+        self.codes = codes
+        self.cardinality = cardinality
+        self.null_mask = null_mask
+        self.uniques = uniques
+        self.has_null = has_null
+        self.group_index: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def nulls(self) -> np.ndarray:
+        if self.null_mask is None:
+            return np.zeros(len(self.codes), dtype=bool)
+        return self.null_mask
+
+    def nbytes(self) -> int:
+        total = int(self.codes.nbytes)
+        if self.null_mask is not None:
+            total += int(self.null_mask.nbytes)
+        if self.uniques.dtype == object:
+            total += sum(len(str(v)) for v in self.uniques) + 8 * len(self.uniques)
+        else:
+            total += int(self.uniques.nbytes)
+        # The grouped row index is built lazily, after any cache accounted
+        # this encoding's size — charge for it up front so a byte-bounded
+        # LRU never silently exceeds its budget when the index appears.
+        total += 8 * len(self.codes) + 16 * self.cardinality
+        return total
+
+    def ensure_group_index(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(order, starts, counts): row positions grouped by code."""
+        if self.group_index is None:
+            order = np.argsort(self.codes, kind="stable")
+            counts = np.bincount(self.codes, minlength=self.cardinality)
+            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            self.group_index = (order, starts.astype(np.int64), counts.astype(np.int64))
+        return self.group_index
+
+    def take(self, indexes: np.ndarray) -> "ColumnEncoding":
+        """Gather rows by (non-negative) position: an O(n) int gather in
+        place of a full re-encode of the gathered values."""
+        null_mask = self.null_mask[indexes] if self.null_mask is not None else None
+        return ColumnEncoding(
+            self.codes[indexes], self.cardinality, null_mask,
+            self.uniques, self.has_null,
+        )
+
+    def filter(self, mask: np.ndarray) -> "ColumnEncoding":
+        null_mask = self.null_mask[mask] if self.null_mask is not None else None
+        return ColumnEncoding(
+            self.codes[mask], self.cardinality, null_mask,
+            self.uniques, self.has_null,
+        )
+
+    def triple(self) -> Tuple[np.ndarray, int, np.ndarray]:
+        """The (codes, cardinality, null mask) shape ``factorize`` folds."""
+        return self.codes, self.cardinality, self.nulls()
+
+
+def encode_values(
+    values: np.ndarray, valid: Optional[np.ndarray] = None
+) -> ColumnEncoding:
+    """One full dictionary-encode pass over a column (census-counted).
+
+    Unlike the historical sentinel trick, nulls are excluded from the
+    dictionary entirely — ``uniques`` holds only real values — so two
+    independently encoded columns can be joined by merging dictionaries.
+    Group semantics are unchanged: codes are value-ordered and the null
+    group, when present, is coded last.
+    """
+    start = time.perf_counter()
+    values = np.asarray(values)
+    n = len(values)
+    if values.dtype == object:
+        nulls = _object_nulls(values)
+    elif values.dtype.kind == "f":
+        nulls = np.isnan(values)
+    else:
+        nulls = np.zeros(n, dtype=bool)
+    if valid is not None:
+        nulls = nulls | ~np.asarray(valid, dtype=bool)
+    has_null = bool(nulls.any())
+
+    if values.dtype.kind in ("i", "u", "b") and n:
+        comparable = values.astype(np.int64, copy=False)
+        work = comparable[~nulls] if has_null else comparable
+        if len(work):
+            lo = int(work.min())
+            hi = int(work.max())
+            span = hi - lo + 1
+            if 0 < span <= max(4 * n, 65_536):
+                shifted = np.where(nulls, lo, comparable) - lo if has_null \
+                    else comparable - lo
+                present = np.zeros(span, dtype=bool)
+                present[shifted[~nulls] if has_null else shifted] = True
+                unique_offsets = np.flatnonzero(present)
+                lookup = np.empty(span, dtype=np.int64)
+                lookup[unique_offsets] = np.arange(len(unique_offsets))
+                codes = lookup[shifted]
+                card = len(unique_offsets)
+                uniques = unique_offsets + lo
+                if has_null:
+                    codes[nulls] = card
+                    card += 1
+                _count_pass(n, time.perf_counter() - start)
+                return ColumnEncoding(
+                    codes, max(card, 1), nulls if has_null else None,
+                    uniques, has_null,
+                )
+
+    if values.dtype == object:
+        work_values = values[~nulls] if has_null else values
+        comparable = work_values.astype("U") if len(work_values) else \
+            np.zeros(0, dtype="U1")
+    elif values.dtype.kind in ("i", "u", "b"):
+        comparable = values.astype(np.int64, copy=False)
+        if has_null:
+            comparable = comparable[~nulls]
+    else:
+        comparable = values[~nulls] if has_null else values
+    uniques, inverse = np.unique(comparable, return_inverse=True)
+    inverse = inverse.reshape(len(comparable)).astype(np.int64)
+    card = len(uniques)
+    if has_null:
+        codes = np.empty(n, dtype=np.int64)
+        codes[~nulls] = inverse
+        codes[nulls] = card
+        card += 1
+    else:
+        codes = inverse
+    _count_pass(n, time.perf_counter() - start)
+    return ColumnEncoding(
+        codes, max(card, 1), nulls if has_null else None, uniques, has_null
+    )
 
 
 def _column_codes(values: np.ndarray) -> Tuple[np.ndarray, int, np.ndarray]:
@@ -43,34 +241,7 @@ def _column_codes(values: np.ndarray) -> Tuple[np.ndarray, int, np.ndarray]:
     falls back to ``np.unique``'s sort.  Codes are ordered by value either
     way, with nulls coded last.
     """
-    comparable, nulls = _normalize_key(np.asarray(values))
-    n = len(comparable)
-    if comparable.dtype.kind in ("i", "u") and n:
-        lo = int(comparable.min())
-        hi = int(comparable.max())
-        span = hi - lo + 1
-        if 0 < span <= max(4 * n, 65_536):
-            shifted = comparable.astype(np.int64) - lo
-            present = np.zeros(span, dtype=bool)
-            present[shifted] = True
-            uniques = np.flatnonzero(present)
-            lookup = np.empty(span, dtype=np.int64)
-            lookup[uniques] = np.arange(len(uniques))
-            codes = lookup[shifted]
-            card = len(uniques)
-            if nulls.any():
-                codes = codes.copy()
-                codes[nulls] = card
-                card += 1
-            return codes, max(card, 1), nulls
-    uniques, codes = np.unique(comparable, return_inverse=True)
-    codes = codes.reshape(n)
-    card = len(uniques)
-    if nulls.any():
-        codes = codes.copy()
-        codes[nulls] = card
-        card += 1
-    return codes.astype(np.int64), max(card, 1), nulls
+    return encode_values(np.asarray(values)).triple()
 
 
 def _dense_codes(combined: np.ndarray, radix: int) -> Tuple[np.ndarray, int, np.ndarray]:
@@ -105,12 +276,22 @@ def factorize(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, int, np.ndarray
     """
     if not arrays:
         raise ExecutionError("factorize needs at least one key")
-    n = len(arrays[0])
+    return factorize_parts([_column_codes(values) for values in arrays])
+
+
+def factorize_parts(
+    parts: Sequence[Tuple[np.ndarray, int, np.ndarray]],
+) -> Tuple[np.ndarray, int, np.ndarray, np.ndarray]:
+    """:func:`factorize` over pre-encoded (codes, cardinality, null mask)
+    triples — the entry point for cached encodings, which skip the
+    per-column encode passes entirely."""
+    if not parts:
+        raise ExecutionError("factorize needs at least one key")
+    n = len(parts[0][0])
     any_null = np.zeros(n, dtype=bool)
     radix = 1
     combined = np.zeros(n, dtype=np.int64)
-    for values in arrays:
-        codes, card, nulls = _column_codes(values)
+    for codes, card, nulls in parts:
         any_null |= nulls
         combined = combined * card + codes
         radix *= card
@@ -122,14 +303,93 @@ def factorize(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, int, np.ndarray
     return codes, num_groups, first_index, any_null
 
 
+def _merge_dictionaries(
+    left_enc: ColumnEncoding, right_enc: ColumnEncoding
+) -> Optional[Tuple[np.ndarray, np.ndarray, int]]:
+    """Merge two column dictionaries into one shared code space.
+
+    Returns ``(left_map, right_map, size)`` where the maps re-code each
+    side's per-column codes into ``[0, size)`` and ``size - 1`` is a
+    shared null slot (callers mask null rows out of matching anyway).
+    The merge runs over the *dictionaries* — cardinality-sized, not
+    row-count-sized — which is the whole point of composing cached codes
+    instead of concatenating raw key columns.
+    """
+    lu, ru = left_enc.uniques, right_enc.uniques
+    l_str = lu.dtype.kind in ("U", "S", "O")
+    r_str = ru.dtype.kind in ("U", "S", "O")
+    if l_str != r_str:
+        return None  # mixed string/numeric keys: legacy path decides
+    merged = np.concatenate([lu, ru]) if len(lu) or len(ru) else lu
+    uniques, inverse = np.unique(merged, return_inverse=True)
+    inverse = inverse.reshape(len(merged)).astype(np.int64)
+    size = len(uniques) + 1  # trailing shared null slot
+    # Initialize with the null slot: an all-null or empty side has a
+    # cardinality-1 placeholder code that no dictionary entry covers, and
+    # an uninitialized map slot would be used as a scatter/gather index.
+    left_map = np.full(left_enc.cardinality, size - 1, dtype=np.int64)
+    left_map[: len(lu)] = inverse[: len(lu)]
+    right_map = np.full(right_enc.cardinality, size - 1, dtype=np.int64)
+    right_map[: len(ru)] = inverse[len(lu):]
+    return left_map, right_map, size
+
+
+def _compose_shared(
+    left_encodings: Sequence[ColumnEncoding],
+    right_encodings: Sequence[ColumnEncoding],
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Shared codes for key tuples built from cached per-column codes."""
+    n_left = len(left_encodings[0]) if left_encodings else 0
+    n_right = len(right_encodings[0]) if right_encodings else 0
+    left_nulls = np.zeros(n_left, dtype=bool)
+    right_nulls = np.zeros(n_right, dtype=bool)
+    combined = np.zeros(n_left + n_right, dtype=np.int64)
+    radix = 1
+    for left_enc, right_enc in zip(left_encodings, right_encodings):
+        maps = _merge_dictionaries(left_enc, right_enc)
+        if maps is None:
+            return None
+        left_map, right_map, size = maps
+        left_nulls |= left_enc.nulls()
+        right_nulls |= right_enc.nulls()
+        shared = np.concatenate(
+            [left_map[left_enc.codes], right_map[right_enc.codes]]
+        )
+        combined = combined * size + shared
+        radix *= size
+        if radix > 2**62:
+            combined, groups, _ = _dense_codes(combined, radix)
+            radix = max(groups, 1)
+    if radix > max(4 * (n_left + n_right), 65_536):
+        combined, _, _ = _dense_codes(combined, radix)
+    return combined[:n_left], combined[n_left:], left_nulls, right_nulls
+
+
 def _shared_codes(
-    left: Sequence[np.ndarray], right: Sequence[np.ndarray]
+    left: Sequence[np.ndarray],
+    right: Sequence[np.ndarray],
+    left_encodings: Optional[Sequence[Optional[ColumnEncoding]]] = None,
+    right_encodings: Optional[Sequence[Optional[ColumnEncoding]]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Code left and right key tuples in one shared dictionary.
 
-    Single-column integer keys skip dictionary construction entirely —
-    value-minus-min is already a shared comparable code.
+    When every key column on both sides carries a (cached) encoding, the
+    shared dictionary is composed from the per-column dictionaries with no
+    pass over the raw key columns.  Single-column integer keys otherwise
+    skip dictionary construction entirely — value-minus-min is already a
+    shared comparable code.
     """
+    if (
+        left_encodings is not None
+        and right_encodings is not None
+        and len(left_encodings) == len(left)
+        and len(right_encodings) == len(right)
+        and all(e is not None for e in left_encodings)
+        and all(e is not None for e in right_encodings)
+    ):
+        composed = _compose_shared(left_encodings, right_encodings)
+        if composed is not None:
+            return composed
     n_left = len(left[0]) if left else 0
     left_nulls = np.zeros(n_left, dtype=bool)
     right_nulls = np.zeros(len(right[0]) if right else 0, dtype=bool)
@@ -167,19 +427,101 @@ def _shared_codes(
     return codes[:n_left], codes[n_left:], left_nulls, right_nulls
 
 
+def _indexed_join(
+    left_enc: ColumnEncoding, right_enc: ColumnEncoding, how: str
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Single-key join against a cached right side's grouped row index.
+
+    The right side's rows are already grouped by code (``group_index``),
+    and the dictionary merge is monotone, so the per-query sort and
+    bucket-count passes over the right side disappear: the join is one
+    dictionary merge (cardinality-sized) plus O(n) gathers.
+    """
+    maps = _merge_dictionaries(left_enc, right_enc)
+    if maps is None:
+        return None
+    left_map, right_map, size = maps
+    order, starts_own, counts_own = right_enc.ensure_group_index()
+    counts_shared = np.zeros(size, dtype=np.int64)
+    starts_shared = np.zeros(size, dtype=np.int64)
+    non_null = right_enc.cardinality - (1 if right_enc.has_null else 0)
+    counts_shared[right_map[:non_null]] = counts_own[:non_null]
+    starts_shared[right_map[:non_null]] = starts_own[:non_null]
+    # Null keys never match: the shared null slot was never scattered to,
+    # so left null rows look up zero counts.
+    lcodes = left_map[left_enc.codes]
+    counts = counts_shared[lcodes]
+    starts = starts_shared[lcodes]
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(lcodes)), counts)
+    if total:
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total) - offsets
+        right_idx = order[np.repeat(starts, counts) + within]
+    else:
+        right_idx = np.zeros(0, dtype=np.int64)
+    return _pad_outer(
+        left_idx, right_idx, counts, len(right_enc.codes), how, total
+    )
+
+
+def _pad_outer(
+    left_idx: np.ndarray,
+    right_idx: np.ndarray,
+    counts: np.ndarray,
+    n_right: int,
+    how: str,
+    total: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Append the -1-padded rows LEFT/FULL joins owe for unmatched keys."""
+    if how in ("left", "full"):
+        unmatched_left = np.flatnonzero(counts == 0)
+        left_idx = np.concatenate([left_idx, unmatched_left])
+        right_idx = np.concatenate(
+            [right_idx, np.full(len(unmatched_left), -1, dtype=np.int64)]
+        )
+    if how == "full":
+        matched_right = np.zeros(n_right, dtype=bool)
+        if total:
+            matched_right[right_idx[right_idx >= 0]] = True
+        unmatched_right = np.flatnonzero(~matched_right)
+        left_idx = np.concatenate(
+            [left_idx, np.full(len(unmatched_right), -1, dtype=np.int64)]
+        )
+        right_idx = np.concatenate([right_idx, unmatched_right])
+    if how not in ("inner", "left", "full"):
+        raise ExecutionError(f"unsupported join type {how!r}")
+    return left_idx.astype(np.int64), right_idx.astype(np.int64)
+
+
 def join_indices(
     left_keys: Sequence[np.ndarray],
     right_keys: Sequence[np.ndarray],
     how: str = "inner",
+    left_encodings: Optional[Sequence[Optional[ColumnEncoding]]] = None,
+    right_encodings: Optional[Sequence[Optional[ColumnEncoding]]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Compute matching row positions for an equi-join.
 
     Returns ``(left_idx, right_idx)``; a position of ``-1`` marks a padded
-    null row (outer joins).  Null keys never match.
+    null row (outer joins).  Null keys never match.  Cached per-column
+    encodings, when supplied, replace the per-query key-encoding passes.
     """
     if len(left_keys) != len(right_keys) or not left_keys:
         raise ExecutionError("join_indices: key arity mismatch")
-    lcodes, rcodes, lnull, rnull = _shared_codes(left_keys, right_keys)
+    if (
+        len(left_keys) == 1
+        and left_encodings is not None
+        and right_encodings is not None
+        and left_encodings[0] is not None
+        and right_encodings[0] is not None
+    ):
+        fast = _indexed_join(left_encodings[0], right_encodings[0], how)
+        if fast is not None:
+            return fast
+    lcodes, rcodes, lnull, rnull = _shared_codes(
+        left_keys, right_keys, left_encodings, right_encodings
+    )
     # Null keys are excluded from matching by pushing them out of range.
     lcodes = np.where(lnull, -1, lcodes)
     rcodes = np.where(rnull, -2, rcodes)
@@ -209,32 +551,19 @@ def join_indices(
         right_idx = order[np.repeat(starts, counts) + within]
     else:
         right_idx = np.zeros(0, dtype=np.int64)
-
-    if how in ("left", "full"):
-        unmatched_left = np.flatnonzero(counts == 0)
-        left_idx = np.concatenate([left_idx, unmatched_left])
-        right_idx = np.concatenate(
-            [right_idx, np.full(len(unmatched_left), -1, dtype=np.int64)]
-        )
-    if how == "full":
-        matched_right = np.zeros(len(rcodes), dtype=bool)
-        if total:
-            matched_right[right_idx[right_idx >= 0]] = True
-        unmatched_right = np.flatnonzero(~matched_right)
-        left_idx = np.concatenate(
-            [left_idx, np.full(len(unmatched_right), -1, dtype=np.int64)]
-        )
-        right_idx = np.concatenate([right_idx, unmatched_right])
-    if how not in ("inner", "left", "full"):
-        raise ExecutionError(f"unsupported join type {how!r}")
-    return left_idx.astype(np.int64), right_idx.astype(np.int64)
+    return _pad_outer(left_idx, right_idx, counts, len(rcodes), how, total)
 
 
 def semi_join_mask(
-    left_keys: Sequence[np.ndarray], right_keys: Sequence[np.ndarray]
+    left_keys: Sequence[np.ndarray],
+    right_keys: Sequence[np.ndarray],
+    left_encodings: Optional[Sequence[Optional[ColumnEncoding]]] = None,
+    right_encodings: Optional[Sequence[Optional[ColumnEncoding]]] = None,
 ) -> np.ndarray:
     """Boolean mask of left rows whose key appears on the right."""
-    lcodes, rcodes, lnull, rnull = _shared_codes(left_keys, right_keys)
+    lcodes, rcodes, lnull, rnull = _shared_codes(
+        left_keys, right_keys, left_encodings, right_encodings
+    )
     present = np.zeros(int(max(lcodes.max(initial=-1), rcodes.max(initial=-1))) + 2,
                        dtype=bool)
     valid_r = rcodes[~rnull]

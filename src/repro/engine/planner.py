@@ -86,6 +86,9 @@ def run_select(select: ast.Select, db) -> Relation:
     """Execute a SELECT against ``db`` (a :class:`~repro.engine.database.
     Database`)."""
     context: Dict[int, object] = {}
+    # The evaluator consults the encoded-key cache (semi-join IN
+    # membership over cached dictionary codes) through the context.
+    context["__encodings__"] = getattr(db, "encodings", None)
     frame = _build_from(select, db, context)
     frame = _apply_where(select, db, frame, context)
 
@@ -173,18 +176,44 @@ def _apply_join(
             "join requires at least one equality condition "
             f"(got {join.condition.sql() if join.condition else 'none'})"
         )
-    left_keys = [left.resolve(l).values for l, _ in equi]
-    right_keys = [right.resolve(r).values for _, r in equi]
+    cache = getattr(db, "encodings", None)
+    left_cols = [left.resolve(l) for l, _ in equi]
+    right_cols = [right.resolve(r) for _, r in equi]
+    left_keys = [c.values for c in left_cols]
+    right_keys = [c.values for c in right_cols]
+    # Cached key encodings (None entries fall back per column inside the
+    # operators): base-table and message-table join keys factorize once
+    # per training run instead of once per query.  Columns carrying a
+    # validity mask are excluded: the legacy join path matches on raw
+    # stored values (ignoring validity), while encodings fold the mask
+    # into the null group — using them here would change join results
+    # between cache-on and cache-off.
+    left_encodings = right_encodings = None
+    if cache is not None and cache.enabled:
+        left_encodings = [
+            cache.encoding_for(c) if c.valid is None else None
+            for c in left_cols
+        ]
+        right_encodings = [
+            cache.encoding_for(c) if c.valid is None else None
+            for c in right_cols
+        ]
     how = {"INNER": "inner", "LEFT": "left", "RIGHT": "left", "FULL": "full"}[kind]
     if kind == "RIGHT":
-        r_idx, l_idx = ops.join_indices(right_keys, left_keys, how="left")
+        r_idx, l_idx = ops.join_indices(
+            right_keys, left_keys, how="left",
+            left_encodings=right_encodings, right_encodings=left_encodings,
+        )
     else:
-        l_idx, r_idx = ops.join_indices(left_keys, right_keys, how=how)
-    merged = _gather_merge(left, right, l_idx, r_idx)
+        l_idx, r_idx = ops.join_indices(
+            left_keys, right_keys, how=how,
+            left_encodings=left_encodings, right_encodings=right_encodings,
+        )
+    merged = _gather_merge(left, right, l_idx, r_idx, cache)
     for conjunct in residual:
         _precompute_subqueries(conjunct, db, context)
         mask = np.asarray(evaluate(conjunct, merged, context), dtype=bool)
-        merged = _filter_frame(merged, mask)
+        merged = _filter_frame(merged, mask, cache)
     return merged
 
 
@@ -220,26 +249,47 @@ def _lookup(frame: Frame, key: str):
     return col
 
 
-def _gather_merge(left: Frame, right: Frame, l_idx: np.ndarray, r_idx: np.ndarray) -> Frame:
+def _gather_merge(
+    left: Frame,
+    right: Frame,
+    l_idx: np.ndarray,
+    r_idx: np.ndarray,
+    cache=None,
+) -> Frame:
     merged = Frame(len(l_idx))
+    propagate = cache is not None and cache.enabled
+    # Outer-join pads (-1 positions) introduce nulls the parent encoding
+    # does not describe; codes only propagate through pure gathers.
+    l_pure = propagate and (len(l_idx) == 0 or int(l_idx.min()) >= 0)
+    r_pure = propagate and (len(r_idx) == 0 or int(r_idx.min()) >= 0)
     for key in left.order:
         col = _lookup(left, key)
         binding, _, bare = key.rpartition(".")
-        merged.bind(col.take(l_idx).rename(col.name), binding or None)
+        out = col.take(l_idx).rename(col.name)
+        if l_pure:
+            cache.attach_gather(out, col, l_idx)
+        merged.bind(out, binding or None)
     for key in right.order:
         col = _lookup(right, key)
         binding, _, bare = key.rpartition(".")
-        merged.bind(col.take(r_idx).rename(col.name), binding or None)
+        out = col.take(r_idx).rename(col.name)
+        if r_pure:
+            cache.attach_gather(out, col, r_idx)
+        merged.bind(out, binding or None)
     return merged
 
 
-def _filter_frame(frame: Frame, mask: np.ndarray) -> Frame:
+def _filter_frame(frame: Frame, mask: np.ndarray, cache=None) -> Frame:
     out = Frame(int(mask.sum()))
+    propagate = cache is not None and cache.enabled
     seen: Dict[int, Column] = {}
     for key in frame.order:
         col = _lookup(frame, key)
         if id(col) not in seen:
-            seen[id(col)] = col.filter(mask)
+            filtered = col.filter(mask)
+            if propagate:
+                cache.attach_filter(filtered, col, mask)
+            seen[id(col)] = filtered
         binding, _, _ = key.rpartition(".")
         out.bind(seen[id(col)], binding or None)
     return out
@@ -264,7 +314,7 @@ def _apply_where(select: ast.Select, db, frame: Frame, context: Dict[int, object
         return frame
     _precompute_subqueries(select.where, db, context)
     mask = np.asarray(evaluate(select.where, frame, context), dtype=bool)
-    return _filter_frame(frame, mask)
+    return _filter_frame(frame, mask, getattr(db, "encodings", None))
 
 
 # ---------------------------------------------------------------------------
@@ -360,8 +410,28 @@ def _apply_grouping(
     aggregates: List[ast.FuncCall],
 ) -> Frame:
     if select.group_by:
-        group_arrays = [np.asarray(evaluate(e, frame, context)) for e in select.group_by]
-        codes, ngroups, first_idx, _ = ops.factorize(group_arrays)
+        cache = getattr(db, "encodings", None)
+        group_arrays: List[np.ndarray] = []
+        parts: List[Tuple[np.ndarray, int, np.ndarray]] = []
+        for expr in select.group_by:
+            # Grouping keys resolve through the encoding cache when they
+            # are plain column references with known provenance (base
+            # tables, messages, or gather/filter derivations thereof);
+            # anything else pays the classic per-query encode.
+            part = None
+            if cache is not None and cache.enabled and isinstance(expr, ast.ColumnRef):
+                try:
+                    encoding = cache.encoding_for(frame.resolve(expr))
+                except PlanError:
+                    encoding = None
+                if encoding is not None:
+                    part = encoding.triple()
+            array = np.asarray(evaluate(expr, frame, context))
+            if part is None:
+                part = ops._column_codes(array)
+            group_arrays.append(array)
+            parts.append(part)
+        codes, ngroups, first_idx, _ = ops.factorize_parts(parts)
     else:
         codes = np.zeros(frame.num_rows, dtype=np.int64)
         ngroups = 1

@@ -71,16 +71,16 @@ def apply_masked_update(
         if old.ctype is ColumnType.INT and new_values.dtype.kind in "iub":
             fresh = old.values.copy()
             fresh[mask] = new_values[mask].astype(np.int64)
-            table._store[column_name] = Column(column_name, fresh, old.ctype)
+            # swap_in bumps the column's version stamp, so encoded-key
+            # caches keyed on (uid, name, version) see the mutation.
+            table.swap_in(Column(column_name, fresh, old.ctype))
             return count
         if old.ctype is ColumnType.FLOAT:
             as_float = new_values.astype(np.float64, copy=False)
             if not np.isnan(as_float[mask]).any():
                 fresh = old.values.copy()
                 fresh[mask] = as_float[mask]
-                table._store[column_name] = Column(
-                    column_name, fresh, old.ctype
-                )
+                table.swap_in(Column(column_name, fresh, old.ctype))
                 return count
 
     # Merge + full write (logged) — the general path.

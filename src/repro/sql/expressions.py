@@ -145,6 +145,44 @@ def _column_values(col: Column) -> np.ndarray:
     return col.values
 
 
+def _encoded_membership(
+    operand: ast.Expr, values, frame: Frame, context: dict
+) -> Optional[np.ndarray]:
+    """Semi-join ``IN (SELECT ...)`` membership via cached dictionary codes.
+
+    ``np.isin`` over a full key column is an O(n log n) sort per
+    predicate; with the column's cached encoding the same answer is
+    membership over the *dictionary* (cardinality-sized) gathered back
+    through the per-row codes.  Returns ``None`` — fall back to the plain
+    scan — when no cache is active, the operand is not a plain column, or
+    the operand contains nulls (the scan's null semantics are kept
+    bit-for-bit by not re-implementing them here).
+    """
+    cache = context.get("__encodings__")
+    if cache is None or not isinstance(operand, ast.ColumnRef):
+        return None
+    try:
+        col = frame.resolve(operand)
+    except PlanError:
+        return None
+    encoding = cache.encoding_for(col)
+    if encoding is None or encoding.has_null:
+        return None
+    uniques = encoding.uniques
+    probe = np.asarray(values)
+    if uniques.dtype.kind in ("U", "S"):
+        if probe.dtype == object:
+            probe = probe[~np.asarray(probe == None, dtype=bool)]  # noqa: E711
+            probe = probe.astype("U") if len(probe) else np.zeros(0, dtype="U1")
+        elif probe.dtype.kind not in ("U", "S"):
+            return None
+    elif probe.dtype == object or probe.dtype.kind in ("U", "S"):
+        return None
+    present = np.zeros(encoding.cardinality, dtype=bool)
+    present[: len(uniques)] = np.isin(uniques, probe)
+    return present[encoding.codes]
+
+
 def _broadcast(value, n: int) -> np.ndarray:
     arr = np.asarray(value)
     if arr.ndim == 0:
@@ -221,8 +259,10 @@ def evaluate(expr: ast.Expr, frame: Frame, context: Optional[dict] = None) -> np
         values = context.get(("subq", id(expr)))
         if values is None:
             raise PlanError("IN subquery was not pre-computed by the planner")
-        operand = evaluate(expr.operand, frame, context)
-        result = np.isin(operand, values)
+        result = _encoded_membership(expr.operand, values, frame, context)
+        if result is None:
+            operand = evaluate(expr.operand, frame, context)
+            result = np.isin(operand, values)
         return ~result if expr.negated else result
 
     if isinstance(expr, ast.IsNull):

@@ -15,11 +15,23 @@ integer columns can hold nulls without sentinel values.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Optional
+import itertools
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import StorageError
+
+#: Monotonic stamps for column payloads.  Every distinct column payload in
+#: the process gets a unique stamp, so ``(table uid, column name, version)``
+#: identifies immutable data and caches keyed on it can detect staleness
+#: instead of assuming it (see :mod:`repro.engine.encodings`).
+_VERSION_COUNTER = itertools.count(1)
+
+
+def next_version() -> int:
+    """Mint a fresh monotonic version stamp."""
+    return next(_VERSION_COUNTER)
 
 
 class ColumnType(enum.Enum):
@@ -50,9 +62,22 @@ _NUMPY_DTYPE = {
 
 
 class Column:
-    """A single typed vector of values with an optional validity mask."""
+    """A single typed vector of values with an optional validity mask.
 
-    __slots__ = ("name", "ctype", "values", "valid")
+    Besides the payload, a column carries cache-coherence metadata:
+
+    * ``version`` — a process-wide monotonic stamp minted at construction.
+      Derivations that do not change the data (``rename``, ``copy``) keep
+      the stamp; anything that builds new values gets a new one.
+    * ``source`` — ``(table uid, column name, version)`` provenance set by
+      the owning table's read path, or ``None`` for derived columns.
+    * ``enc`` — a transient encoding hint for the query engine: either a
+      :class:`~repro.engine.encodings.ColumnEncoding` or a lazy
+      ``("gather"|"filter", parent Column, index/mask)`` tuple that lets
+      post-join/post-filter columns reuse their parent's dictionary codes.
+    """
+
+    __slots__ = ("name", "ctype", "values", "valid", "version", "source", "enc")
 
     def __init__(
         self,
@@ -93,6 +118,11 @@ class Column:
         self.ctype = ctype
         self.values = array
         self.valid = valid
+        self.version: int = next_version()
+        self.source: Optional[Tuple[int, str, int]] = None
+        # ColumnEncoding, a lazy ("gather"/"filter", parent, index) hint,
+        # or None — typed loosely to keep storage free of engine imports.
+        self.enc: object = None
 
     def __len__(self) -> int:
         return len(self.values)
@@ -145,11 +175,20 @@ class Column:
         clone.ctype = self.ctype
         clone.values = self.values
         clone.valid = self.valid
+        # Same payload: the version stamp and encoding hints stay valid.
+        clone.version = self.version
+        clone.source = self.source
+        clone.enc = self.enc
         return clone
 
     def copy(self) -> "Column":
         valid = self.valid.copy() if self.valid is not None else None
-        return Column(self.name, self.values.copy(), self.ctype, valid)
+        clone = Column(self.name, self.values.copy(), self.ctype, valid)
+        # A copy holds equal data; keep the stamp so encodings still apply.
+        clone.version = self.version
+        clone.source = self.source
+        clone.enc = self.enc
+        return clone
 
     def is_null(self) -> np.ndarray:
         """Boolean mask of null positions."""

@@ -20,12 +20,13 @@ backends (``x-col``, ``x-row``, ``d-disk``, ``d-mem``, ``dp``, ``d-swap``).
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import StorageError
-from repro.storage.column import Column, ColumnType
+from repro.storage.column import Column, ColumnType, next_version
 from repro.storage.compression import Codec, codec_for
 from repro.storage.mvcc import VersionStore
 from repro.storage.wal import KIND_UPDATE, WriteAheadLog
@@ -86,11 +87,48 @@ class StorageConfig:
             raise StorageError(f"unknown storage preset {name!r}") from None
 
 
+#: process-wide identities for table objects.  A table keeps its uid for
+#: life — catalog renames preserve it — so caches keyed on
+#: ``(uid, column, version)`` survive renames and can never confuse two
+#: tables that happened to share a name.
+_TABLE_UIDS = itertools.count(1)
+
+
 class Table:
-    """Common interface over the three physical layouts."""
+    """Common interface over the three physical layouts.
+
+    Every concrete table tracks a monotonic version stamp per column
+    (``column_version``) plus a table-level high-water mark (``version``),
+    bumped on every mutating path: ``set_column`` (which the WAL-replay and
+    MVCC-commit flows go through), masked updates (``swap_in``),
+    ``drop_column`` and ``swap_column``.  Renames preserve identity — the
+    uid and all column versions are untouched, because the data is.
+    """
 
     name: str
     config: StorageConfig
+    uid: int
+    version: int
+
+    def _init_identity(self) -> None:
+        self.uid = next(_TABLE_UIDS)
+        self.version = 0
+        self._versions: Dict[str, int] = {}
+
+    def _touch(self, column_name: str) -> None:
+        """Record a mutation of one column."""
+        stamp = next_version()
+        self._versions[column_name] = stamp
+        self.version = stamp
+
+    def column_version(self, name: str) -> int:
+        """The current version stamp of one column (0 = never stored)."""
+        return self._versions.get(name, 0)
+
+    def _stamp(self, col: Column) -> Column:
+        """Attach ``(uid, name, version)`` provenance to a read result."""
+        col.source = (self.uid, col.name, self._versions.get(col.name, 0))
+        return col
 
     def column_names(self) -> List[str]:
         raise NotImplementedError
@@ -161,6 +199,7 @@ class ColumnTable(Table):
     ):
         self.name = name
         self.config = config or StorageConfig()
+        self._init_identity()
         self._wal = wal
         self._mvcc = mvcc
         if self.config.wal and self._wal is None:
@@ -193,8 +232,9 @@ class ColumnTable(Table):
         else:
             codec, payload, ctype, valid = entry
             col = Column(name, codec.decode(payload), ctype, valid)
+        self._stamp(col)
         if self.config.scan_copy:
-            col = col.copy()
+            col = col.copy()  # copy() keeps the stamp: equal data
         return col
 
     # -- writes ---------------------------------------------------------
@@ -221,16 +261,28 @@ class ColumnTable(Table):
             self._store[col.name] = col
         if col.name not in self._order:
             self._order.append(col.name)
+        self._touch(col.name)
 
     def set_column(self, column: Column) -> None:
         """Full-column write through WAL/MVCC/compression (the slow path)."""
         self._store_column(column, log=True)
+
+    def swap_in(self, column: Column) -> None:
+        """Pointer-store one column with no logging (masked-update fast
+        path).  The version stamp still advances — staleness of any cache
+        keyed on ``(uid, name, version)`` is detectable, not assumed."""
+        self._store[column.name] = column
+        if column.name not in self._order:
+            self._order.append(column.name)
+        self._touch(column.name)
 
     def drop_column(self, name: str) -> None:
         if name not in self._store:
             raise StorageError(f"table {self.name!r} has no column {name!r}")
         del self._store[name]
         self._order.remove(name)
+        self._versions.pop(name, None)
+        self.version = next_version()
 
     def swap_column(self, name: str, other: "ColumnTable", other_name: str) -> None:
         """Pointer-swap a column with another table (the D-Swap fast path).
@@ -250,6 +302,8 @@ class ColumnTable(Table):
         mine, theirs = self._store[name], other._store[other_name]
         self._store[name] = theirs.rename(name) if isinstance(theirs, Column) else theirs
         other._store[other_name] = mine.rename(other_name) if isinstance(mine, Column) else mine
+        self._touch(name)
+        other._touch(other_name)
 
     def stored_nbytes(self) -> int:
         """Bytes as stored (post-compression)."""
@@ -280,12 +334,15 @@ class RowTable(Table):
     ):
         self.name = name
         self.config = config or StorageConfig(layout="row")
+        self._init_identity()
         self._wal = wal
         if self.config.wal and self._wal is None:
             self._wal = WriteAheadLog(sync=self.config.wal_sync)
         self._ctypes: Dict[str, ColumnType] = {}
         self._valids: Dict[str, Optional[np.ndarray]] = {}
         self._records = self._pack(columns)
+        for col in columns:
+            self._touch(col.name)
 
     def _pack(self, columns: Sequence[Column]) -> np.ndarray:
         fields = []
@@ -319,7 +376,7 @@ class RowTable(Table):
         ctype = self._ctypes[name]
         if ctype is ColumnType.STR:
             values = values.astype(object)
-        return Column(name, values, ctype, self._valids.get(name))
+        return self._stamp(Column(name, values, ctype, self._valids.get(name)))
 
     def set_column(self, column: Column) -> None:
         """Rewrite every record to change one field (the row-store tax)."""
@@ -330,12 +387,15 @@ class RowTable(Table):
         self._ctypes[column.name] = column.ctype
         self._valids[column.name] = column.valid
         self._records = self._pack(cols)
+        self._touch(column.name)
 
     def drop_column(self, name: str) -> None:
         cols = [self.column(n) for n in self.column_names() if n != name]
         self._ctypes.pop(name, None)
         self._valids.pop(name, None)
         self._records = self._pack(cols)
+        self._versions.pop(name, None)
+        self.version = next_version()
 
 
 class ExternalColumnStore(ColumnTable):
