@@ -23,7 +23,15 @@ exits non-zero when a gate fails:
   version-stamped encoded-key cache must cut full key-encode passes by
   at least ``ENCODING_PASS_MIN_DROP``x and end-to-end train wall by at
   least ``ENCODING_WALL_MIN_SPEEDUP``x vs ``encoding_cache="off"``,
-  with tree-for-tree parity between the two.
+  with tree-for-tree parity between the two;
+* **parallel** — on the Figure 9 CI config lifted onto the sqlite
+  backend, training with ``num_workers=4`` must engage the scheduler
+  (parallel rounds > 0, measured query overlap > 0), match the serial
+  model exactly (zero rmse delta), and — on multi-core hosts — beat
+  ``num_workers=1`` wall time by at least ``PARALLEL_MIN_SPEEDUP``x.
+  The speedup gate is *waived* (recorded, not enforced) when the host
+  has a single CPU: threads cannot beat physics, but the engagement,
+  overlap and parity gates still run everywhere.
 
 Sizes are deliberately small (seconds, not minutes): this is a smoke
 gate, not the paper reproduction — ``pytest benchmarks/`` is that.
@@ -35,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -42,6 +51,7 @@ import time
 from repro.bench.harness import (
     fig05_residual_updates,
     fig09_encoding_cache_comparison,
+    fig09_parallel_comparison,
     fig09_query_census,
 )
 
@@ -58,6 +68,13 @@ ENCODING_PASS_MIN_DROP = 5.0
 
 #: ... and end-to-end train wall by this factor (string-keyed config)
 ENCODING_WALL_MIN_SPEEDUP = 1.3
+
+#: sqlite num_workers=4 must beat num_workers=1 wall time by this factor
+#: on multi-core hosts (single-core hosts record the ratio but waive it)
+PARALLEL_MIN_SPEEDUP = 1.2
+
+#: the worker-pool size of the parallel leg
+PARALLEL_WORKERS = 4
 
 FIG5_SMOKE_ROWS = 60_000
 FIG5_SMOKE_BACKENDS = ("x-col", "d-mem", "d-swap")
@@ -95,10 +112,15 @@ def run_smoke() -> dict:
         FIG9_ENCODING_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
         key_dtype="str",
     )
+    parallel = fig09_parallel_comparison(
+        FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
+        workers=PARALLEL_WORKERS, backend="sqlite",
+    )
     inc_census = incremental["frontier_census"]
     reb_census = rebuild["frontier_census"]
+    cpu_count = os.cpu_count() or 1
     return {
-        "schema": "bench-ci-v3",
+        "schema": "bench-ci-v4",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -144,6 +166,20 @@ def run_smoke() -> dict:
             "on_encode_seconds": encoding["encode_seconds_on"],
             "cache_stats": encoding["on"]["encoding_cache_stats"],
             "rmse_delta": encoding["rmse_delta"],
+        },
+        "parallel": {
+            "backend": parallel["backend"],
+            "workers": parallel["workers"],
+            "cpu_count": cpu_count,
+            # The measured-speedup gate only binds where parallel speedup
+            # is physically possible; engagement/overlap/parity always gate.
+            "speedup_gate_active": cpu_count >= 2,
+            "serial_wall_seconds": parallel["serial"]["wall_seconds"],
+            "parallel_wall_seconds": parallel["parallel"]["wall_seconds"],
+            "wall_speedup_factor": parallel["wall_speedup_factor"],
+            "parallel_rounds": parallel["parallel_rounds"],
+            "parallel_overlap_seconds": parallel["parallel_overlap_seconds"],
+            "rmse_delta": parallel["rmse_delta"],
         },
     }
 
@@ -235,6 +271,32 @@ def gate(results: dict) -> list:
             "encoding: cache-on/cache-off rmse differ by "
             f"{encoding['rmse_delta']:.3e}"
         )
+    # Inter-query parallelism: the pool must engage, overlap real query
+    # time, stay tree-for-tree identical to serial, and (multi-core) win.
+    parallel = results["parallel"]
+    if parallel["parallel_rounds"] <= 0:
+        failures.append(
+            "parallel: num_workers=4 training never engaged the scheduler"
+        )
+    if parallel["parallel_overlap_seconds"] <= 0.0:
+        failures.append(
+            "parallel: scheduler rounds measured zero query overlap"
+        )
+    if parallel["rmse_delta"] != 0.0:
+        failures.append(
+            "parallel: num_workers=4 and num_workers=1 grew different "
+            f"models (rmse delta {parallel['rmse_delta']:.3e})"
+        )
+    if (
+        parallel["speedup_gate_active"]
+        and parallel["wall_speedup_factor"] < PARALLEL_MIN_SPEEDUP
+    ):
+        failures.append(
+            "parallel: sqlite num_workers=4 sped training up only "
+            f"{parallel['wall_speedup_factor']:.2f}x on a "
+            f"{parallel['cpu_count']}-core host "
+            f"(gate: >= {PARALLEL_MIN_SPEEDUP}x)"
+        )
     return failures
 
 
@@ -283,6 +345,20 @@ def main(argv=None) -> int:
         f"on={encoding['on_wall_seconds']:.2f}s "
         f"(speedup {encoding['wall_speedup_factor']:.2f}x); "
         f"rmse delta={encoding['rmse_delta']:.1e}"
+    )
+    parallel = results["parallel"]
+    gate_note = (
+        "active" if parallel["speedup_gate_active"]
+        else f"waived (single core, cpu_count={parallel['cpu_count']})"
+    )
+    print(
+        f"parallel: sqlite wall serial={parallel['serial_wall_seconds']:.2f}s "
+        f"workers={parallel['workers']} -> "
+        f"{parallel['parallel_wall_seconds']:.2f}s "
+        f"(speedup {parallel['wall_speedup_factor']:.2f}x, gate {gate_note}); "
+        f"rounds={parallel['parallel_rounds']} "
+        f"overlap={parallel['parallel_overlap_seconds']:.2f}s "
+        f"rmse delta={parallel['rmse_delta']:.1e}"
     )
     print(f"report written to {args.output}")
     if failures:

@@ -22,6 +22,8 @@ Three implementations ship:
 from __future__ import annotations
 
 import dataclasses
+import itertools
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -67,6 +69,11 @@ class Capabilities:
     #: evaluator keeps per-round label rebuilds instead of maintaining a
     #: persistent leaf-membership column incrementally
     narrow_update: bool = True
+    #: concurrent read-only queries from multiple threads are safe (the
+    #: connector either pools per-thread connections or has an audited
+    #: in-process read path); without it the scheduler never fans
+    #: evaluation rounds or forest trees out to a worker pool
+    concurrent_read: bool = True
     #: the engine runs inside this process (no network / IPC hop)
     in_process: bool = True
 
@@ -89,6 +96,19 @@ class Connector:
         """Run one or more ``;``-separated statements; return the final
         SELECT's result, or ``None`` if the last statement was DDL/DML."""
         raise NotImplementedError
+
+    def execute_read(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
+        """Run a read-only query from any thread.
+
+        The scheduler's worker pool issues the frontier's fused split
+        queries through this entry point.  Connectors with per-thread
+        resources (the sqlite pool) execute rows-returning statements on
+        the calling thread's own connection; anything that writes is
+        funneled back through :meth:`execute` (the owning connection).
+        The default delegates to :meth:`execute`, which is correct for
+        engines whose read path is natively thread-safe.
+        """
+        return self.execute(sql, tag=tag)
 
     # -- table management ----------------------------------------------
     def create_table(
@@ -244,18 +264,30 @@ def check_equal_lengths(name: str, arrays: Dict[str, np.ndarray]) -> None:
         )
 
 
+#: guards lazy per-connector counter creation only (next() itself is
+#: atomic); without it, two scheduler threads' *first-ever* temp_name
+#: calls on a fresh connector could each build a counter and collide
+_TEMP_NAME_INIT_LOCK = threading.Lock()
+
+
 class TempNamespaceMixin:
     """Counter-minted ``jb_tmp_`` names + cleanup for external engines.
 
     Requires ``table_names()`` and ``drop_table(name, if_exists=True)``
-    from the host connector.
+    from the host connector.  Names mint through ``itertools.count`` —
+    ``next()`` is atomic in CPython, so concurrent scheduler tasks
+    (parallel forest trees each lifting and messaging) can never be
+    handed the same temp name.
     """
 
-    _temp_counter = 0
-
     def temp_name(self, hint: str = "t") -> str:
-        self._temp_counter += 1
-        return f"{TEMP_PREFIX}{hint}_{self._temp_counter}"
+        counter = getattr(self, "_temp_name_counter", None)
+        if counter is None:
+            with _TEMP_NAME_INIT_LOCK:
+                counter = getattr(self, "_temp_name_counter", None)
+                if counter is None:
+                    counter = self._temp_name_counter = itertools.count(1)
+        return f"{TEMP_PREFIX}{hint}_{next(counter)}"
 
     def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
         keep_keys = {k.lower() for k in (keep or [])}

@@ -70,7 +70,6 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         self.name = name
         self.path = path
         self._conn = duckdb.connect(path)
-        self._temp_counter = 0
         self.profiles: List[QueryProfile] = []
         self.profiling_enabled = True
         self.capabilities = Capabilities(
@@ -79,6 +78,12 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
             window_functions=True,
             union_all=True,
             narrow_update=True,
+            # One shared duckdb connection: its internal lock serializes
+            # statements, so fanning queries out to a thread pool buys
+            # nothing and risks cursor-state races — the scheduler keeps
+            # this backend on the serial path until a per-thread cursor
+            # pool lands.
+            concurrent_read=False,
             in_process=True,
         )
 

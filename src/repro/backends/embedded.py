@@ -46,6 +46,11 @@ class EmbeddedConnector(Connector):
             window_functions=True,
             union_all=True,
             narrow_update=True,
+            # The audited in-process read path: base relations and the
+            # encoding cache are immutable during an evaluation round,
+            # get-or-compute encoding is lock-protected, and temp-table
+            # registration is serialized behind the catalog lock.
+            concurrent_read=True,
             in_process=True,
         )
 

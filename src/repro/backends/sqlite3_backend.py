@@ -21,8 +21,12 @@ a validity mask — matching the embedded engine's convention.
 from __future__ import annotations
 
 import math
+import os
+import shutil
 import sqlite3
 import statistics
+import tempfile
+import threading
 import time
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -76,6 +80,17 @@ def _least(*args):
     return min(present) if present else None
 
 
+#: per-connection performance PRAGMAs applied to the owner and to every
+#: pooled reader (prepare_training records them under the ``index`` tag):
+#: sort/temp spills stay in RAM, the page cache is sized for the lifted
+#: fact's working set, and file-backed databases read through mmap
+PERF_PRAGMAS = (
+    ("temp_store", "MEMORY"),
+    ("cache_size", "-65536"),  # 64 MiB, in -KiB units
+    ("mmap_size", "268435456"),  # 256 MiB (no-op for in-memory databases)
+)
+
+
 class SQLiteTableView:
     """Read view over a SQLite table, shaped like a storage ``Table``.
 
@@ -124,11 +139,44 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
     def __init__(self, path: str = ":memory:", name: str = "repro"):
         self.name = name
         self.path = path
-        self._conn = sqlite3.connect(path)
-        self._conn.isolation_level = None  # autocommit; training is single-writer
+        # All connections (the owner plus per-thread readers) open the
+        # same database in WAL mode, which is what makes the pool real:
+        # WAL readers take a page snapshot and never block (or get
+        # blocked by) the owner's DDL/UPDATEs — shared-cache ``:memory:``
+        # stores cannot do this (schema table locks serialize readers
+        # against every CREATE).  ``:memory:`` therefore maps to an
+        # ephemeral database file on tmpfs (``/dev/shm`` when present —
+        # RAM-backed, so "in-memory" stays honest), removed on close.
+        if path == ":memory:":
+            shm = "/dev/shm"
+            base = shm if os.path.isdir(shm) and os.access(shm, os.W_OK) else None
+            self._tmpdir: Optional[str] = tempfile.mkdtemp(
+                prefix="jb_sqlite_", dir=base
+            )
+            self._db_file = os.path.join(self._tmpdir, "repro.db")
+            self._ephemeral = True
+        else:
+            self._tmpdir = None
+            self._db_file = path
+            self._ephemeral = False
+        self._conn = self._connect()
+        # One re-entrant lock serializes every use of the owner
+        # connection: all DDL and UPDATEs funnel through it, so SQLite
+        # sees a single writer while pooled readers overlap freely.
+        self._lock = threading.RLock()
+        # Reader pool: connections are checked out per execute_read call
+        # and checked back in afterwards, so the pool size is bounded by
+        # the *peak concurrency* (the scheduler's worker count), not by
+        # how many threads ever existed — each QueryScheduler.run()
+        # spawns fresh threads, and a thread-local pool would mint (and
+        # strand) new connections every round.
+        self._free_readers: List[sqlite3.Connection] = []
+        self._all_readers: List[sqlite3.Connection] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        self._perf_pragmas_applied = False
         self._dialect = SQLiteDialect()
-        self._register_functions()
-        self._temp_counter = 0
+        self._register_functions(self._conn)
         self._data_version = 0
         self._schema_cache: Dict[str, Tuple[int, List[str]]] = {}
         self._column_cache: Dict[Tuple[str, str], Tuple[int, Column]] = {}
@@ -143,14 +191,69 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             window_functions=sqlite3.sqlite_version_info >= (3, 25, 0),
             union_all=True,
             narrow_update=True,
+            concurrent_read=True,
             in_process=True,
         )
 
     # ------------------------------------------------------------------
     # Connection setup
     # ------------------------------------------------------------------
-    def _register_functions(self) -> None:
-        conn = self._conn
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False: the owner connection is shared across
+        # scheduler threads (serialized by self._lock), and pooled
+        # readers must be closable from the owning thread's close().
+        conn = sqlite3.connect(self._db_file, check_same_thread=False)
+        conn.isolation_level = None  # autocommit; training is single-writer
+        conn.execute("PRAGMA busy_timeout = 30000")
+        conn.execute("PRAGMA journal_mode = WAL")
+        # Scratch stores skip fsync entirely; user files keep WAL-default
+        # durability.
+        conn.execute(
+            "PRAGMA synchronous = OFF" if self._ephemeral
+            else "PRAGMA synchronous = NORMAL"
+        )
+        return conn
+
+    def _checkout_reader(self) -> sqlite3.Connection:
+        """Check a pooled read-only connection out for one statement.
+
+        Connections open the same WAL database file and are pinned
+        ``query_only`` — a write through a pooled connection is a bug,
+        and SQLite rejects it at the C level — while WAL snapshots mean
+        a concurrent message CREATE or label UPDATE on the owner
+        connection never blocks them.  sqlite3's C core releases the GIL
+        while a statement runs, which is where the real inter-query
+        overlap comes from.
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise ExecutionError("sqlite connector is closed")
+            if self._free_readers:
+                return self._free_readers.pop()
+        conn = self._connect()
+        self._register_functions(conn)
+        self._apply_perf_pragmas(conn)
+        conn.execute("PRAGMA query_only = 1")
+        with self._pool_lock:
+            if self._closed:
+                conn.close()
+                raise ExecutionError("sqlite connector is closed")
+            self._all_readers.append(conn)
+        return conn
+
+    def _checkin_reader(self, conn: sqlite3.Connection) -> None:
+        with self._pool_lock:
+            if not self._closed:
+                self._free_readers.append(conn)
+                return
+        conn.close()
+
+    @staticmethod
+    def _apply_perf_pragmas(conn: sqlite3.Connection) -> None:
+        for pragma, value in PERF_PRAGMAS:
+            conn.execute(f"PRAGMA {pragma} = {value}")
+
+    def _register_functions(self, conn: sqlite3.Connection) -> None:
         conn.create_aggregate("MEDIAN", 1, _Median)
         conn.create_function("GREATEST", -1, _greatest, deterministic=True)
         conn.create_function("LEAST", -1, _least, deterministic=True)
@@ -183,21 +286,59 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             result = self._run_statement(statement, tag)
         return result
 
+    def execute_read(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
+        """Run a rows-returning statement on the calling thread's pooled
+        connection.  Statements that write (and multi-statement scripts)
+        funnel back through :meth:`execute` — the owner connection under
+        the write lock — so readers stay genuinely read-only."""
+        statements = split_statements(sql)
+        if len(statements) != 1:
+            return self.execute(sql, tag)
+        translated = self._dialect.translate(statements[0])
+        kind, returns_rows = self._dialect.classify(translated)
+        if not returns_rows:
+            return self.execute(sql, tag)
+        conn = self._checkout_reader()
+        start = time.perf_counter()
+        try:
+            try:
+                cursor = conn.execute(translated)
+            except sqlite3.Error as exc:
+                raise ExecutionError(
+                    f"sqlite backend failed on: {translated!r}: {exc}"
+                ) from exc
+            result = self._relation_from_cursor(cursor)
+        finally:
+            self._checkin_reader(conn)
+        elapsed = time.perf_counter() - start
+        if self.profiling_enabled:
+            self.profiles.append(QueryProfile(
+                sql=statements[0],
+                kind=kind,
+                seconds=elapsed,
+                rows_out=result.num_rows,
+                tag=tag,
+                started=start,
+            ))
+        return result
+
     def _run_statement(self, statement: str, tag: Optional[str]) -> Optional[Relation]:
         translated = self._dialect.translate(statement)
         kind, returns_rows = self._dialect.classify(translated)
         start = time.perf_counter()
-        try:
-            cursor = self._conn.execute(translated)
-        except sqlite3.Error as exc:
-            raise ExecutionError(
-                f"sqlite backend failed on: {translated!r}: {exc}"
-            ) from exc
-        result: Optional[Relation] = None
-        if returns_rows:
-            result = self._relation_from_cursor(cursor)
-        else:
-            self._bump_version()
+        with self._lock:
+            try:
+                cursor = self._conn.execute(translated)
+            except sqlite3.Error as exc:
+                raise ExecutionError(
+                    f"sqlite backend failed on: {translated!r}: {exc}"
+                ) from exc
+            result: Optional[Relation] = None
+            if returns_rows:
+                result = self._relation_from_cursor(cursor)
+            else:
+                self._bump_version()
+            rowcount = cursor.rowcount
         elapsed = time.perf_counter() - start
         if self.profiling_enabled:
             if result is not None:
@@ -205,7 +346,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             elif kind == "Update":
                 # sqlite3 reports rows matched by the UPDATE — the
                 # frontier census prices narrow label updates with it.
-                rows_out = max(cursor.rowcount, 0)
+                rows_out = max(rowcount, 0)
             else:
                 rows_out = 0
             self.profiles.append(QueryProfile(
@@ -214,6 +355,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
                 seconds=elapsed,
                 rows_out=rows_out,
                 tag=tag,
+                started=start,
             ))
         return result
 
@@ -248,22 +390,23 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         # ``config`` is an embedded-engine storage preset; SQLite owns its
         # physical layout, so the parameter is accepted and ignored.
         arrays = {col: np.asarray(values) for col, values in data.items()}
-        if replace:
-            self.drop_table(name, if_exists=True)
-        elif self.has_table(name):
-            raise CatalogError(f"table {name!r} already exists")
-        self._forget_indexes(name)
-        decls = ", ".join(
-            f"{col} {self._affinity(arr)}" for col, arr in arrays.items()
-        )
-        self._conn.execute(f"CREATE TABLE {name} ({decls})")
-        placeholders = ", ".join(["?"] * len(arrays))
-        check_equal_lengths(name, arrays)
-        rows = zip(*(to_sql_values(arr) for arr in arrays.values()))
-        self._conn.executemany(
-            f"INSERT INTO {name} VALUES ({placeholders})", rows
-        )
-        self._bump_version()
+        with self._lock:
+            if replace:
+                self.drop_table(name, if_exists=True)
+            elif self.has_table(name):
+                raise CatalogError(f"table {name!r} already exists")
+            self._forget_indexes(name)
+            decls = ", ".join(
+                f"{col} {self._affinity(arr)}" for col, arr in arrays.items()
+            )
+            self._conn.execute(f"CREATE TABLE {name} ({decls})")
+            placeholders = ", ".join(["?"] * len(arrays))
+            check_equal_lengths(name, arrays)
+            rows = zip(*(to_sql_values(arr) for arr in arrays.values()))
+            self._conn.executemany(
+                f"INSERT INTO {name} VALUES ({placeholders})", rows
+            )
+            self._bump_version()
         return SQLiteTableView(self, name)
 
     def _forget_indexes(self, table_name: str) -> None:
@@ -273,23 +416,25 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         self._indexed = {i for i in self._indexed if i[0] != key}
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
-        if not if_exists and not self.has_table(name):
-            raise CatalogError(f"no such table: {name!r}")
-        self._conn.execute(f"DROP TABLE IF EXISTS {name}")
-        self._forget_indexes(name)
-        self._bump_version()
+        with self._lock:
+            if not if_exists and not self.has_table(name):
+                raise CatalogError(f"no such table: {name!r}")
+            self._conn.execute(f"DROP TABLE IF EXISTS {name}")
+            self._forget_indexes(name)
+            self._bump_version()
 
     def rename_table(self, old: str, new: str) -> None:
-        if not self.has_table(old):
-            raise CatalogError(f"no such table: {old!r}")
-        if self.has_table(new):
-            raise CatalogError(f"table {new!r} already exists")
-        self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
-        # The physical indexes follow the table; the name-keyed records
-        # do not — a future table under either name must re-index.
-        self._forget_indexes(old)
-        self._forget_indexes(new)
-        self._bump_version()
+        with self._lock:
+            if not self.has_table(old):
+                raise CatalogError(f"no such table: {old!r}")
+            if self.has_table(new):
+                raise CatalogError(f"table {new!r} already exists")
+            self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
+            # The physical indexes follow the table; the name-keyed records
+            # do not — a future table under either name must re-index.
+            self._forget_indexes(old)
+            self._forget_indexes(new)
+            self._bump_version()
 
     def table(self, name: str) -> SQLiteTableView:
         if not self.has_table(name):
@@ -297,17 +442,19 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         return SQLiteTableView(self, name)
 
     def has_table(self, name: str) -> bool:
-        row = self._conn.execute(
-            "SELECT COUNT(*) FROM sqlite_master "
-            "WHERE type = 'table' AND lower(name) = lower(?)",
-            (name,),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM sqlite_master "
+                "WHERE type = 'table' AND lower(name) = lower(?)",
+                (name,),
+            ).fetchone()
         return row[0] > 0
 
     def table_names(self) -> List[str]:
-        rows = self._conn.execute(
-            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+            ).fetchall()
         return [r[0] for r in rows]
 
     # Temporary namespace: temp_name/cleanup_temp from TempNamespaceMixin.
@@ -331,20 +478,21 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         for ordinary tables, which is the order ``values`` was computed in.
         """
         check_update_strategy(strategy)
-        rowids = [r[0] for r in self._conn.execute(
-            f"SELECT rowid FROM {table_name} ORDER BY rowid"
-        )]
-        array = np.asarray(values)
-        if len(rowids) != len(array):
-            raise ExecutionError(
-                f"replace_column: {len(array)} values for "
-                f"{len(rowids)} rows of {table_name!r}"
+        with self._lock:
+            rowids = [r[0] for r in self._conn.execute(
+                f"SELECT rowid FROM {table_name} ORDER BY rowid"
+            )]
+            array = np.asarray(values)
+            if len(rowids) != len(array):
+                raise ExecutionError(
+                    f"replace_column: {len(array)} values for "
+                    f"{len(rowids)} rows of {table_name!r}"
+                )
+            self._conn.executemany(
+                f"UPDATE {table_name} SET {column_name} = ? WHERE rowid = ?",
+                zip(to_sql_values(array), rowids),
             )
-        self._conn.executemany(
-            f"UPDATE {table_name} SET {column_name} = ? WHERE rowid = ?",
-            zip(to_sql_values(array), rowids),
-        )
-        self._bump_version()
+            self._bump_version()
 
     # ------------------------------------------------------------------
     # Training setup: join-key indexes (the sqlite analogue of the
@@ -365,29 +513,48 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         lifted = dict(lifted or {})
         start = time.perf_counter()
         created = []
-        for edge in graph.edges:
-            for relation in (edge.left, edge.right):
-                table = lifted.get(relation, relation)
-                keys = tuple(edge.keys_for(relation))
-                ident = (table.lower(), keys)
-                if ident in self._indexed or not self.has_table(table):
-                    continue
-                # Deterministic digest: underscore-joined names can collide
-                # across (table, keys) pairs, and a colliding name would
-                # make CREATE INDEX IF NOT EXISTS a silent no-op.
-                digest = zlib.crc32("|".join((table.lower(),) + keys).encode())
-                index_name = f"jb_idx_{digest:08x}"
-                self._conn.execute(
-                    f"CREATE INDEX IF NOT EXISTS {index_name} "
-                    f"ON {table} ({', '.join(keys)})"
-                )
-                self._indexed.add(ident)
-                created.append(index_name)
-        if created:
-            # Refresh planner statistics so the fresh indexes get picked.
-            self._conn.execute("ANALYZE")
+        with self._lock:
+            # Per-connection perf PRAGMAs: the owner gets them here, and
+            # every pooled reader applies the same set at creation (see
+            # _reader_connection) — "every pooled connection" because
+            # readers are minted lazily per scheduler thread.
+            pragmas_fresh = not getattr(self, "_perf_pragmas_applied", False)
+            if pragmas_fresh:
+                self._apply_perf_pragmas(self._conn)
+                self._perf_pragmas_applied = True
+            for edge in graph.edges:
+                for relation in (edge.left, edge.right):
+                    table = lifted.get(relation, relation)
+                    keys = tuple(edge.keys_for(relation))
+                    ident = (table.lower(), keys)
+                    if ident in self._indexed or not self.has_table(table):
+                        continue
+                    # Deterministic digest: underscore-joined names can collide
+                    # across (table, keys) pairs, and a colliding name would
+                    # make CREATE INDEX IF NOT EXISTS a silent no-op.
+                    digest = zlib.crc32("|".join((table.lower(),) + keys).encode())
+                    index_name = f"jb_idx_{digest:08x}"
+                    self._conn.execute(
+                        f"CREATE INDEX IF NOT EXISTS {index_name} "
+                        f"ON {table} ({', '.join(keys)})"
+                    )
+                    self._indexed.add(ident)
+                    created.append(index_name)
+            if created:
+                # Refresh planner statistics so the fresh indexes get picked.
+                self._conn.execute("ANALYZE")
         elapsed = time.perf_counter() - start
         self.index_seconds += elapsed
+        if self.profiling_enabled and pragmas_fresh:
+            rendered = ", ".join(f"{p}={v}" for p, v in PERF_PRAGMAS)
+            self.profiles.append(QueryProfile(
+                sql=f"-- training setup: per-connection PRAGMAs ({rendered})",
+                kind="Pragma",
+                seconds=0.0,
+                rows_out=len(PERF_PRAGMAS),
+                tag="index",
+                started=start,
+            ))
         if self.profiling_enabled and created:
             self.profiles.append(QueryProfile(
                 sql=f"-- training setup: {len(created)} join-key indexes + ANALYZE",
@@ -395,6 +562,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
                 seconds=elapsed,
                 rows_out=len(created),
                 tag="index",
+                started=start,
             ))
         return elapsed
 
@@ -409,13 +577,15 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         cached = self._schema_cache.get(key)
         if cached is not None and cached[0] == self._data_version:
             return cached[1]
-        rows = self._conn.execute(
-            f"PRAGMA table_info({table_name})"
-        ).fetchall()
+        with self._lock:
+            version = self._data_version
+            rows = self._conn.execute(
+                f"PRAGMA table_info({table_name})"
+            ).fetchall()
         if not rows:
             raise CatalogError(f"no such table: {table_name!r}")
         names = [r[1] for r in rows]
-        self._schema_cache[key] = (self._data_version, names)
+        self._schema_cache[key] = (version, names)
         return names
 
     def _num_rows(self, table_name: str) -> int:
@@ -423,10 +593,12 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         cached = self._rows_cache.get(key)
         if cached is not None and cached[0] == self._data_version:
             return cached[1]
-        n = self._conn.execute(
-            f"SELECT COUNT(*) FROM {table_name}"
-        ).fetchone()[0]
-        self._rows_cache[key] = (self._data_version, n)
+        with self._lock:
+            version = self._data_version
+            n = self._conn.execute(
+                f"SELECT COUNT(*) FROM {table_name}"
+            ).fetchone()[0]
+        self._rows_cache[key] = (version, n)
         return n
 
     def _fetch_column(self, table_name: str, column_name: str) -> Column:
@@ -444,13 +616,15 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         cached = self._column_cache.get(key)
         if cached is not None and cached[0] == self._data_version:
             return cached[1]
-        values = [r[0] for r in self._conn.execute(
-            f"SELECT {actual} FROM {table_name} ORDER BY rowid"
-        )]
+        with self._lock:
+            version = self._data_version
+            values = [r[0] for r in self._conn.execute(
+                f"SELECT {actual} FROM {table_name} ORDER BY rowid"
+            )]
         column = column_from_values(actual, values)
         if len(self._column_cache) > 512:
             self._column_cache.clear()
-        self._column_cache[key] = (self._data_version, column)
+        self._column_cache[key] = (version, column)
         return column
 
     # ------------------------------------------------------------------
@@ -460,7 +634,23 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         self.profiles.clear()
 
     def close(self) -> None:
+        with self._pool_lock:
+            if self._closed:
+                return
+            self._closed = True
+            readers, self._all_readers = self._all_readers, []
+            self._free_readers = []
+        for conn in readers:
+            conn.close()
         self._conn.close()
+        if self._ephemeral and self._tmpdir is not None:
+            shutil.rmtree(self._tmpdir, ignore_errors=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __repr__(self) -> str:
         return f"SQLiteConnector({self.path!r}, tables={len(self.table_names())})"

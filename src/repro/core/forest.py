@@ -4,18 +4,26 @@ Each tree trains on a data sample and a feature sample.  Data sampling
 uses the snowflake fast path — a uniform row sample of the fact table is a
 uniform sample of R⋈ because they are 1-1 — falling back to ancestral
 sampling for general acyclic graphs.  Trees are independent, which is what
-the paper's inter-query parallelism exploits (35% faster); the scheduler
-integration lives in the Figure 18 bench.
+the paper's inter-query parallelism exploits (~35% faster random forests,
+Figure 18): with ``num_workers > 1`` and a concurrency-safe backend,
+whole trees run on the :class:`~repro.engine.scheduler.QueryScheduler`
+worker pool.  Every random draw (row sample, feature sample) is taken
+*serially* up front in iteration order, so the forest is tree-for-tree
+identical to ``num_workers=1`` regardless of which worker trains which
+tree; inner trainers run serial (the tree is the unit of parallelism —
+nesting pools would oversubscribe the backend).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
 
 from repro.exceptions import TrainingError
+from repro.core.frontier import concurrent_read_ok
 from repro.core.params import TrainParams
 from repro.core.split import ClassificationCriterion, VarianceCriterion
 from repro.core.trainer import DecisionTreeTrainer
@@ -98,26 +106,38 @@ def train_random_forest(
         ring = VarianceSemiRing()
         criterion = VarianceCriterion()
 
-    trees: List[DecisionTreeModel] = []
-    history: List[float] = []
     all_features = graph.all_features()
-    for _ in range(train_params.num_iterations):
+    workers = min(train_params.resolved_workers(), train_params.num_iterations)
+
+    def train_one(sampled_fact: str, feature_subset, tree_params: TrainParams):
         start = time.perf_counter()
         factorizer = Factorizer(db, graph, ring)
-        sampled_fact = _sampled_fact_table(
-            db, graph, fact, train_params, rng, snowflake
-        )
         factorizer.lift(source_table=sampled_fact)
         prepare_training_paths(db, graph, factorizer)
+        trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, tree_params)
+        try:
+            tree = trainer.train(feature_subset=feature_subset)
+        finally:
+            factorizer.cleanup()
+            if sampled_fact != fact:
+                db.drop_table(sampled_fact, if_exists=True)
+        return tree, time.perf_counter() - start
 
-        feature_subset = _feature_sample(all_features, train_params, rng)
-        trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, train_params)
-        tree = trainer.train(feature_subset=feature_subset)
-        trees.append(tree)
-        factorizer.cleanup()
-        if sampled_fact != fact:
-            db.drop_table(sampled_fact, if_exists=True)
-        history.append(time.perf_counter() - start)
+    if workers > 1 and concurrent_read_ok(db):
+        trees, history = _train_trees_parallel(
+            db, graph, fact, train_params, rng, snowflake, all_features,
+            workers, train_one,
+        )
+    else:
+        trees, history = [], []
+        for _ in range(train_params.num_iterations):
+            sampled_fact = _sampled_fact_table(
+                db, graph, fact, train_params, rng, snowflake
+            )
+            feature_subset = _feature_sample(all_features, train_params, rng)
+            tree, seconds = train_one(sampled_fact, feature_subset, train_params)
+            trees.append(tree)
+            history.append(seconds)
     return RandomForestModel(
         trees, classification,
         num_classes=train_params.num_class if classification else 0,
@@ -125,20 +145,78 @@ def train_random_forest(
     )
 
 
-def _sampled_fact_table(
+def _train_trees_parallel(
+    db,
+    graph: JoinGraph,
+    fact: str,
+    params: TrainParams,
+    rng: np.random.Generator,
+    snowflake: bool,
+    all_features: Sequence[Tuple[str, str]],
+    workers: int,
+    train_one,
+) -> Tuple[List[DecisionTreeModel], List[float]]:
+    """Whole trees on the scheduler's worker pool (Section 5.5.3).
+
+    Random state is consumed serially up front — the k-th task trains on
+    exactly the sample the k-th serial iteration would have drawn — and
+    scheduler results come back in submission order, so the forest is
+    identical to the serial loop tree for tree.  Only the *draws*
+    (row-index arrays, feature subsets) happen up front; each task
+    materializes and drops its own sampled fact table, so peak sample
+    storage is bounded by in-flight workers, not forest size.
+    """
+    from repro.engine.scheduler import QueryScheduler
+
+    # Every random draw happens on this thread, in iteration order.
+    plans = []
+    for _ in range(params.num_iterations):
+        indexes = _sample_indexes(db, graph, fact, params, rng, snowflake)
+        plans.append((indexes, _feature_sample(all_features, params, rng)))
+    # The tree is the unit of parallelism: inner trainers stay serial.
+    tree_params = dataclasses.replace(params, num_workers=1)
+    scheduler = QueryScheduler(num_workers=workers)
+    for k, (indexes, feature_subset) in enumerate(plans):
+        scheduler.submit(
+            lambda i=indexes, f=feature_subset: train_one(
+                _materialize_sample(db, fact, i), f, tree_params
+            ),
+            label=f"tree:{k}",
+        )
+    report = scheduler.run()
+    trees: List[DecisionTreeModel] = []
+    history: List[float] = []
+    for tree, seconds in cast(
+        List[Tuple[DecisionTreeModel, float]], report.results()
+    ):
+        trees.append(tree)
+        history.append(seconds)
+    return trees, history
+
+
+def _sample_indexes(
     db, graph: JoinGraph, fact: str, params: TrainParams,
     rng: np.random.Generator, snowflake: bool,
-) -> str:
-    """Materialize the per-tree data sample as a temp fact table."""
+) -> Optional[np.ndarray]:
+    """Draw one tree's fact-row sample (None = train on the full fact).
+
+    This is the only RNG-consuming half of sampling — the parallel
+    forest calls it serially per tree so random state is deterministic,
+    then materializes on the workers."""
     if params.subsample >= 1.0:
-        return fact
+        return None
     if snowflake:
-        indexes = sample_fact_table(db, fact, params.subsample, rng)
-    else:
-        n = db.table(fact).num_rows()
-        size = max(1, int(round(n * params.subsample)))
-        draws = ancestral_sample(db, graph, size, rng, root=fact)
-        indexes = draws[fact]
+        return sample_fact_table(db, fact, params.subsample, rng)
+    n = db.table(fact).num_rows()
+    size = max(1, int(round(n * params.subsample)))
+    draws = ancestral_sample(db, graph, size, rng, root=fact)
+    return draws[fact]
+
+
+def _materialize_sample(db, fact: str, indexes: Optional[np.ndarray]) -> str:
+    """Gather the drawn rows into a temp fact table (RNG-free)."""
+    if indexes is None:
+        return fact
     table = db.table(fact)
     data = {
         name: table.column(name).values[indexes]
@@ -147,6 +225,16 @@ def _sampled_fact_table(
     sampled_name = db.temp_name(f"sample_{fact}")
     db.create_table(sampled_name, data)
     return sampled_name
+
+
+def _sampled_fact_table(
+    db, graph: JoinGraph, fact: str, params: TrainParams,
+    rng: np.random.Generator, snowflake: bool,
+) -> str:
+    """Materialize the per-tree data sample as a temp fact table."""
+    return _materialize_sample(
+        db, fact, _sample_indexes(db, graph, fact, params, rng, snowflake)
+    )
 
 
 def _feature_sample(all_features, params: TrainParams, rng: np.random.Generator):

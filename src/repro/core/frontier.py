@@ -52,6 +52,14 @@ Incremental mode degrades to rebuild (never errors) when the backend
 lacks predicated in-place ``UPDATE`` (``Capabilities.narrow_update``),
 when the tree carries base predicates, or when a delta update fails
 mid-training.
+
+With ``num_workers > 1`` (and a backend declaring
+``Capabilities.concurrent_read``) each round's per-relation work — the
+carry-message builds and the fused split query — runs as a two-node
+chain on the :class:`~repro.engine.scheduler.QueryScheduler` worker
+pool, the paper's Section 5.5.3 inter-query parallelism executed for
+real rather than modelled; results merge deterministically in relation
+order, so the grown tree is bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -75,7 +83,7 @@ from repro.exceptions import (
     ReproError,
     TrainingError,
 )
-from repro.factorize.executor import Factorizer
+from repro.factorize.executor import Factorizer, MultiAbsorption
 from repro.factorize.predicates import PredicateMap
 from repro.joingraph.graph import JoinGraph
 from repro.storage.column import Column, ColumnType
@@ -87,6 +95,16 @@ LEAF_COLUMN = "jb_leaf"
 #: from the bare grouping alias so several trainers can share one lifted
 #: fact (multiclass) without tripping the user-column collision veto
 _STATE_COLUMNS = itertools.count(1)
+
+
+def concurrent_read_ok(db) -> bool:
+    """May the scheduler fan read queries out to worker threads on this
+    backend?  Missing capabilities follow the permissive idiom the
+    training stack uses everywhere (a bare embedded ``Database`` has the
+    audited read path); connectors opt out via
+    ``Capabilities.concurrent_read=False``."""
+    capabilities = getattr(db, "capabilities", None)
+    return capabilities is None or getattr(capabilities, "concurrent_read", True)
 
 
 class BatchingUnavailable(TrainingError):
@@ -307,6 +325,7 @@ class FrontierEvaluator:
         missing: str = "right",
         min_child_samples: int = 1,
         state_mode: str = "incremental",
+        num_workers: int = 1,
     ):
         self.db = db
         self.graph = graph
@@ -317,6 +336,7 @@ class FrontierEvaluator:
         self.missing = missing
         self.min_child_samples = min_child_samples
         self.state_mode = state_mode
+        self.num_workers = max(1, int(num_workers))
         self.state = FrontierState(db, graph, factorizer)
         # census counters (read by the Figure 9 bench and the CI gate)
         self.rounds = 0
@@ -326,6 +346,10 @@ class FrontierEvaluator:
         self.rebuild_label_cells = 0
         self.batched_split_queries = 0
         self.per_leaf_split_queries = 0
+        # inter-query parallelism census (Figure 18 measured numbers)
+        self.parallel_rounds = 0
+        self.parallel_wall_seconds = 0.0
+        self.parallel_busy_seconds = 0.0
         self._batch_veto: Optional[str] = None
         self._veto_checked = False
         self._incremental_veto: Optional[str] = None
@@ -429,6 +453,13 @@ class FrontierEvaluator:
             "per_leaf_split_queries": self.per_leaf_split_queries,
             "batching_veto": self._batch_veto or self._batching_veto(),
             "incremental_veto": self._incremental_veto,
+            "num_workers": self.num_workers,
+            "parallel_rounds": self.parallel_rounds,
+            "parallel_wall_seconds": self.parallel_wall_seconds,
+            "parallel_busy_seconds": self.parallel_busy_seconds,
+            "parallel_overlap_seconds": max(
+                0.0, self.parallel_busy_seconds - self.parallel_wall_seconds
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -555,29 +586,36 @@ class FrontierEvaluator:
 
         node_by_id = {node.node_id: node for node in eligible}
         candidates: Dict[Tuple[int, int], SplitCandidate] = {}
+        round_ids = frontier_ids if incremental else None
         try:
-            for relation, indexed in by_relation.items():
-                # Carry messages depend on the relation and the leaf
-                # labels only — within one round every relation whose
-                # routing path shares a prefix reuses them (scoped cache
-                # in incremental mode, shared kind groups in both).
-                absorption = self.factorizer.multi_absorption(
-                    relation,
-                    carry={fact: (label_column,)},
-                    table_override=override,
-                    carry_filters=carry_filters,
-                    cache_scope=scope,
+            if self._pool_eligible(by_relation):
+                self._evaluate_parallel(
+                    by_relation, fact, node_by_id, candidates,
+                    label_column, round_ids, override, carry_filters, scope,
                 )
-                try:
-                    for group in self._split_by_kind(relation, indexed):
-                        self._evaluate_relation(
-                            relation, group, fact, absorption,
-                            node_by_id, candidates,
-                            label_column, frontier_ids if incremental else None,
-                        )
-                finally:
-                    for temp in absorption.temp_tables:
-                        self.db.drop_table(temp, if_exists=True)
+            else:
+                for relation, indexed in by_relation.items():
+                    # Carry messages depend on the relation and the leaf
+                    # labels only — within one round every relation whose
+                    # routing path shares a prefix reuses them (scoped cache
+                    # in incremental mode, shared kind groups in both).
+                    absorption = self.factorizer.multi_absorption(
+                        relation,
+                        carry={fact: (label_column,)},
+                        table_override=override,
+                        carry_filters=carry_filters,
+                        cache_scope=scope,
+                    )
+                    try:
+                        for group in self._split_by_kind(relation, indexed):
+                            self.batched_split_queries += self._evaluate_relation(
+                                relation, group, fact, absorption,
+                                node_by_id, candidates,
+                                label_column, round_ids,
+                            )
+                    finally:
+                        for temp in absorption.temp_tables:
+                            self.db.drop_table(temp, if_exists=True)
         finally:
             if label_table is not None:
                 self.db.drop_table(label_table, if_exists=True)
@@ -594,6 +632,105 @@ class FrontierEvaluator:
                     best = candidate
             out[node.node_id] = best
         return out
+
+    # ------------------------------------------------------------------
+    # Inter-query parallelism (Section 5.5.3, executed for real)
+    # ------------------------------------------------------------------
+    def _pool_eligible(self, by_relation: Dict[str, List[Tuple[int, str]]]) -> bool:
+        """Fan a round out to the worker pool?  Needs >1 worker, >1
+        relation to overlap, and a backend whose read path is declared
+        concurrency-safe (``Capabilities.concurrent_read``)."""
+        if self.num_workers <= 1 or len(by_relation) <= 1:
+            return False
+        return concurrent_read_ok(self.db)
+
+    def _evaluate_parallel(
+        self,
+        by_relation: Dict[str, List[Tuple[int, str]]],
+        fact: str,
+        node_by_id: Dict[int, TreeNode],
+        candidates: Dict[Tuple[int, int], "SplitCandidate"],
+        label_column: str,
+        round_ids: Optional[Sequence[int]],
+        override: Optional[Dict[str, str]],
+        carry_filters,
+        scope,
+    ) -> None:
+        """One evaluation round on the dependency-DAG scheduler.
+
+        Each relation contributes a two-node chain — *build* (the carry
+        message hops feeding it, serialized against other builds by the
+        factorizer's build lock) then *split* (the fused ``UNION ALL``
+        query plus the client-side prefix scan).  Chains of different
+        relations share no downstream, so the pool overlaps relation A's
+        split query with relation B's message build.  Results merge on
+        the calling thread in relation order: candidate keys are
+        ``(node_id, feature index)`` with feature indexes disjoint across
+        relations, and each task computes exactly what the serial loop
+        would — so the merged map, and therefore the chosen tree, is
+        bit-identical to ``num_workers=1``.
+        """
+        from repro.engine.scheduler import QueryScheduler
+
+        scheduler = QueryScheduler(num_workers=self.num_workers)
+        absorptions: Dict[str, MultiAbsorption] = {}
+        outputs: Dict[str, Tuple[Dict[Tuple[int, int], SplitCandidate], int]] = {}
+
+        def build_task(relation: str):
+            def build() -> None:
+                absorptions[relation] = self.factorizer.multi_absorption(
+                    relation,
+                    carry={fact: (label_column,)},
+                    table_override=override,
+                    carry_filters=carry_filters,
+                    cache_scope=scope,
+                )
+            return build
+
+        def split_task(relation: str, indexed: List[Tuple[int, str]]):
+            def split() -> None:
+                absorption = absorptions[relation]
+                local: Dict[Tuple[int, int], SplitCandidate] = {}
+                queries = 0
+                try:
+                    for group in self._split_by_kind(relation, indexed):
+                        queries += self._evaluate_relation(
+                            relation, group, fact, absorption,
+                            node_by_id, local, label_column, round_ids,
+                        )
+                finally:
+                    for temp in absorption.temp_tables:
+                        self.db.drop_table(temp, if_exists=True)
+                outputs[relation] = (local, queries)
+            return split
+
+        for relation, indexed in by_relation.items():
+            build_id = scheduler.submit(
+                build_task(relation), label=f"build:{relation}"
+            )
+            scheduler.submit(
+                split_task(relation, indexed),
+                deps=[build_id],
+                label=f"split:{relation}",
+            )
+        try:
+            report = scheduler.run()
+        except BaseException:
+            # A failed build skips its split task: drop any message
+            # temps the build materialized but nobody consumed.
+            for relation, absorption in absorptions.items():
+                if relation not in outputs:
+                    for temp in absorption.temp_tables:
+                        self.db.drop_table(temp, if_exists=True)
+            raise
+
+        for relation in by_relation:
+            local, queries = outputs[relation]
+            candidates.update(local)
+            self.batched_split_queries += queries
+        self.parallel_rounds += 1
+        self.parallel_wall_seconds += report.wall_seconds
+        self.parallel_busy_seconds += report.sequential_seconds
 
     def _label_frontier(
         self,
@@ -673,9 +810,14 @@ class FrontierEvaluator:
         candidates: Dict[Tuple[int, int], SplitCandidate],
         label_column: str = LEAF_COLUMN,
         frontier_ids: Optional[Sequence[int]] = None,
-    ) -> None:
+    ) -> int:
         """One fused query for all of ``relation``'s features, then the
-        shared prefix scan per (leaf, feature) slice."""
+        shared prefix scan per (leaf, feature) slice; returns the number
+        of split queries issued (so parallel tasks can report counts
+        without racing the shared census counters).  The fused query runs
+        through the backend's ``execute_read`` entry point — a pooled
+        per-thread connection on sqlite, the audited in-process read path
+        on the embedded engine."""
         leaf_ref = absorption.ref(fact, label_column)
         agg_sql = ", ".join(
             f"{expr} AS {comp}" for comp, expr in absorption.agg_selects
@@ -699,10 +841,10 @@ class FrontierEvaluator:
                 f"WHERE {where_sql} "
                 f"GROUP BY {leaf_ref}, t.{feature}"
             )
-        result = self.db.execute(" UNION ALL ".join(branches), tag="feature")
-        self.batched_split_queries += 1
+        runner = getattr(self.db, "execute_read", self.db.execute)
+        result = runner(" UNION ALL ".join(branches), tag="feature")
         if result is None or result.num_rows == 0:
-            return
+            return 1
 
         feature_ids = result.column("jb_feature").values.astype(np.int64)
         leaf_ids = np.asarray(
@@ -739,3 +881,4 @@ class FrontierEvaluator:
                 )
                 if candidate is not None:
                     candidates[(node_id, index)] = candidate
+        return 1

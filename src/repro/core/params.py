@@ -9,9 +9,14 @@ train wrong.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+import os
+from typing import Dict, Optional, Union
 
 from repro.exceptions import TrainingError
+
+#: environment default for ``num_workers`` — lets CI force the whole test
+#: suite through the parallel path (explicit parameters still win)
+NUM_WORKERS_ENV = "JOINBOOST_NUM_WORKERS"
 
 _ALIASES = {
     "objective": "objective",
@@ -65,6 +70,10 @@ _ALIASES = {
     "leaf_state": "frontier_state",
     "encoding_cache": "encoding_cache",
     "key_encoding_cache": "encoding_cache",
+    "num_workers": "num_workers",
+    "workers": "num_workers",
+    "num_threads": "num_workers",
+    "n_jobs": "num_workers",
 }
 
 
@@ -107,6 +116,13 @@ class TrainParams:
     # re-encodes per query (the pre-PR4 behavior, kept for ablations and
     # the CI parity gate).  External backends ignore the knob.
     encoding_cache: str = "auto"
+    # Inter-query parallelism (Section 5.5.3): the worker-pool size the
+    # dependency-DAG scheduler executes with.  "auto" = min(4, cpus);
+    # 1 = exactly the serial path (no threads spawned — the parity gates
+    # pin it).  The JOINBOOST_NUM_WORKERS env var supplies the default
+    # when the caller does not set the parameter (the CI race-smoke leg
+    # forces 4 that way); an explicit parameter always wins.
+    num_workers: Union[int, str] = "auto"
 
     def __post_init__(self):
         if self.num_leaves < 2:
@@ -148,6 +164,24 @@ class TrainParams:
             raise TrainingError("max_bin must be at least 2")
         if self.min_child_samples < 1:
             raise TrainingError("min_child_samples must be at least 1")
+        if self.num_workers != "auto":
+            try:
+                self.num_workers = int(self.num_workers)
+            except (TypeError, ValueError):
+                raise TrainingError(
+                    f"num_workers must be 'auto' or a positive integer, "
+                    f"got {self.num_workers!r}"
+                ) from None
+            if self.num_workers < 1:
+                raise TrainingError(
+                    f"num_workers must be at least 1, got {self.num_workers}"
+                )
+
+    def resolved_workers(self) -> int:
+        """The concrete worker-pool size for this run."""
+        if self.num_workers == "auto":
+            return max(1, min(4, os.cpu_count() or 1))
+        return int(self.num_workers)
 
     @staticmethod
     def from_dict(params: Optional[Dict] = None, **overrides) -> "TrainParams":
@@ -159,6 +193,10 @@ class TrainParams:
                 if canonical is None:
                     raise TrainingError(f"unknown training parameter {key!r}")
                 merged[canonical] = value
+        if "num_workers" not in merged:
+            env = (os.environ.get(NUM_WORKERS_ENV) or "").strip()
+            if env:
+                merged["num_workers"] = env
         return TrainParams(**merged)  # type: ignore[arg-type]
 
     def loss_kwargs(self) -> Dict[str, object]:

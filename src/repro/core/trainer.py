@@ -66,6 +66,7 @@ class DecisionTreeTrainer:
             missing=params.missing,
             min_child_samples=params.min_child_samples,
             state_mode=params.frontier_state,
+            num_workers=params.resolved_workers(),
         )
         self._ids = itertools.count()
 

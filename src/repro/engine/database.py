@@ -45,6 +45,10 @@ class QueryProfile:
     tag: Optional[str] = None
     encode_passes: int = 0
     encode_seconds: float = 0.0
+    #: ``time.perf_counter()`` at statement start — two profiles overlap
+    #: when their [started, started+seconds) intervals intersect, which is
+    #: how the Figure 18 bench measures real inter-query concurrency
+    started: float = 0.0
 
 
 class Database:
@@ -158,6 +162,16 @@ class Database:
             result = self._run_statement(statement, tag=tag)
         return result
 
+    def execute_read(self, sql_text: str, tag: Optional[str] = None) -> Optional[Relation]:
+        """Concurrency-safe read entry point (the Connector protocol's
+        ``execute_read``).  The embedded engine executes in-process over
+        immutable-during-a-round storage: SELECTs from worker threads
+        read shared arrays, the encoding cache's get-or-compute is
+        lock-protected, and catalog mutations are serialized behind the
+        catalog lock — so the plain execute path is the read path.
+        """
+        return self.execute(sql_text, tag=tag)
+
     def _run_statement(self, statement: ast.Statement, tag: Optional[str]) -> Optional[Relation]:
         start = time.perf_counter()
         encode_before = ops.encode_census()
@@ -205,6 +219,7 @@ class Database:
                     encode_seconds=float(
                         encode_after["seconds"] - encode_before["seconds"]
                     ),
+                    started=start,
                 )
             )
         return result

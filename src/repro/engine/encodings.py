@@ -43,6 +43,7 @@ misses, stores, invalidations, evictions, bytes) that surface in
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Set, Tuple
 
@@ -74,6 +75,16 @@ class EncodingCache:
         self.invalidations = 0
         self.evictions = 0
         self._uncached: Set[Key] = set()
+        # Scheduler worker threads race get-or-compute on the same key
+        # (every relation's fused split query touches the same join-key
+        # columns).  The lock makes entry/census bookkeeping atomic, and
+        # the per-key in-flight events below give *single-flight*
+        # semantics: a racing key computes exactly once (the winner takes
+        # the one miss and the one store, waiters block on the event and
+        # then hit), while encodes of unrelated keys run concurrently —
+        # the expensive encode_values sort happens outside the lock.
+        self._lock = threading.RLock()
+        self._inflight: Dict[Key, threading.Event] = {}
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -84,8 +95,9 @@ class EncodingCache:
         narrow UPDATEs per committed split; caching it would only churn
         the LRU (its version stamps keep correctness either way).  Carried
         copies of the label inside immutable message temps stay cacheable."""
-        self._uncached.add((uid, name))
-        self._evict((uid, name))
+        with self._lock:
+            self._uncached.add((uid, name))
+            self._evict((uid, name))
 
     def cacheable(self, uid: int, name: str) -> bool:
         return (uid, name) not in self._uncached
@@ -102,42 +114,49 @@ class EncodingCache:
         return True
 
     def lookup(self, uid: int, name: str, version: int) -> Optional[ColumnEncoding]:
-        entry = self._entries.get((uid, name))
-        if entry is None:
-            self.misses += 1
-            return None
-        stored_version, encoding, nbytes = entry
-        if stored_version < version:
-            # Stale entry: the column mutated since this encoding was built.
-            self._evict((uid, name))
-            self.misses += 1
-            return None
-        if stored_version > version:
-            # Stale *caller*: a column reference stamped before the last
-            # mutation.  The entry describes newer data — keep it; evicting
-            # here would let old references ping-pong the cache.
-            self.misses += 1
-            return None
-        self._entries.move_to_end((uid, name))
-        self.hits += 1
-        return encoding
+        with self._lock:
+            entry = self._entries.get((uid, name))
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_version, encoding, nbytes = entry
+            if stored_version < version:
+                # Stale entry: the column mutated since this encoding was built.
+                self._evict((uid, name))
+                self.misses += 1
+                return None
+            if stored_version > version:
+                # Stale *caller*: a column reference stamped before the last
+                # mutation.  The entry describes newer data — keep it; evicting
+                # here would let old references ping-pong the cache.
+                self.misses += 1
+                return None
+            self._entries.move_to_end((uid, name))
+            self.hits += 1
+            return encoding
 
     def store(self, uid: int, name: str, version: int, encoding: ColumnEncoding) -> None:
         nbytes = encoding.nbytes()
         if nbytes > self.max_bytes:
             return
-        old = self._entries.get((uid, name))
-        if old is not None:
-            if old[0] > version:
-                return  # never clobber newer data with an older stamp
-            self._evict((uid, name), count_invalidation=False)
-        self._entries[(uid, name)] = (version, encoding, nbytes)
-        self.bytes += nbytes
-        self.stores += 1
-        while self.bytes > self.max_bytes and self._entries:
-            _, (_, _, dropped) = self._entries.popitem(last=False)
-            self.bytes -= dropped
-            self.evictions += 1
+        with self._lock:
+            if (uid, name) in self._uncached:
+                # mark_uncached is sticky: a compute that was already in
+                # flight when the column was exempted must not re-seed
+                # the entry it just evicted.
+                return
+            old = self._entries.get((uid, name))
+            if old is not None:
+                if old[0] > version:
+                    return  # never clobber newer data with an older stamp
+                self._evict((uid, name), count_invalidation=False)
+            self._entries[(uid, name)] = (version, encoding, nbytes)
+            self.bytes += nbytes
+            self.stores += 1
+            while self.bytes > self.max_bytes and self._entries:
+                _, (_, _, dropped) = self._entries.popitem(last=False)
+                self.bytes -= dropped
+                self.evictions += 1
 
     # ------------------------------------------------------------------
     # Column-level entry points (what the planner calls)
@@ -167,18 +186,38 @@ class EncodingCache:
         uid, name, version = source
         if not self.cacheable(uid, name):
             return None
-        cached = self.lookup(uid, name, version)
-        if cached is not None:
-            if len(cached.codes) != len(col):
-                # Defensive: a version collision across differently sized
-                # payloads can only mean provenance misuse — evict it so
-                # the dead entry cannot re-hit (and re-count) forever.
-                self._evict((uid, name))
-                return None
-            col.enc = cached
-            return cached
-        encoding = encode_values(col.values, col.valid)
-        self.store(uid, name, version, encoding)
+        # Single-flight get-or-compute: N threads racing the same
+        # (uid, column, version) produce exactly one encode pass and one
+        # store — waiters block on the winner's in-flight event, then
+        # loop back and hit its entry.  The encode itself runs outside
+        # the lock, so unrelated keys compute concurrently.
+        key = (uid, name)
+        while True:
+            with self._lock:
+                event = self._inflight.get(key)
+                if event is None:
+                    cached = self.lookup(uid, name, version)
+                    if cached is not None:
+                        if len(cached.codes) != len(col):
+                            # Defensive: a version collision across
+                            # differently sized payloads can only mean
+                            # provenance misuse — evict it so the dead
+                            # entry cannot re-hit (and re-count) forever.
+                            self._evict(key)
+                            return None
+                        col.enc = cached
+                        return cached
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            event.wait()
+        try:
+            encoding = encode_values(col.values, col.valid)
+            self.store(uid, name, version, encoding)
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
         col.enc = encoding
         return encoding
 
@@ -215,16 +254,18 @@ class EncodingCache:
     # ------------------------------------------------------------------
     def invalidate_table(self, uid: int) -> int:
         """Drop every entry of one table (e.g. on DROP TABLE)."""
-        doomed = [key for key in self._entries if key[0] == uid]
-        for key in doomed:
-            self._evict(key)
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == uid]
+            for key in doomed:
+                self._evict(key)
+            return len(doomed)
 
     def clear(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
-        self.bytes = 0
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.bytes = 0
+            return count
 
     def __len__(self) -> int:
         return len(self._entries)

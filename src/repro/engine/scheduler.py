@@ -9,10 +9,23 @@ Each query tracks its dependents; when it finishes it decrements their
 ready counts, and fully-ready queries enter a FIFO run queue consumed by a
 worker pool (the paper uses 4 threads intra-query and the rest inter-query).
 
-Because CPython's GIL hides most wall-clock gain for in-process NumPy work,
-:meth:`QueryScheduler.run` also computes the *modelled* schedule makespan —
-critical-path length vs. sequential sum — which is the deterministic
-quantity Figure 18 reports in this reproduction (see EXPERIMENTS.md).
+The scheduler is the *execution* engine behind training's ``num_workers``
+parameter: the frontier evaluator submits each relation's message builds
+and fused split query as a two-node chain, and random forests submit whole
+trees.  ``num_workers=1`` runs the DAG inline on the calling thread (no
+threads are spawned — byte-identical to the historical serial loop);
+``num_workers > 1`` runs a thread pool whose real wall clock
+:class:`ScheduleReport` records next to the *modelled* list-scheduling
+makespan — critical-path length vs. sequential sum — so Figure 18 can show
+measured seconds beside the model.
+
+Execution semantics both paths share:
+
+* a query that raises has its error recorded; every transitive dependent
+  is *skipped* (its callable never runs);
+* all queries without a failed ancestor still execute;
+* :meth:`QueryScheduler.run` then raises the failed query with the lowest
+  id (deterministic regardless of worker count), or returns the report.
 """
 
 from __future__ import annotations
@@ -22,6 +35,10 @@ import queue
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
+
+#: hard ceiling on the pool size — beyond this, thread switch overhead
+#: dwarfs any overlap a DBMS connection can deliver
+MAX_WORKERS = 64
 
 
 @dataclasses.dataclass
@@ -34,15 +51,19 @@ class ScheduledQuery:
     deps: Sequence[int] = ()
     # Filled in by the scheduler:
     seconds: float = 0.0
+    #: start offset from the run's wall-clock origin (overlap accounting)
+    started: float = 0.0
     result: object = None
     error: Optional[BaseException] = None
+    #: True when an upstream query failed and this one never ran
+    skipped: bool = False
 
 
 class QueryScheduler:
     """FIFO ready-queue scheduler over a dependency DAG."""
 
     def __init__(self, num_workers: int = 4):
-        self.num_workers = max(1, num_workers)
+        self.num_workers = max(1, min(int(num_workers), MAX_WORKERS))
         self._queries: Dict[int, ScheduledQuery] = {}
         self._next_id = 0
 
@@ -63,14 +84,65 @@ class QueryScheduler:
         )
         return query_id
 
-    def run(self) -> "ScheduleReport":
-        """Execute all queries respecting dependencies; returns a report."""
+    # ------------------------------------------------------------------
+    def _execute(self, q: ScheduledQuery, wall_start: float) -> None:
+        """Run one ready query (deps all finished) or mark it skipped."""
+        if any(
+            self._queries[d].error is not None or self._queries[d].skipped
+            for d in q.deps
+        ):
+            q.skipped = True
+            return
+        q.started = time.perf_counter() - wall_start
+        start = time.perf_counter()
+        try:
+            q.result = q.fn()
+        except BaseException as exc:  # recorded, surfaced after the run
+            q.error = exc
+        q.seconds = time.perf_counter() - start
+
+    def _dag(self) -> "tuple[Dict[int, int], Dict[int, List[int]]]":
         pending: Dict[int, int] = {}
         dependents: Dict[int, List[int]] = {qid: [] for qid in self._queries}
         for qid, q in self._queries.items():
             pending[qid] = len(q.deps)
             for dep in q.deps:
                 dependents[dep].append(qid)
+        return pending, dependents
+
+    def _finish(self) -> "ScheduleReport":
+        failed = [q for q in self._queries.values() if q.error is not None]
+        if failed:
+            raise min(failed, key=lambda q: q.query_id).error  # type: ignore[misc]
+        return ScheduleReport(
+            list(self._queries.values()),
+            max((q.started + q.seconds for q in self._queries.values()), default=0.0),
+            self.num_workers,
+        )
+
+    def _run_serial(self) -> "ScheduleReport":
+        """Inline execution on the calling thread — the num_workers=1
+        path spawns no threads, so it is byte-identical to a plain loop
+        over the queries in dependency (FIFO-ready) order."""
+        pending, dependents = self._dag()
+        ready: List[int] = [qid for qid, count in pending.items() if count == 0]
+        wall_start = time.perf_counter()
+        cursor = 0
+        while cursor < len(ready):
+            qid = ready[cursor]
+            cursor += 1
+            self._execute(self._queries[qid], wall_start)
+            for child in dependents[qid]:
+                pending[child] -= 1
+                if pending[child] == 0:
+                    ready.append(child)
+        return self._finish()
+
+    def run(self) -> "ScheduleReport":
+        """Execute all queries respecting dependencies; returns a report."""
+        if self.num_workers == 1 or len(self._queries) <= 1:
+            return self._run_serial()
+        pending, dependents = self._dag()
 
         ready: "queue.Queue[Optional[int]]" = queue.Queue()
         for qid, count in pending.items():
@@ -82,6 +154,7 @@ class QueryScheduler:
         done = threading.Event()
         if remaining == 0:
             done.set()
+        wall_start = time.perf_counter()
 
         def worker() -> None:
             nonlocal remaining
@@ -89,13 +162,7 @@ class QueryScheduler:
                 qid = ready.get()
                 if qid is None:
                     return
-                q = self._queries[qid]
-                start = time.perf_counter()
-                try:
-                    q.result = q.fn()
-                except BaseException as exc:  # recorded, surfaced in report
-                    q.error = exc
-                q.seconds = time.perf_counter() - start
+                self._execute(self._queries[qid], wall_start)
                 with lock:
                     remaining -= 1
                     for child in dependents[qid]:
@@ -107,9 +174,8 @@ class QueryScheduler:
 
         threads = [
             threading.Thread(target=worker, daemon=True)
-            for _ in range(self.num_workers)
+            for _ in range(min(self.num_workers, len(self._queries)))
         ]
-        wall_start = time.perf_counter()
         for t in threads:
             t.start()
         done.wait()
@@ -117,14 +183,7 @@ class QueryScheduler:
             ready.put(None)
         for t in threads:
             t.join()
-        wall = time.perf_counter() - wall_start
-
-        first_error = next(
-            (q.error for q in self._queries.values() if q.error is not None), None
-        )
-        if first_error is not None:
-            raise first_error
-        return ScheduleReport(list(self._queries.values()), wall, self.num_workers)
+        return self._finish()
 
 
 class ScheduleReport:
@@ -139,6 +198,16 @@ class ScheduleReport:
     def sequential_seconds(self) -> float:
         """Time a one-query-at-a-time engine would need (the w/o bar)."""
         return sum(q.seconds for q in self.queries)
+
+    @property
+    def overlap_seconds(self) -> float:
+        """Measured concurrency: query-seconds that ran while another
+        query was also running (0 on a serial schedule)."""
+        return max(0.0, self.sequential_seconds - self.wall_seconds)
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for q in self.queries if q.skipped)
 
     @property
     def critical_path_seconds(self) -> float:

@@ -14,6 +14,7 @@ per-feature root choice and every tree node.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import JoinGraphError, TrainingError
@@ -122,6 +123,13 @@ class Factorizer:
         self.carry_message_executions = 0
         self.carry_cache_hits = 0
         self.carry_cache_misses = 0
+        # Message builds are the *shared* state of a parallel evaluation
+        # round: two relations routed through the same hop must not race
+        # the MessageCache into materializing the same message twice (the
+        # loser's temp would leak).  One re-entrant lock makes each
+        # lookup -> CREATE TABLE -> store sequence atomic; the fused
+        # split queries themselves run outside it and overlap freely.
+        self._build_lock = threading.RLock()
         if any(e.multiplicity is None for e in graph.edges):
             graph.analyze()
         self._compute_sides()
@@ -259,20 +267,21 @@ class Factorizer:
         side and the join into ``parent`` is fan-out-free.
         """
         predicates = predicates or {}
-        self.message_requests += 1
-        side = self._side[(child, parent)]
-        state = predicate_state(predicates, side)
+        with self._build_lock:
+            self.message_requests += 1
+            side = self._side[(child, parent)]
+            state = predicate_state(predicates, side)
 
-        if self._droppable(child, parent, side, state):
-            return None
+            if self._droppable(child, parent, side, state):
+                return None
 
-        cached = self.cache.lookup(child, parent, state)
-        if cached is not None:
-            return cached
+            cached = self.cache.lookup(child, parent, state)
+            if cached is not None:
+                return cached
 
-        info = self._materialize_message(child, parent, predicates, state)
-        self.cache.store(child, parent, state, info)
-        return info
+            info = self._materialize_message(child, parent, predicates, state)
+            self.cache.store(child, parent, state, info)
+            return info
 
     def _droppable(
         self,
@@ -480,14 +489,18 @@ class Factorizer:
             cache_scope = None
         temps: List[str] = []
         try:
-            entries: List[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]] = []
-            for neighbor in self.graph.neighbors(root):
-                entry = self._carry_message(
-                    neighbor, root, predicates, carry, override, temps,
-                    carry_filters, cache_scope,
-                )
-                if entry is not None:
-                    entries.append(entry)
+            # The build lock covers the whole hop chain: a concurrent
+            # round evaluating another relation re-uses (never re-builds)
+            # any message this chain materializes, and vice versa.
+            with self._build_lock:
+                entries: List[Tuple[MessageInfo, Tuple[Tuple[str, str], ...]]] = []
+                for neighbor in self.graph.neighbors(root):
+                    entry = self._carry_message(
+                        neighbor, root, predicates, carry, override, temps,
+                        carry_filters, cache_scope,
+                    )
+                    if entry is not None:
+                        entries.append(entry)
         except Exception:
             for temp in temps:
                 self.db.drop_table(temp, if_exists=True)
@@ -659,7 +672,8 @@ class Factorizer:
     def begin_carry_scope(self, scope: Optional[Hashable]) -> int:
         """Evict carry messages cached under any other scope (their leaf
         labels are stale once the frontier epoch advances)."""
-        return self.cache.drop_scoped(keep_scope=scope)
+        with self._build_lock:
+            return self.cache.drop_scoped(keep_scope=scope)
 
     # ------------------------------------------------------------------
     # Cache control

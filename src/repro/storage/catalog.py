@@ -9,6 +9,7 @@ the user keeps them for provenance.  The catalog implements that contract.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from repro.exceptions import CatalogError
@@ -18,11 +19,21 @@ TEMP_PREFIX = "jb_tmp_"
 
 
 class Catalog:
-    """Holds tables by (case-insensitive) name."""
+    """Holds tables by (case-insensitive) name.
+
+    Registration, drops, renames and temp-name minting are serialized
+    behind one re-entrant lock: the inter-query scheduler's worker
+    threads materialize message temps concurrently, and two CREATEs (or
+    a CREATE racing a rename) must observe a consistent name map.
+    Point reads (``get``/``exists``) stay lock-free — a dict lookup is
+    atomic under the GIL, and readers only name tables that are
+    immutable for the duration of their round.
+    """
 
     def __init__(self):
         self._tables: Dict[str, Table] = {}
         self._temp_counter = itertools.count()
+        self._lock = threading.RLock()
 
     @staticmethod
     def _key(name: str) -> str:
@@ -30,9 +41,10 @@ class Catalog:
 
     def create(self, table: Table, replace: bool = False) -> None:
         key = self._key(table.name)
-        if key in self._tables and not replace:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[key] = table
+        with self._lock:
+            if key in self._tables and not replace:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self._tables[key] = table
 
     def get(self, name: str) -> Table:
         try:
@@ -42,22 +54,24 @@ class Catalog:
 
     def drop(self, name: str, if_exists: bool = False) -> None:
         key = self._key(name)
-        if key not in self._tables:
-            if if_exists:
-                return
-            raise CatalogError(f"no such table: {name!r}")
-        del self._tables[key]
+        with self._lock:
+            if key not in self._tables:
+                if if_exists:
+                    return
+                raise CatalogError(f"no such table: {name!r}")
+            del self._tables[key]
 
     def exists(self, name: str) -> bool:
         return self._key(name) in self._tables
 
     def rename(self, old: str, new: str) -> None:
-        table = self.get(old)
-        if self.exists(new):
-            raise CatalogError(f"table {new!r} already exists")
-        self.drop(old)
-        table.name = new
-        self.create(table)
+        with self._lock:
+            table = self.get(old)
+            if self.exists(new):
+                raise CatalogError(f"table {new!r} already exists")
+            self.drop(old)
+            table.name = new
+            self.create(table)
 
     def names(self) -> List[str]:
         return sorted(t.name for t in self._tables.values())
@@ -79,11 +93,12 @@ class Catalog:
     def drop_temp(self, keep: Optional[List[str]] = None) -> int:
         """Drop all temporary tables; returns how many were dropped."""
         keep_keys = {self._key(k) for k in (keep or [])}
-        doomed = [
-            key
-            for key, table in self._tables.items()
-            if table.name.startswith(TEMP_PREFIX) and key not in keep_keys
-        ]
-        for key in doomed:
-            del self._tables[key]
+        with self._lock:
+            doomed = [
+                key
+                for key, table in self._tables.items()
+                if table.name.startswith(TEMP_PREFIX) and key not in keep_keys
+            ]
+            for key in doomed:
+                del self._tables[key]
         return len(doomed)

@@ -473,5 +473,138 @@ class TestSQLiteIndexes:
         first = db.prepare_training(graph)
         db.prepare_training(graph)
         assert first >= 0.0
+        # First call records the per-connection perf PRAGMAs and the
+        # index build under the "index" tag; the second call finds
+        # nothing to do and records nothing.
         index_profiles = [p for p in db.profiles if p.tag == "index"]
-        assert len(index_profiles) == 1  # second call found nothing to do
+        assert [p.kind for p in index_profiles] == ["Pragma", "Index"]
+        pragma_profile = index_profiles[0]
+        assert "temp_store=MEMORY" in pragma_profile.sql
+        assert "cache_size" in pragma_profile.sql
+        assert "mmap_size" in pragma_profile.sql
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: the scheduler's worker threads race get-or-compute
+# ---------------------------------------------------------------------------
+class TestConcurrency:
+    def test_racing_get_or_compute_stores_once(self, db):
+        """N threads racing one (uid, column, version) key must produce
+        exactly one encode pass: a single miss + store for the winner,
+        hits for everyone else — the lock makes the whole
+        lookup -> encode -> store sequence atomic."""
+        import threading
+
+        n = 20_000
+        db.create_table("t", {"k": np.arange(n) % 512})
+        table = db.table("t")
+        cache = db.encodings
+        assert cache.stores == 0 and cache.misses == 0
+
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        encodings, errors = [], []
+
+        def race():
+            # Each thread gets an *independent* column reference with the
+            # same provenance stamp: the storage layer hands out one
+            # shared Column object, whose .enc memoization would let late
+            # threads bypass the cache instead of racing it.
+            col = table.column("k").copy()
+            col.enc = None
+            barrier.wait()
+            try:
+                encodings.append(cache.encoding_for(col))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert cache.stores == 1  # census: the key computed exactly once
+        assert cache.misses == 1
+        assert cache.hits == num_threads - 1
+        # Every thread got the same (single) stored encoding object.
+        assert len({id(e) for e in encodings}) == 1
+        np.testing.assert_array_equal(
+            encodings[0].codes, np.arange(n) % 512
+        )
+
+    def test_poisoning_and_invalidation_hold_under_the_lock(self, db):
+        """Concurrent readers racing a mutator never resurrect a stale
+        entry: after every thread finishes, the cache serves the codes of
+        the *current* version and the poison is gone."""
+        import threading
+
+        db.create_table("t", {"k": np.array([1, 2, 3, 4])})
+        table = db.table("t")
+        cache = db.encodings
+        poison = encode_values(np.array([9, 9, 9, 9]))
+        cache.store(table.uid, "k", table.column_version("k"), poison)
+
+        barrier = threading.Barrier(9)
+        errors = []
+
+        def read():
+            barrier.wait()
+            try:
+                for _ in range(50):
+                    cache.encoding_for(table.column("k"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def mutate():
+            barrier.wait()
+            try:
+                for v in range(50):
+                    table.set_column(Column("k", np.array([v, v + 1, v + 2, v + 3])))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        threads.append(threading.Thread(target=mutate))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        final = cache.encoding_for(table.column("k"))
+        assert final is not poison
+        np.testing.assert_array_equal(final.codes, [0, 1, 2, 3])
+        # The stale-version entry was invalidated, not silently served.
+        assert cache.invalidations >= 1
+
+    def test_mark_uncached_during_race_sticks(self, db):
+        """mark_uncached with readers in flight: once marked, the column
+        never re-enters the cache (the frontier's jb_leaf exemption)."""
+        import threading
+
+        db.create_table("t", {"k": np.array([1, 2, 3, 4])})
+        table = db.table("t")
+        cache = db.encodings
+        barrier = threading.Barrier(5)
+
+        def read():
+            barrier.wait()
+            for _ in range(50):
+                cache.encoding_for(table.column("k"))
+
+        def mark():
+            barrier.wait()
+            cache.mark_uncached(table.uid, "k")
+
+        threads = [threading.Thread(target=read) for _ in range(4)]
+        threads.append(threading.Thread(target=mark))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not cache.cacheable(table.uid, "k")
+        assert cache.encoding_for(table.column("k")) is None
+        assert cache.lookup(table.uid, "k", table.column_version("k")) is None

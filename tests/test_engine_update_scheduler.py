@@ -124,3 +124,109 @@ class TestScheduler:
         report = QueryScheduler().run()
         assert report.sequential_seconds == 0.0
         assert report.critical_path_seconds == 0.0
+
+
+class TestSchedulerExecution:
+    """Execution semantics the training integration relies on (ISSUE 5)."""
+
+    def test_worker_count_clamped(self):
+        from repro.engine.scheduler import MAX_WORKERS
+
+        assert QueryScheduler(num_workers=0).num_workers == 1
+        assert QueryScheduler(num_workers=-3).num_workers == 1
+        assert QueryScheduler(num_workers=10_000).num_workers == MAX_WORKERS
+        assert QueryScheduler(num_workers=4).num_workers == 4
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_dependents_skipped_after_upstream_error(self, workers):
+        scheduler = QueryScheduler(num_workers=workers)
+        ran = []
+        lock = threading.Lock()
+
+        def record(name):
+            def run():
+                with lock:
+                    ran.append(name)
+                return name
+            return run
+
+        def boom():
+            with lock:
+                ran.append("boom")
+            raise RuntimeError("upstream failed")
+
+        bad = scheduler.submit(boom, label="bad")
+        child = scheduler.submit(record("child"), deps=[bad])
+        grandchild = scheduler.submit(record("grandchild"), deps=[child])
+        independent = scheduler.submit(record("independent"))
+        with pytest.raises(RuntimeError, match="upstream failed"):
+            scheduler.run()
+        # The failure is recorded, dependents never ran, the rest did.
+        assert "independent" in ran
+        assert "child" not in ran and "grandchild" not in ran
+        assert scheduler._queries[child].skipped
+        assert scheduler._queries[grandchild].skipped
+        assert not scheduler._queries[independent].skipped
+        assert scheduler._queries[independent].result == "independent"
+
+    def test_first_error_by_id_regardless_of_workers(self):
+        for workers in (1, 4):
+            scheduler = QueryScheduler(num_workers=workers)
+
+            def fail(msg):
+                def run():
+                    raise ValueError(msg)
+                return run
+
+            scheduler.submit(fail("first"))
+            scheduler.submit(fail("second"))
+            with pytest.raises(ValueError, match="first"):
+                scheduler.run()
+
+    def test_deps_validated_before_run(self):
+        scheduler = QueryScheduler(num_workers=2)
+        ok = scheduler.submit(lambda: 1)
+        with pytest.raises(ValueError):
+            scheduler.submit(lambda: 2, deps=[ok + 17])
+
+    def test_results_deterministic_across_worker_counts(self):
+        """The same DAG computes the same results() in the same order for
+        num_workers in {1, 4} — what the tree-parity gates lean on."""
+        outcomes = {}
+        for workers in (1, 4):
+            scheduler = QueryScheduler(num_workers=workers)
+            upstream = [scheduler.submit(lambda k=k: k * k) for k in range(6)]
+            for uid in upstream:
+                scheduler.submit(
+                    lambda u=uid: ("combined", u), deps=[uid]
+                )
+            report = scheduler.run()
+            outcomes[workers] = report.results()
+        assert outcomes[1] == outcomes[4]
+
+    def test_serial_path_spawns_no_threads(self):
+        before = threading.active_count()
+        scheduler = QueryScheduler(num_workers=1)
+        counts = []
+        for _ in range(4):
+            scheduler.submit(lambda: counts.append(threading.active_count()))
+        scheduler.run()
+        # Every query observed the same thread population as the caller.
+        assert all(c == before for c in counts)
+
+    def test_report_overlap_and_skipped_accounting(self):
+        scheduler = QueryScheduler(num_workers=4)
+
+        def sleepy():
+            time.sleep(0.02)
+
+        for _ in range(4):
+            scheduler.submit(sleepy)
+        report = scheduler.run()
+        assert report.skipped == 0
+        assert report.wall_seconds > 0
+        # overlap = busy - wall, never negative.
+        assert report.overlap_seconds >= 0.0
+        assert report.sequential_seconds == pytest.approx(
+            report.wall_seconds + report.overlap_seconds
+        )
