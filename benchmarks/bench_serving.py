@@ -1,0 +1,104 @@
+"""Serving latency/throughput bench: recursive vs compiled vs SQL scoring.
+
+Runs :func:`repro.bench.serving.serving_latency_benchmark` at the PR-6
+reference size and writes ``BENCH_pr6.json`` — p50/p99 per-call latency
+and throughput for request-shaped scoring (the gated series), bulk
+full-frontier scoring via all three paths, the semi-join point-lookup
+series, and the compiled-model cache census.
+
+The compiled kernel must beat recursive scoring by at least
+``MIN_SPEEDUP``x single-row-equivalent throughput on request-shaped
+calls (the same gate ``ci_perf_smoke.py`` enforces on its downsized
+config); the run exits non-zero otherwise.
+
+Run locally:  PYTHONPATH=src python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+from repro.bench.serving import serving_latency_benchmark
+
+#: compiled request throughput must exceed recursive by this factor
+MIN_SPEEDUP = 5.0
+
+BENCH_ROWS = 40_000
+BENCH_TREES = 16
+BENCH_LEAVES = 64
+BENCH_REQUESTS = 200
+
+
+def _print_path(label: str, stats: dict) -> None:
+    print(
+        f"{label:>14}: p50={stats['p50_seconds'] * 1e3:.2f}ms "
+        f"p99={stats['p99_seconds'] * 1e3:.2f}ms "
+        f"throughput={stats['rows_per_second']:,.0f} rows/s"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_pr6.json", help="where to write the report"
+    )
+    parser.add_argument("--rows", type=int, default=BENCH_ROWS)
+    parser.add_argument("--trees", type=int, default=BENCH_TREES)
+    parser.add_argument("--leaves", type=int, default=BENCH_LEAVES)
+    parser.add_argument("--requests", type=int, default=BENCH_REQUESTS)
+    args = parser.parse_args(argv)
+
+    results = serving_latency_benchmark(
+        num_rows=args.rows,
+        num_trees=args.trees,
+        num_leaves=args.leaves,
+        request_count=args.requests,
+    )
+    results["schema"] = "bench-serving-v2"
+    results["python"] = platform.python_version()
+    results["machine"] = platform.machine()
+
+    speedup = results["compiled_speedup_factor"]
+    passed = speedup >= MIN_SPEEDUP
+    results["gates"] = {
+        "passed": passed,
+        "min_speedup": MIN_SPEEDUP,
+        "failures": []
+        if passed
+        else [
+            f"serving: compiled request throughput only {speedup:.2f}x "
+            f"recursive (gate: >= {MIN_SPEEDUP}x)"
+        ],
+    }
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+
+    request = results["request"]
+    print(f"request-shaped scoring ({request['rows_per_request']} row/call):")
+    _print_path("recursive", request["recursive"])
+    _print_path("compiled", request["compiled"])
+    print("bulk full-frontier scoring:")
+    for path in ("recursive", "compiled", "sql"):
+        _print_path(path, results["bulk"][path])
+    lookup = results["key_lookup"]
+    print(
+        f"    key-lookup: p50={lookup['p50_seconds'] * 1e3:.2f}ms "
+        f"p99={lookup['p99_seconds'] * 1e3:.2f}ms"
+    )
+    print(f"compiled vs recursive request speedup: {speedup:.1f}x")
+    print(f"report written to {args.output}")
+    if not passed:
+        print(
+            f"SERVING GATE FAILED — {results['gates']['failures'][0]}",
+            file=sys.stderr,
+        )
+        return 1
+    print("serving gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,13 @@ exits non-zero when a gate fails:
   ``num_workers=1`` wall time by at least ``PARALLEL_MIN_SPEEDUP``x.
   The speedup gate is *waived* (recorded, not enforced) when the host
   has a single CPU: threads cannot beat physics, but the engagement,
-  overlap and parity gates still run everywhere.
+  overlap and parity gates still run everywhere;
+* **serving** — on a downsized serving config the compiled tree-bank
+  kernel must beat recursive scoring by at least
+  ``SERVING_MIN_SPEEDUP``x single-row-equivalent throughput on
+  request-shaped (one-row) calls; the in-harness parity asserts also
+  make this leg fail if compiled or SQL scores ever drift from the
+  recursive reference.
 
 Sizes are deliberately small (seconds, not minutes): this is a smoke
 gate, not the paper reproduction — ``pytest benchmarks/`` is that.
@@ -54,6 +60,7 @@ from repro.bench.harness import (
     fig09_parallel_comparison,
     fig09_query_census,
 )
+from repro.bench.serving import serving_latency_benchmark
 
 #: batched wall time may be at most this multiple of per-leaf wall time
 #: (and incremental labeling at most this multiple of rebuild labeling)
@@ -75,6 +82,16 @@ PARALLEL_MIN_SPEEDUP = 1.2
 
 #: the worker-pool size of the parallel leg
 PARALLEL_WORKERS = 4
+
+#: compiled request-shaped scoring must beat recursive by this factor
+SERVING_MIN_SPEEDUP = 5.0
+
+#: serving leg: small enough to train in seconds, deep enough that the
+#: per-node dispatch cost of recursive scoring is visible per request
+SERVING_ROWS = 12_000
+SERVING_TREES = 10
+SERVING_LEAVES = 32
+SERVING_REQUESTS = 60
 
 FIG5_SMOKE_ROWS = 60_000
 FIG5_SMOKE_BACKENDS = ("x-col", "d-mem", "d-swap")
@@ -116,11 +133,20 @@ def run_smoke() -> dict:
         FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
         workers=PARALLEL_WORKERS, backend="sqlite",
     )
+    serving = serving_latency_benchmark(
+        num_rows=SERVING_ROWS,
+        num_trees=SERVING_TREES,
+        num_leaves=SERVING_LEAVES,
+        request_count=SERVING_REQUESTS,
+        bulk_reps=3,
+        sql_reps=1,
+        key_lookups=5,
+    )
     inc_census = incremental["frontier_census"]
     reb_census = rebuild["frontier_census"]
     cpu_count = os.cpu_count() or 1
     return {
-        "schema": "bench-ci-v4",
+        "schema": "bench-ci-v5",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -180,6 +206,21 @@ def run_smoke() -> dict:
             "parallel_rounds": parallel["parallel_rounds"],
             "parallel_overlap_seconds": parallel["parallel_overlap_seconds"],
             "rmse_delta": parallel["rmse_delta"],
+        },
+        "serving": {
+            "rows": SERVING_ROWS,
+            "trees": SERVING_TREES,
+            "request_rows": serving["request"]["rows_per_request"],
+            "recursive_request_p50_seconds": serving["request"]["recursive"][
+                "p50_seconds"
+            ],
+            "compiled_request_p50_seconds": serving["request"]["compiled"][
+                "p50_seconds"
+            ],
+            "request_speedup_factor": serving["compiled_speedup_factor"],
+            "bulk_speedup_factor": serving["bulk"]["compiled_speedup_factor"],
+            "key_lookup_p50_seconds": serving["key_lookup"]["p50_seconds"],
+            "cache_stats": serving["cache_stats"],
         },
     }
 
@@ -297,6 +338,15 @@ def gate(results: dict) -> list:
             f"{parallel['cpu_count']}-core host "
             f"(gate: >= {PARALLEL_MIN_SPEEDUP}x)"
         )
+    # Compiled serving: request-shaped scoring must clearly beat the
+    # recursive path (parity is asserted inside the harness itself).
+    serving = results["serving"]
+    if serving["request_speedup_factor"] < SERVING_MIN_SPEEDUP:
+        failures.append(
+            "serving: compiled request throughput only "
+            f"{serving['request_speedup_factor']:.2f}x recursive "
+            f"(gate: >= {SERVING_MIN_SPEEDUP}x)"
+        )
     return failures
 
 
@@ -359,6 +409,15 @@ def main(argv=None) -> int:
         f"rounds={parallel['parallel_rounds']} "
         f"overlap={parallel['parallel_overlap_seconds']:.2f}s "
         f"rmse delta={parallel['rmse_delta']:.1e}"
+    )
+    serving = results["serving"]
+    print(
+        "serving: request p50 recursive="
+        f"{serving['recursive_request_p50_seconds'] * 1e3:.2f}ms "
+        f"compiled={serving['compiled_request_p50_seconds'] * 1e3:.2f}ms "
+        f"(speedup {serving['request_speedup_factor']:.1f}x); "
+        f"bulk speedup={serving['bulk_speedup_factor']:.2f}x; "
+        f"key lookup p50={serving['key_lookup_p50_seconds'] * 1e3:.2f}ms"
     )
     print(f"report written to {args.output}")
     if failures:

@@ -43,12 +43,16 @@ from repro.core.boosting import (
     MulticlassBoostingModel,
     train_gradient_boosting,
 )
+from repro.core.compile import compile_model, predict_compiled
 from repro.core.forest import RandomForestModel, train_random_forest
 from repro.core.params import TrainParams
 from repro.core.predict import feature_frame, predict_join, rmse_on_join
+from repro.core.serialize import load_model, model_digest, save_model
+from repro.core.sql_score import score_by_key, sql_scores
 from repro.core.tree import DecisionTreeModel
 from repro.engine.database import Database
 from repro.joingraph.graph import JoinGraph
+from repro.serve import PredictionService
 from repro.storage.table import StorageConfig
 
 __version__ = "1.0.0"
@@ -65,6 +69,14 @@ __all__ = [
     "predict_join",
     "rmse_on_join",
     "feature_frame",
+    "compile_model",
+    "predict_compiled",
+    "sql_scores",
+    "score_by_key",
+    "save_model",
+    "load_model",
+    "model_digest",
+    "PredictionService",
     "TrainSet",
     "TrainParams",
     "Connector",

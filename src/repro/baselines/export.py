@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.exceptions import MemoryBudgetExceeded, TrainingError
 from repro.joingraph.graph import JoinGraph
-from repro.joingraph.hypertree import edge_between, rooted_tree
 
 #: default budget for the materialized matrix (bytes); benches override.
 DEFAULT_MEMORY_BUDGET = 2 * 1024**3  # 2 GiB
@@ -110,22 +109,16 @@ def materialize_and_export(
 
 
 def _join_sql(db, graph: JoinGraph, fact: str) -> Tuple[str, List[str]]:
-    """SELECT joining the whole graph, projecting features + target."""
-    parent_map, children, _ = rooted_tree(graph, fact)
-    aliases = {fact: "t"}
-    joins: List[str] = []
-    frontier = [fact]
-    while frontier:
-        current = frontier.pop(0)
-        for child in children[current]:
-            aliases[child] = f"r{len(aliases)}"
-            edge = edge_between(graph, current, child)
-            condition = " AND ".join(
-                f"{aliases[current]}.{a} = {aliases[child]}.{b}"
-                for a, b in zip(edge.keys_for(current), edge.keys_for(child))
-            )
-            joins.append(f"JOIN {child} AS {aliases[child]} ON {condition}")
-            frontier.append(child)
+    """SELECT joining the whole graph, projecting features + target.
+
+    The join clause comes from the shared scoring builder
+    (:func:`repro.core.sql_score.join_tree_sql`) with inner-join
+    semantics — materialization drops dangling rows, matching what a
+    single-table library would train on.
+    """
+    from repro.core.sql_score import join_tree_sql
+
+    aliases, joins = join_tree_sql(graph, fact, join_kind="JOIN")
     columns: List[str] = []
     select_parts: List[str] = []
     for relation, feature in graph.all_features():

@@ -1,0 +1,613 @@
+"""Compiled prediction: trained trees flattened into contiguous arrays.
+
+The seed scoring path (:meth:`DecisionTreeModel.predict_arrays`) recurses
+node by node, computing a full-length boolean mask at *every* internal
+node — O(nodes x rows) work per tree.  Serving "millions of users"
+(ROADMAP item 1) needs the LightGBM evaluation shape instead: each tree
+flattened into contiguous numpy arrays (feature index / threshold /
+left-right child / leaf value, with explicit missing-direction and
+categorical-set handling) and evaluated level by level, so each row does
+O(depth) gathers regardless of tree width.
+
+Bit-identity with the recursive path is the contract (the paper's models
+are "identical to LightGBM", Section 5.1; the differential-parity suite
+in ``tests/test_predict_compiled.py`` enforces it).  Two evaluation paths
+keep that honest:
+
+* the **numeric fast path** — rows sitting at nodes whose split is a
+  numeric comparison over a float/int column evaluate via gathered
+  thresholds and one vectorized comparison per opcode, with NaN rows
+  routed by the node's missing direction exactly as
+  :func:`~repro.core.tree._eval_predicate` routes them;
+* the **generic fallback** — rows at categorical / string / set-valued
+  splits (``IN``, ``=`` over object arrays, ``IS NULL``, ...) evaluate
+  the node's original :class:`Predicate` over just the resident rows via
+  the same ``_eval_predicate`` kernel the recursive path uses, so the
+  semantics cannot drift.
+
+Ensemble wrappers (:class:`CompiledGradientBoosting`,
+:class:`CompiledMulticlassBoosting`, :class:`CompiledRandomForest`)
+replicate the seed models' accumulation order operation for operation —
+same ``init + lr * tree`` sequence, same ``stack(...).mean(axis=0)``,
+same first-max ``argmax`` — so ensemble scores are bit-identical too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.core.boosting import GradientBoostingModel, MulticlassBoostingModel
+from repro.core.forest import RandomForestModel
+from repro.core.tree import DecisionTreeModel, TreeNode, _eval_predicate
+from repro.factorize.predicates import Predicate
+from repro.semiring.losses import SoftmaxLoss
+
+#: opcodes for the numeric fast path; everything else takes the generic
+#: per-node fallback through ``_eval_predicate``
+_NUMERIC_OPS = {"<=": 0, "<": 1, ">": 2, ">=": 3, "=": 4, "!=": 5}
+_GENERIC_OP = -1
+
+#: (tree, row) entries per bank-descent chunk — sized so the level
+#: temporaries (a handful of 8-byte arrays this long) stay in L2
+_CHUNK_ENTRIES = 65_536
+
+FeatureFrame = Dict[str, np.ndarray]
+
+#: (stacked numeric matrix, column→matrix-column map, raw arrays)
+PreparedFrame = Tuple[np.ndarray, np.ndarray, List[np.ndarray]]
+
+
+def prepare_frame(
+    columns: Sequence[str], features: FeatureFrame
+) -> PreparedFrame:
+    """Stage a feature frame for the flat evaluators.
+
+    Numeric columns are stacked into one (n, k) float64 matrix so the
+    hot loop gathers values with a single fancy index instead of a
+    per-column pass.  Object/string columns map to -1 and are only
+    touched by the generic fallback, which sees the raw arrays — the
+    same inputs the recursive path hands ``_eval_predicate``.  Ensemble
+    wrappers call this once per scoring call and share the result across
+    member trees.
+    """
+    raw_cols: List[np.ndarray] = []
+    numeric_cols: List[np.ndarray] = []
+    mat_col = np.full(len(columns), -1, dtype=np.int32)
+    for i, column in enumerate(columns):
+        if column not in features:
+            raise TrainingError(f"missing feature column {column!r}")
+        raw = np.asarray(features[column])
+        raw_cols.append(raw)
+        if not (raw.dtype == object or raw.dtype.kind in ("U", "S")):
+            mat_col[i] = len(numeric_cols)
+            numeric_cols.append(raw.astype(np.float64, copy=False))
+    if numeric_cols:
+        matrix = np.column_stack(numeric_cols)
+    else:
+        n = len(raw_cols[0]) if raw_cols else 0
+        matrix = np.zeros((n, 0), dtype=np.float64)
+    return matrix, mat_col, raw_cols
+
+
+@dataclasses.dataclass
+class _NodeTables:
+    """Mutable accumulator the flattening walk appends into."""
+
+    feature: List[int]
+    opcode: List[int]
+    threshold: List[float]
+    default_left: List[bool]
+    left: List[int]
+    right: List[int]
+    value: List[float]
+    predicates: List[Optional[Predicate]]
+
+
+class _FlatEvaluator:
+    """Shared level-synchronous descent over flat node tables.
+
+    Subclasses (:class:`CompiledTree`, :class:`CompiledTreeBank`) fill
+    the arrays; :meth:`_descend` walks rows from their start nodes to
+    leaves.  The bank packs every tree of an ensemble into one node
+    table, so a 100-tree model costs the same number of numpy calls per
+    level as a single tree — the per-call overhead that dominates
+    request-sized serving batches amortizes across the whole model.
+    """
+
+    columns: List[str]
+    feature: np.ndarray
+    opcode: np.ndarray
+    threshold: np.ndarray
+    default_left: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    predicates: List[Optional[Predicate]]
+
+    def _compare(
+        self, ops: np.ndarray, vals: np.ndarray, thr: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized comparison for mixed opcodes (rare: the trainer
+        only emits ``<=``, so the uniform path in :meth:`_descend`
+        usually short-circuits past this)."""
+        result = np.zeros(len(vals), dtype=bool)
+        for op_name, op_code in _NUMERIC_OPS.items():
+            osel = ops == op_code
+            if not osel.any():
+                continue
+            if op_name == "<=":
+                result[osel] = vals[osel] <= thr[osel]
+            elif op_name == "<":
+                result[osel] = vals[osel] < thr[osel]
+            elif op_name == ">":
+                result[osel] = vals[osel] > thr[osel]
+            elif op_name == ">=":
+                result[osel] = vals[osel] >= thr[osel]
+            elif op_name == "=":
+                result[osel] = vals[osel] == thr[osel]
+            else:
+                result[osel] = vals[osel] != thr[osel]
+        return result
+
+    def _descend(
+        self,
+        start_nodes: np.ndarray,
+        frame_rows: np.ndarray,
+        prepared: PreparedFrame,
+        mask_cache: Optional[Dict[Predicate, np.ndarray]],
+    ) -> np.ndarray:
+        """Route every (start node, frame row) entry to its leaf node id.
+
+        The loop carries only the still-active entries (node id + frame
+        row, compressed together as entries reach leaves), so a leaf-wise
+        (deep, unbalanced) tree costs sum-of-depths, not depth × n, and
+        there is no full-width state scatter per level.
+        """
+        matrix, mat_col, raw_cols = prepared
+        final = np.asarray(start_nodes, dtype=np.int32).copy()
+        rows = np.nonzero(self.left[final] >= 0)[0]
+        nodes = final[rows]
+        frows = np.asarray(frame_rows)[rows]
+        while len(rows):
+            ops = self.opcode[nodes]
+            mc = mat_col[self.feature[nodes]]
+            numeric_ok = (ops >= 0) & (mc >= 0)
+
+            if numeric_ok.all():
+                # Whole level is numeric splits over numeric columns —
+                # one gather, one comparison; NaN routes by default_left.
+                vals = matrix[frows, mc]
+                thr = self.threshold[nodes]
+                with np.errstate(invalid="ignore"):
+                    if (ops == 0).all():  # trainer emits only "<="
+                        go_left = vals <= thr
+                    else:
+                        go_left = self._compare(ops, vals, thr)
+                nulls = np.isnan(vals)
+                if nulls.any():
+                    go_left[nulls] = self.default_left[nodes][nulls]
+            else:
+                go_left = np.zeros(len(rows), dtype=bool)
+                nsel = np.nonzero(numeric_ok)[0]
+                if len(nsel):
+                    nnodes = nodes[nsel]
+                    vals = matrix[frows[nsel], mc[nsel]]
+                    thr = self.threshold[nnodes]
+                    node_ops = ops[nsel]
+                    with np.errstate(invalid="ignore"):
+                        if (node_ops == 0).all():
+                            result = vals <= thr
+                        else:
+                            result = self._compare(node_ops, vals, thr)
+                    nulls = np.isnan(vals)
+                    result[nulls] = self.default_left[nnodes][nulls]
+                    go_left[nsel] = result
+
+                # Generic fallback: per-node evaluation of the original
+                # Predicate via the same ``_eval_predicate`` kernel the
+                # recursive path uses (elementwise, so evaluating the
+                # full column and gathering cannot change any row's
+                # routing).  Identical predicates recur across boosted
+                # trees (e.g. the same categorical root split), so the
+                # per-call mask cache dedupes them.
+                pending = np.nonzero(~numeric_ok)[0]
+                pnodes = nodes[pending]
+                order = np.argsort(pnodes, kind="stable")
+                pending = pending[order]
+                pnodes = pnodes[order]
+                boundaries = np.nonzero(np.diff(pnodes))[0] + 1
+                for segment in np.split(np.arange(len(pending)), boundaries):
+                    node_id = int(pnodes[segment[0]])
+                    pred = self.predicates[node_id]
+                    if pred is None:
+                        # Numeric opcode but object-typed column values.
+                        pred = self._rebuild_numeric_predicate(node_id)
+                    raw = raw_cols[int(self.feature[node_id])]
+                    seg_rows = frows[pending[segment]]
+                    full = (
+                        mask_cache.get(pred)
+                        if mask_cache is not None
+                        else None
+                    )
+                    if full is None:
+                        full = _eval_predicate(pred, raw)
+                        if mask_cache is not None:
+                            mask_cache[pred] = full
+                    go_left[pending[segment]] = full[seg_rows]
+
+            nodes = np.where(go_left, self.left[nodes], self.right[nodes])
+            at_leaf = self.left[nodes] < 0
+            if at_leaf.any():
+                final[rows[at_leaf]] = nodes[at_leaf]
+                keep = ~at_leaf
+                rows = rows[keep]
+                nodes = nodes[keep]
+                frows = frows[keep]
+        return final
+
+    def _rebuild_numeric_predicate(self, node_id: int) -> Predicate:
+        op = [k for k, v in _NUMERIC_OPS.items() if v == self.opcode[node_id]][0]
+        return Predicate(
+            column=self.columns[int(self.feature[node_id])],
+            op=op,
+            value=float(self.threshold[node_id]),
+            include_null=bool(self.default_left[node_id]),
+        )
+
+
+class CompiledTree(_FlatEvaluator):
+    """One decision tree as flat arrays, evaluated level by level.
+
+    ``feature[i]`` indexes :attr:`columns` (``-1`` marks a leaf),
+    ``threshold[i]``/``opcode[i]`` encode the numeric comparison of the
+    *left*-child predicate, ``default_left[i]`` is the missing direction
+    (NULL/NaN rows go left when set), ``left[i]``/``right[i]`` are child
+    node ids and ``value[i]`` the leaf prediction.  Non-numeric splits
+    keep their :class:`Predicate` in :attr:`predicates` for the generic
+    fallback.
+    """
+
+    def __init__(
+        self,
+        model: DecisionTreeModel,
+        interner: Optional[Tuple[Dict[str, int], List[str]]] = None,
+    ):
+        # Ensemble wrappers pass one shared interner so every member tree
+        # indexes the same column universe and the per-call frame
+        # preparation happens once, not once per tree.
+        col_index, columns = interner if interner is not None else ({}, [])
+        self.columns: List[str] = columns
+        tables = _NodeTables([], [], [], [], [], [], [], [])
+
+        def intern(column: str) -> int:
+            if column not in col_index:
+                col_index[column] = len(self.columns)
+                self.columns.append(column)
+            return col_index[column]
+
+        def flatten(node: TreeNode) -> int:
+            idx = len(tables.feature)
+            tables.feature.append(-1)
+            tables.opcode.append(_GENERIC_OP)
+            tables.threshold.append(np.nan)
+            tables.default_left.append(False)
+            tables.left.append(-1)
+            tables.right.append(-1)
+            tables.value.append(float(node.prediction))
+            tables.predicates.append(None)
+            if node.is_leaf:
+                return idx
+            left = node.left
+            if left is None or left.predicate is None or node.right is None:
+                raise TrainingError("malformed tree: internal node without split")
+            pred = left.predicate
+            tables.feature[idx] = intern(pred.column)
+            tables.default_left[idx] = bool(pred.include_null)
+            if pred.op in _NUMERIC_OPS and isinstance(
+                pred.value, (int, float)
+            ) and not isinstance(pred.value, bool):
+                tables.opcode[idx] = _NUMERIC_OPS[pred.op]
+                tables.threshold[idx] = float(pred.value)
+            else:
+                tables.predicates[idx] = pred
+            tables.left[idx] = flatten(left)
+            tables.right[idx] = flatten(node.right)
+            return idx
+
+        flatten(model.root)
+        self.feature = np.asarray(tables.feature, dtype=np.int32)
+        self.opcode = np.asarray(tables.opcode, dtype=np.int8)
+        self.threshold = np.asarray(tables.threshold, dtype=np.float64)
+        self.default_left = np.asarray(tables.default_left, dtype=bool)
+        self.left = np.asarray(tables.left, dtype=np.int32)
+        self.right = np.asarray(tables.right, dtype=np.int32)
+        self.value = np.asarray(tables.value, dtype=np.float64)
+        self.predicates = tables.predicates
+        #: nodes needing the generic fallback (categorical / string / set)
+        self.generic_nodes = np.asarray(
+            [i for i, p in enumerate(self.predicates) if p is not None],
+            dtype=np.int32,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.feature)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        features: FeatureFrame,
+        prepared: Optional[PreparedFrame] = None,
+        mask_cache: Optional[Dict[Predicate, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Route a feature frame to leaf values.
+
+        Callers sharing work across several trees pass ``prepared`` (one
+        shared :func:`prepare_frame` result) and ``mask_cache`` (a
+        per-call dict deduplicating identical categorical predicates);
+        standalone calls build both locally.
+        """
+        lengths = [len(v) for v in features.values()]
+        n = lengths[0] if lengths else 0
+        state = np.zeros(n, dtype=np.int32)
+        if n == 0 or self.left[0] < 0:
+            return self.value[state] if n else np.zeros(0, dtype=np.float64)
+        if prepared is None:
+            prepared = prepare_frame(self.columns, features)
+        leaves = self._descend(state, np.arange(n), prepared, mask_cache)
+        return self.value[leaves]
+
+
+class CompiledTreeBank(_FlatEvaluator):
+    """Every tree of an ensemble packed into one flat node table.
+
+    Member trees must share one column universe (the ensemble wrappers
+    compile them with a shared interner).  Child pointers are offset into
+    the packed table; :meth:`leaf_matrix` descends all (tree, row) pairs
+    simultaneously, so the whole ensemble costs one level loop instead of
+    one per tree.
+    """
+
+    def __init__(self, trees: Sequence[CompiledTree]):
+        if not trees:
+            raise TrainingError("tree bank needs at least one tree")
+        first = trees[0].columns
+        if any(t.columns is not first for t in trees):
+            raise TrainingError("bank trees must share one column universe")
+        self.columns = first
+        self.num_trees = len(trees)
+        offsets = np.cumsum([0] + [t.num_nodes for t in trees])
+        self.roots = offsets[:-1].astype(np.int32)
+        self.feature = np.concatenate([t.feature for t in trees])
+        self.opcode = np.concatenate([t.opcode for t in trees])
+        self.threshold = np.concatenate([t.threshold for t in trees])
+        self.default_left = np.concatenate([t.default_left for t in trees])
+        self.left = np.concatenate(
+            [np.where(t.left >= 0, t.left + off, -1)
+             for t, off in zip(trees, offsets)]
+        ).astype(np.int32)
+        self.right = np.concatenate(
+            [np.where(t.right >= 0, t.right + off, -1)
+             for t, off in zip(trees, offsets)]
+        ).astype(np.int32)
+        self.value = np.concatenate([t.value for t in trees])
+        self.predicates = [p for t in trees for p in t.predicates]
+
+    def leaf_matrix(
+        self,
+        features: FeatureFrame,
+        prepared: Optional[PreparedFrame] = None,
+        mask_cache: Optional[Dict[Predicate, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """(num_trees, n) leaf values — row t is tree t's prediction."""
+        lengths = [len(v) for v in features.values()]
+        n = lengths[0] if lengths else 0
+        if n == 0:
+            return np.zeros((self.num_trees, 0), dtype=np.float64)
+        if prepared is None:
+            prepared = prepare_frame(self.columns, features)
+        if mask_cache is None:
+            mask_cache = {}
+        # Tree-major flat layout: entry t*n + r is (tree t, frame row r).
+        # Large frames are chunked so the per-level temporaries stay
+        # cache-resident; chunking is elementwise-invisible (each row's
+        # routing is independent), so the output bits don't change.
+        chunk = max(1, _CHUNK_ENTRIES // self.num_trees)
+        out = np.empty((self.num_trees, n), dtype=np.float64)
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            state = np.repeat(self.roots, hi - lo)
+            row_of = np.tile(np.arange(lo, hi), self.num_trees)
+            leaves = self._descend(state, row_of, prepared, mask_cache)
+            out[:, lo:hi] = self.value[leaves].reshape(self.num_trees, hi - lo)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Ensemble wrappers — accumulation order mirrors the seed models exactly
+# ---------------------------------------------------------------------------
+class CompiledDecisionTree:
+    """Compiled single tree with the seed model's scoring interface."""
+
+    kind = "decision_tree"
+
+    def __init__(self, model: DecisionTreeModel):
+        self.tree = CompiledTree(model)
+        self.required_features = list(self.tree.columns)
+
+    def predict_arrays(self, features: FeatureFrame) -> np.ndarray:
+        return self.tree.predict(features)
+
+
+class CompiledGradientBoosting:
+    """Compiled boosting chain: ``init + lr * tree_k`` in tree order."""
+
+    kind = "gradient_boosting"
+
+    def __init__(self, model: GradientBoostingModel):
+        interner: Tuple[Dict[str, int], List[str]] = ({}, [])
+        self.trees = [CompiledTree(t, interner) for t in model.trees]
+        self.bank = CompiledTreeBank(self.trees) if self.trees else None
+        self.columns = interner[1]
+        self.init_score = model.init_score
+        self.learning_rate = model.learning_rate
+        self.loss = model.loss
+        self.required_features = list(model.required_features)
+
+    def raw_scores(self, features: FeatureFrame) -> np.ndarray:
+        n = len(next(iter(features.values()))) if features else 0
+        score = np.full(n, self.init_score, dtype=np.float64)
+        if self.bank is None:
+            return score
+        leaves = self.bank.leaf_matrix(features)
+        # Same per-tree accumulation order as the seed model: the sum is
+        # built tree by tree, so the float rounding matches bit for bit.
+        for t in range(leaves.shape[0]):
+            score += self.learning_rate * leaves[t]
+        return score
+
+    def predict_arrays(self, features: FeatureFrame) -> np.ndarray:
+        return self.loss.predict_transform(self.raw_scores(features))
+
+
+class CompiledMulticlassBoosting:
+    """K compiled chains; softmax / first-max argmax as the seed model."""
+
+    kind = "multiclass_boosting"
+
+    def __init__(self, model: MulticlassBoostingModel):
+        interner: Tuple[Dict[str, int], List[str]] = ({}, [])
+        self.trees_per_class = [
+            [CompiledTree(t, interner) for t in chain]
+            for chain in model.trees_per_class
+        ]
+        self.columns = interner[1]
+        flat = [t for chain in self.trees_per_class for t in chain]
+        self.bank = CompiledTreeBank(flat) if flat else None
+        # bank row range [start, stop) of each class's chain
+        self._chain_slices = []
+        start = 0
+        for chain in self.trees_per_class:
+            self._chain_slices.append((start, start + len(chain)))
+            start += len(chain)
+        self.init_scores = list(model.init_scores)
+        self.learning_rate = model.learning_rate
+        self.required_features = list(model.required_features)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.trees_per_class)
+
+    def scores(self, features: FeatureFrame) -> np.ndarray:
+        n = len(next(iter(features.values()))) if features else 0
+        out = np.zeros((n, self.num_classes), dtype=np.float64)
+        leaves = (
+            self.bank.leaf_matrix(features) if self.bank is not None else None
+        )
+        for k, (start, stop) in enumerate(self._chain_slices):
+            out[:, k] = self.init_scores[k]
+            if leaves is None:
+                continue
+            for t in range(start, stop):
+                out[:, k] += self.learning_rate * leaves[t]
+        return out
+
+    def predict_proba(self, features: FeatureFrame) -> np.ndarray:
+        return SoftmaxLoss.softmax(self.scores(features))
+
+    def predict_arrays(self, features: FeatureFrame) -> np.ndarray:
+        return np.argmax(self.scores(features), axis=1).astype(np.float64)
+
+
+class CompiledRandomForest:
+    """Compiled bagged trees; mean / vote reduction as the seed model."""
+
+    kind = "random_forest"
+
+    def __init__(self, model: RandomForestModel):
+        if not model.trees:
+            raise TrainingError("forest has no trees")
+        interner: Tuple[Dict[str, int], List[str]] = ({}, [])
+        self.trees = [CompiledTree(t, interner) for t in model.trees]
+        self.bank = CompiledTreeBank(self.trees)
+        self.columns = interner[1]
+        self.classification = model.classification
+        self.num_classes = model.num_classes
+        self.required_features = list(model.required_features)
+
+    def predict_arrays(self, features: FeatureFrame) -> np.ndarray:
+        # Identical to the seed's np.stack([...tree predictions...]):
+        # the bank rows are the same per-tree leaf values.
+        stacked = self.bank.leaf_matrix(features)
+        if not self.classification:
+            return stacked.mean(axis=0)
+        votes = np.zeros((stacked.shape[1], self.num_classes))
+        for row in stacked:
+            for k in range(self.num_classes):
+                votes[:, k] += row == k
+        return votes.argmax(axis=1).astype(np.float64)
+
+
+CompiledModel = Union[
+    CompiledDecisionTree,
+    CompiledGradientBoosting,
+    CompiledMulticlassBoosting,
+    CompiledRandomForest,
+]
+
+
+def compile_model(model: object) -> CompiledModel:
+    """Flatten any trained model class into its compiled evaluator."""
+    if isinstance(model, DecisionTreeModel):
+        return CompiledDecisionTree(model)
+    if isinstance(model, GradientBoostingModel):
+        return CompiledGradientBoosting(model)
+    if isinstance(model, MulticlassBoostingModel):
+        return CompiledMulticlassBoosting(model)
+    if isinstance(model, RandomForestModel):
+        return CompiledRandomForest(model)
+    raise TrainingError(f"cannot compile {type(model).__name__}")
+
+
+def compiled_node_count(compiled: CompiledModel) -> int:
+    """Total flattened nodes (serving census / cache sizing)."""
+    if isinstance(compiled, CompiledDecisionTree):
+        return compiled.tree.num_nodes
+    if isinstance(compiled, CompiledMulticlassBoosting):
+        return sum(
+            t.num_nodes for chain in compiled.trees_per_class for t in chain
+        )
+    return sum(t.num_nodes for t in compiled.trees)
+
+
+def predict_compiled(
+    db, graph, model, fact: Optional[str] = None
+) -> np.ndarray:
+    """Score every fact row via the compiled path (drop-in for
+    :func:`~repro.core.predict.predict_join`)."""
+    from repro.core.predict import feature_frame
+
+    compiled = model if _is_compiled(model) else compile_model(model)
+    needed: Optional[Sequence[str]] = getattr(
+        compiled, "required_features", None
+    )
+    frame = feature_frame(db, graph, columns=needed, fact=fact)
+    return compiled.predict_arrays(frame)
+
+
+def _is_compiled(model: object) -> bool:
+    return isinstance(
+        model,
+        (
+            CompiledDecisionTree,
+            CompiledGradientBoosting,
+            CompiledMulticlassBoosting,
+            CompiledRandomForest,
+        ),
+    )

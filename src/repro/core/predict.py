@@ -69,10 +69,17 @@ def feature_frame(
         valid_parent = parent_idx >= 0
         parent_keys = []
         for key in edge.keys_for(parent):
-            values = parent_table.column(key).as_float() \
-                if parent_table.column(key).ctype.name != "STR" \
-                else parent_table.column(key).values
-            gathered = np.asarray(values)[np.where(valid_parent, parent_idx, 0)]
+            key_col = parent_table.column(key)
+            values = np.asarray(
+                key_col.values if key_col.ctype.name == "STR" else key_col.as_float()
+            )
+            if len(values) == 0:
+                # Parent table is empty, so no fact row can reach it:
+                # every row_map entry is already -1 and the gather below
+                # would index row 0 of a zero-row array.
+                gathered = np.full(n, np.nan)
+            else:
+                gathered = values[np.where(valid_parent, parent_idx, 0)]
             parent_keys.append(gathered)
         child_keys = [
             child_table.column(k).values for k in edge.keys_for(relation)
@@ -97,6 +104,15 @@ def feature_frame(
         col = db.table(owner).column(column)
         idx = row_map[owner]
         missing = idx < 0
+        if len(col.values) == 0:
+            # Owner has no rows: every fact row dangles, and indexing even
+            # row 0 of a zero-row column would raise.  All-missing frame.
+            if col.ctype.name == "STR":
+                values = np.full(n, None, dtype=object)
+            else:
+                values = np.full(n, np.nan)
+            out[column] = values
+            continue
         safe = np.where(missing, 0, idx)
         if col.ctype.name == "STR":
             values = col.values[safe].astype(object)

@@ -8,6 +8,7 @@ is plain JSON — no pickling — so saved models are portable and auditable.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, Optional
 
@@ -57,7 +58,7 @@ def tree_to_dict(model: DecisionTreeModel) -> dict:
 
 
 def tree_from_dict(data: dict) -> DecisionTreeModel:
-    if data.get("kind") != "decision_tree":
+    if not isinstance(data, dict) or data.get("kind") != "decision_tree":
         raise TrainingError("not a serialized decision tree")
 
     def build(node_data: dict, parent: Optional[TreeNode]) -> TreeNode:
@@ -86,8 +87,13 @@ def tree_from_dict(data: dict) -> DecisionTreeModel:
             node.right = build(node_data["right"], node)
         return node
 
-    root = build(data["root"], None)
-    return DecisionTreeModel(root, data["feature_relations"])
+    try:
+        root = build(data["root"], None)
+        return DecisionTreeModel(root, data["feature_relations"])
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise TrainingError(
+            f"malformed serialized decision tree: {exc!r}"
+        ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -140,40 +146,73 @@ def model_to_dict(model) -> dict:
 
 
 def model_from_dict(data: dict):
+    if not isinstance(data, dict):
+        raise TrainingError("serialized model must be a JSON object")
     kind = data.get("kind")
-    if kind == "decision_tree":
-        return tree_from_dict(data)
-    if kind == "random_forest":
-        return RandomForestModel(
-            [tree_from_dict(t) for t in data["trees"]],
-            classification=data["classification"],
-            num_classes=data["num_classes"],
-        )
-    if kind == "gradient_boosting":
-        return GradientBoostingModel(
-            [tree_from_dict(t) for t in data["trees"]],
-            init_score=data["init_score"],
-            learning_rate=data["learning_rate"],
-            loss=_loss_from_spec(data["loss"]),
-        )
-    if kind == "multiclass_boosting":
-        return MulticlassBoostingModel(
-            [[tree_from_dict(t) for t in chain]
-             for chain in data["trees_per_class"]],
-            init_scores=list(data["init_scores"]),
-            learning_rate=data["learning_rate"],
-            loss=_loss_from_spec(data["loss"]),
-        )
+    try:
+        if kind == "decision_tree":
+            return tree_from_dict(data)
+        if kind == "random_forest":
+            return RandomForestModel(
+                [tree_from_dict(t) for t in data["trees"]],
+                classification=data["classification"],
+                num_classes=data["num_classes"],
+            )
+        if kind == "gradient_boosting":
+            return GradientBoostingModel(
+                [tree_from_dict(t) for t in data["trees"]],
+                init_score=data["init_score"],
+                learning_rate=data["learning_rate"],
+                loss=_loss_from_spec(data["loss"]),
+            )
+        if kind == "multiclass_boosting":
+            return MulticlassBoostingModel(
+                [[tree_from_dict(t) for t in chain]
+                 for chain in data["trees_per_class"]],
+                init_scores=list(data["init_scores"]),
+                learning_rate=data["learning_rate"],
+                loss=_loss_from_spec(data["loss"]),
+            )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise TrainingError(
+            f"malformed serialized {kind!r} model: {exc!r}"
+        ) from exc
     raise TrainingError(f"unknown serialized model kind {kind!r}")
 
 
+def model_to_json(model) -> str:
+    """Canonical JSON text for a model: sorted keys, no whitespace.
+
+    The same logical model always produces the same bytes, so
+    dump→load→dump is byte-stable and :func:`model_digest` is a
+    deterministic version key.
+    """
+    return json.dumps(
+        model_to_dict(model), sort_keys=True, separators=(",", ":")
+    )
+
+
+def model_from_json(text: str):
+    """Inverse of :func:`model_to_json`."""
+    try:
+        data = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise TrainingError(f"invalid model JSON: {exc}") from exc
+    return model_from_dict(data)
+
+
+def model_digest(model) -> str:
+    """sha256 of the canonical JSON — the serving-layer version key."""
+    return hashlib.sha256(model_to_json(model).encode("utf-8")).hexdigest()
+
+
 def save_model(model, path: str) -> None:
-    """Write a model to a JSON file."""
+    """Write a model to a JSON file (canonical form)."""
     with open(path, "w") as handle:
-        json.dump(model_to_dict(model), handle)
+        handle.write(model_to_json(model))
 
 
 def load_model(path: str):
     """Read a model back from :func:`save_model` output."""
     with open(path) as handle:
-        return model_from_dict(json.load(handle))
+        return model_from_json(handle.read())

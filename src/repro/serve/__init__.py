@@ -1,0 +1,15 @@
+"""Model serving: digest-versioned deployment + warm compiled scoring.
+
+See :mod:`repro.serve.service` for the batch scorer and
+:mod:`repro.serve.cache` for the compiled-model LRU.
+"""
+
+from repro.serve.cache import CompiledModelCache
+from repro.serve.service import DEFAULT_BATCH_ROWS, Deployment, PredictionService
+
+__all__ = [
+    "CompiledModelCache",
+    "DEFAULT_BATCH_ROWS",
+    "Deployment",
+    "PredictionService",
+]

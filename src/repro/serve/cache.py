@@ -1,0 +1,86 @@
+"""Warm compiled-model cache for the prediction service.
+
+Compiling a model (flattening trees into contiguous arrays) is cheap but
+not free, and a serving process scores the same deployed version over and
+over.  The cache keys compiled models on the *serialized-model digest* —
+the sha256 of the canonical JSON dump — so two deployments of the same
+logical model share one compiled artifact, while any retrain produces a
+new digest and never aliases a stale kernel.
+
+The cache is LRU-bounded by entry count and keeps census counters
+(hits, misses, stores, invalidations, evictions) in the same style as
+:class:`repro.engine.encodings.EncodingCache`, surfacing in
+:meth:`repro.serve.service.PredictionService.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class CompiledModelCache:
+    """Digest-keyed LRU of compiled models with census counters."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> Optional[object]:
+        """The compiled model for ``digest``, or None (counted as a miss)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry
+
+    def put(self, digest: str, compiled: object) -> None:
+        """Store a compiled model, evicting the LRU entry beyond capacity."""
+        with self._lock:
+            self._entries[digest] = compiled
+            self._entries.move_to_end(digest)
+            self.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, digest: str) -> bool:
+        """Drop a stale version (e.g. after redeploy); True if present."""
+        with self._lock:
+            if digest in self._entries:
+                del self._entries[digest]
+                self.invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Census snapshot (PR-4 encoding-cache style)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }

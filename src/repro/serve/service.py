@@ -1,0 +1,239 @@
+"""Batch prediction service over the normalized schema.
+
+The ROADMAP's north-star is serving "millions of users" without ever
+materializing R⋈.  :class:`PredictionService` is the serving half of that
+promise: models are *deployed* under a name, versioned by the sha256
+digest of their canonical JSON dump, compiled once into flat numpy
+kernels (:mod:`repro.core.compile`) held in a warm LRU cache, and scored
+three ways —
+
+* :meth:`score_all` / :meth:`score_frame` — the compiled numpy kernel
+  over fact-aligned :func:`repro.core.predict.feature_frame` batches;
+* :meth:`score_sql` — the model pushed into the backend as one nested
+  ``CASE WHEN`` expression (:mod:`repro.core.sql_score`);
+* :meth:`score_key` — the "score user id X" path: a semi-join over the
+  N-to-1 join tree restricted by a key predicate, no denormalization.
+
+Redeploying a name with a retrained model mints a new digest and evicts
+the stale compiled kernel, so a rolling update can never serve the old
+version.  Batch scoring fans out over the PR-5 query scheduler when
+``JOINBOOST_NUM_WORKERS`` (or an explicit ``workers=``) asks for it; the
+kernels are pure numpy, so worker count never changes the bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.compile import CompiledModel, compile_model
+from repro.core.params import TrainParams
+from repro.core.predict import feature_frame
+from repro.core.serialize import model_digest
+from repro.core.sql_score import score_by_key, sql_scores
+from repro.engine.scheduler import QueryScheduler
+from repro.exceptions import TrainingError
+from repro.joingraph.graph import JoinGraph
+from repro.serve.cache import CompiledModelCache
+
+#: default fact-row chunk for batched scoring; small enough to overlap,
+#: large enough that per-chunk dispatch overhead disappears.
+DEFAULT_BATCH_ROWS = 65_536
+
+
+@dataclasses.dataclass
+class Deployment:
+    """A named, versioned model the service will score with."""
+
+    name: str
+    digest: str
+    model: object
+    deployed_at: float
+
+
+class PredictionService:
+    """Digest-versioned batch scorer bound to one database + join graph."""
+
+    def __init__(
+        self,
+        db: object,
+        graph: JoinGraph,
+        fact: Optional[str] = None,
+        cache_size: int = 8,
+    ):
+        self.db = db
+        self.graph = graph
+        self.fact = fact or graph.target_relation
+        self.cache = CompiledModelCache(max_entries=cache_size)
+        self._deployments: Dict[str, Deployment] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment / versioning
+    # ------------------------------------------------------------------
+    def deploy(self, model: object, name: str = "default") -> str:
+        """Register ``model`` under ``name``; returns its version digest.
+
+        Redeploying a name with a different model evicts the previous
+        version's compiled kernel from the warm cache (stale-version
+        eviction), so subsequent scores can only come from the new bits.
+        """
+        digest = model_digest(model)
+        previous = self._deployments.get(name)
+        if previous is not None and previous.digest != digest:
+            self.cache.invalidate(previous.digest)
+        self._deployments[name] = Deployment(
+            name=name, digest=digest, model=model, deployed_at=time.time()
+        )
+        return digest
+
+    def undeploy(self, name: str = "default") -> None:
+        deployment = self._deployment(name)
+        del self._deployments[name]
+        self.cache.invalidate(deployment.digest)
+
+    def version(self, name: str = "default") -> str:
+        """The digest currently served under ``name``."""
+        return self._deployment(name).digest
+
+    def deployments(self) -> List[Deployment]:
+        return list(self._deployments.values())
+
+    def _deployment(self, name: str) -> Deployment:
+        deployment = self._deployments.get(name)
+        if deployment is None:
+            raise TrainingError(
+                f"no model deployed under {name!r}; "
+                f"deployed: {sorted(self._deployments)}"
+            )
+        return deployment
+
+    def compiled(self, name: str = "default") -> CompiledModel:
+        """The warm compiled kernel for ``name`` (compiling on miss)."""
+        deployment = self._deployment(name)
+        kernel = self.cache.get(deployment.digest)
+        if kernel is None:
+            kernel = compile_model(deployment.model)
+            self.cache.put(deployment.digest, kernel)
+        return kernel  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_frame(
+        self,
+        features: Mapping[str, np.ndarray],
+        name: str = "default",
+    ) -> np.ndarray:
+        """Score a prepared fact-aligned feature frame."""
+        return self.compiled(name).predict_arrays(dict(features))
+
+    def score_all(
+        self,
+        name: str = "default",
+        batch_rows: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> np.ndarray:
+        """Score every fact row with the compiled kernel.
+
+        The feature frame is built once (narrow N-to-1 joins only), then
+        chunked into ``batch_rows`` slices scored through the PR-5 query
+        scheduler.  Results are reassembled in fact order; worker count
+        never changes the output bits because each chunk is independent
+        pure-numpy work.
+        """
+        kernel = self.compiled(name)
+        frame = feature_frame(
+            self.db,
+            self.graph,
+            columns=list(kernel.required_features),
+            fact=self.fact,
+            include_target=False,
+        )
+        n = len(next(iter(frame.values()))) if frame else 0
+        if n == 0:
+            return np.zeros(0)
+        chunk = int(batch_rows or DEFAULT_BATCH_ROWS)
+        resolved = self._resolved_workers(workers)
+        starts = list(range(0, n, chunk))
+        if len(starts) <= 1 or resolved <= 1:
+            return np.asarray(kernel.predict_arrays(dict(frame)))
+
+        def score_slice(lo: int, hi: int):
+            piece = {k: v[lo:hi] for k, v in frame.items()}
+            return kernel.predict_arrays(piece)
+
+        scheduler = QueryScheduler(num_workers=resolved)
+        for lo in starts:
+            hi = min(lo + chunk, n)
+            scheduler.submit(
+                lambda lo=lo, hi=hi: score_slice(lo, hi),
+                label=f"score[{lo}:{hi}]",
+            )
+        report = scheduler.run()
+        pieces = report.results()
+        return np.concatenate([np.asarray(p) for p in pieces])
+
+    def score_batches(
+        self,
+        frames: Sequence[Mapping[str, np.ndarray]],
+        name: str = "default",
+        workers: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Score many independent feature frames, fanned out over the
+        scheduler.  Output order matches input order regardless of the
+        worker count."""
+        kernel = self.compiled(name)
+        resolved = self._resolved_workers(workers)
+        if resolved <= 1 or len(frames) <= 1:
+            return [np.asarray(kernel.predict_arrays(dict(f))) for f in frames]
+        scheduler = QueryScheduler(num_workers=resolved)
+        for i, frame in enumerate(frames):
+            scheduler.submit(
+                lambda frame=frame: kernel.predict_arrays(dict(frame)),
+                label=f"batch[{i}]",
+            )
+        report = scheduler.run()
+        return [np.asarray(r) for r in report.results()]
+
+    def score_sql(self, name: str = "default") -> np.ndarray:
+        """Score every fact row by pushing the model into the backend as
+        a nested ``CASE WHEN`` expression — bit-identical to the compiled
+        path on every supported loss."""
+        deployment = self._deployment(name)
+        return sql_scores(self.db, self.graph, deployment.model, fact=self.fact)
+
+    def score_key(
+        self,
+        keys: Mapping[str, object],
+        name: str = "default",
+        extra_columns: Sequence[str] = (),
+    ):
+        """The "score user id X" path: semi-join the normalized schema on
+        a fact-key predicate and score only the matching rows."""
+        deployment = self._deployment(name)
+        return score_by_key(
+            self.db,
+            self.graph,
+            deployment.model,
+            dict(keys),
+            fact=self.fact,
+            extra_columns=tuple(extra_columns),
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Cache census plus the deployment table (observability hook)."""
+        out: Dict[str, object] = dict(self.cache.stats())
+        out["deployments"] = {
+            name: d.digest for name, d in self._deployments.items()
+        }
+        return out
+
+    @staticmethod
+    def _resolved_workers(workers: Optional[int]) -> int:
+        if workers is not None:
+            return max(1, int(workers))
+        return TrainParams.from_dict({}).resolved_workers()

@@ -99,6 +99,91 @@ class TestMissingJoinKeys:
             assert scores[null_rows].mean() > scores[~null_rows].mean()
 
 
+class TestFrameLeftJoinNulls:
+    """feature_frame must behave like a left join: fact rows survive
+    empty or key-less dimensions as all-NULL features, and models score
+    them via missing-direction routing (PR-6 regression: empty parent
+    tables used to raise IndexError in the key gather)."""
+
+    def _graph(self, dim_rows):
+        db = Database()
+        db.create_table(
+            "fact", {"k": [0, 1, 2], "local": [1.0, 2.0, 3.0],
+                     "yv": [1.0, 2.0, 3.0]}
+        )
+        db.create_table("dim", dim_rows)
+        graph = JoinGraph(db)
+        graph.add_relation("fact", features=["local"], y="yv")
+        graph.add_relation("dim", features=["feat", "tag"],
+                           categorical=["tag"])
+        graph.add_edge("fact", "dim", ["k"])
+        return db, graph
+
+    def test_empty_dimension_yields_all_null_columns(self):
+        from repro.core.predict import feature_frame
+
+        db, graph = self._graph(
+            {"k": np.zeros(0, dtype=np.int64), "feat": np.zeros(0),
+             "tag": np.array([], dtype=object)}
+        )
+        frame = feature_frame(db, graph)
+        assert np.isnan(frame["feat"]).all()
+        assert all(v is None for v in frame["tag"])
+        assert np.array_equal(frame["local"], [1.0, 2.0, 3.0])
+
+    def test_all_dangling_keys_yield_all_null_columns(self):
+        from repro.core.predict import feature_frame
+
+        db, graph = self._graph(
+            {"k": [7, 8], "feat": [1.0, 2.0],
+             "tag": np.array(["a", "b"], dtype=object)}
+        )
+        frame = feature_frame(db, graph)
+        assert np.isnan(frame["feat"]).all()
+        assert all(v is None for v in frame["tag"])
+
+    def test_model_scores_frame_with_empty_dimension(self):
+        """Deploy-time schemas can have cold dimensions; scoring must
+        route their NULLs by missing direction, not crash."""
+        from repro.core.compile import compile_model
+        from repro.core.predict import feature_frame
+
+        rng = np.random.default_rng(9)
+        db = Database()
+        n = 200
+        k = rng.integers(0, 8, n)
+        feat = rng.normal(size=8) * 5
+        db.create_table(
+            "fact", {"k": k, "local": rng.normal(size=n),
+                     "yv": feat[k] + rng.normal(0, 0.1, n)}
+        )
+        db.create_table("dim", {"k": np.arange(8), "feat": feat})
+        graph = JoinGraph(db)
+        graph.add_relation("fact", features=["local"], y="yv")
+        graph.add_relation("dim", features=["feat"])
+        graph.add_edge("fact", "dim", ["k"])
+        model = repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 2, "num_leaves": 4,
+                        "missing": "both"},
+        )
+        # Serve against a database whose dimension went empty.
+        db2 = Database()
+        db2.create_table("fact", {"k": k, "local": np.zeros(n),
+                                  "yv": np.zeros(n)})
+        db2.create_table("dim", {"k": np.zeros(0, dtype=np.int64),
+                                 "feat": np.zeros(0)})
+        graph2 = JoinGraph(db2)
+        graph2.add_relation("fact", features=["local"], y="yv")
+        graph2.add_relation("dim", features=["feat"])
+        graph2.add_edge("fact", "dim", ["k"])
+        frame = feature_frame(db2, graph2, include_target=False)
+        scores = model.predict_arrays(frame)
+        assert len(scores) == n and np.isfinite(scores).all()
+        assert np.array_equal(
+            compile_model(model).predict_arrays(frame), scores
+        )
+
+
 class TestBenchReportHelpers:
     def test_format_table(self):
         from repro.bench.report import format_table

@@ -1,0 +1,121 @@
+"""Canonical JSON round-trips, digests, and malformed-payload hardening.
+
+The serving layer versions deployments by ``model_digest`` — the sha256
+of the canonical JSON dump — so the dump must be byte-stable across
+dump -> load -> dump, loaded models must compile and score bit-identically,
+and broken payloads must surface as :class:`TrainingError`, never a raw
+``KeyError``/``TypeError`` from deep inside the deserializer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.compile import compile_model
+from repro.core.predict import feature_frame
+from repro.core.serialize import (
+    model_digest,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_json,
+    tree_from_dict,
+)
+from repro.exceptions import TrainingError
+
+
+def _models(db, graph):
+    return {
+        "tree": repro.train_decision_tree(db, graph, {"num_leaves": 6}),
+        "boosting": repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 3, "num_leaves": 4, "seed": 2}
+        ),
+        "forest": repro.train_random_forest(
+            db, graph, {"num_iterations": 3, "num_leaves": 4, "seed": 2}
+        ),
+    }
+
+
+class TestByteStability:
+    def test_dump_load_dump_is_byte_stable(self, tiny_star):
+        db, graph = tiny_star
+        for name, model in _models(db, graph).items():
+            text = model_to_json(model)
+            again = model_to_json(model_from_json(text))
+            assert text == again, f"{name} dump is not byte-stable"
+
+    def test_digest_is_stable_and_content_addressed(self, tiny_star):
+        db, graph = tiny_star
+        model = repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 2, "num_leaves": 4, "seed": 2}
+        )
+        digest = model_digest(model)
+        assert digest == model_digest(model)  # deterministic
+        assert digest == model_digest(model_from_json(model_to_json(model)))
+        retrained = repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 3, "num_leaves": 4, "seed": 2}
+        )
+        assert model_digest(retrained) != digest
+
+    def test_canonical_json_has_sorted_keys_no_spaces(self, tiny_star):
+        db, graph = tiny_star
+        model = repro.train_decision_tree(db, graph, {"num_leaves": 4})
+        text = model_to_json(model)
+        parsed = json.loads(text)
+        assert text == json.dumps(
+            parsed, sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestLoadedModelsScore:
+    def test_loaded_models_compile_and_score_identically(self, tiny_star):
+        db, graph = tiny_star
+        frame = feature_frame(db, graph, include_target=False)
+        for name, model in _models(db, graph).items():
+            loaded = model_from_json(model_to_json(model))
+            reference = model.predict_arrays(frame)
+            assert np.array_equal(loaded.predict_arrays(frame), reference), name
+            assert np.array_equal(
+                compile_model(loaded).predict_arrays(frame), reference
+            ), name
+
+
+class TestMalformedPayloads:
+    def test_invalid_json_text(self):
+        with pytest.raises(TrainingError):
+            model_from_json("{not json")
+
+    def test_non_dict_payload(self):
+        with pytest.raises(TrainingError):
+            model_from_dict([1, 2, 3])
+        with pytest.raises(TrainingError):
+            tree_from_dict("decision_tree")
+
+    def test_unknown_kind(self):
+        with pytest.raises(TrainingError):
+            model_from_dict({"kind": "perceptron"})
+
+    def test_truncated_payload_raises_training_error(self, tiny_star):
+        """Dropping required keys anywhere in the payload must surface
+        as TrainingError, not KeyError."""
+        db, graph = tiny_star
+        model = repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 2, "num_leaves": 4}
+        )
+        payload = model_to_dict(model)
+        for key in list(payload):
+            if key == "kind":
+                continue
+            broken = {k: v for k, v in payload.items() if k != key}
+            with pytest.raises(TrainingError):
+                model_from_dict(broken)
+
+    def test_corrupted_tree_node_raises_training_error(self, tiny_star):
+        db, graph = tiny_star
+        model = repro.train_decision_tree(db, graph, {"num_leaves": 4})
+        payload = model_to_dict(model)
+        payload["root"] = {"garbage": True}
+        with pytest.raises(TrainingError):
+            model_from_dict(payload)

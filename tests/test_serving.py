@@ -1,0 +1,132 @@
+"""PredictionService: versioning, warm-cache census, worker parity.
+
+The service compiles deployed models once per version digest and keeps
+the kernels in a warm LRU (:class:`repro.serve.CompiledModelCache`).
+These tests pin the cache census (hits/misses/stores/evictions), the
+stale-version eviction on redeploy, and that fanning batch scoring out
+over ``JOINBOOST_NUM_WORKERS=4`` workers returns bytes identical to
+serial — the kernels are pure numpy, so concurrency must never show up
+in the output.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.predict import feature_frame
+from repro.core.serialize import model_digest
+from repro.exceptions import TrainingError
+from repro.serve import CompiledModelCache, PredictionService
+
+
+@pytest.fixture
+def served(tiny_star):
+    db, graph = tiny_star
+    model = repro.train_gradient_boosting(
+        db, graph, {"num_iterations": 3, "num_leaves": 4, "seed": 5}
+    )
+    service = PredictionService(db, graph)
+    return db, graph, model, service
+
+
+class TestDeployment:
+    def test_deploy_returns_content_digest(self, served):
+        _, _, model, service = served
+        digest = service.deploy(model)
+        assert digest == model_digest(model)
+        assert service.version() == digest
+
+    def test_scoring_undeployed_name_raises(self, served):
+        _, _, model, service = served
+        service.deploy(model, name="prod")
+        with pytest.raises(TrainingError, match="staging"):
+            service.score_all(name="staging")
+
+    def test_undeploy_forgets_and_evicts(self, served):
+        _, _, model, service = served
+        service.deploy(model)
+        service.score_all()
+        service.undeploy()
+        assert service.deployments() == []
+        assert service.stats()["entries"] == 0
+
+    def test_redeploy_evicts_stale_version(self, served):
+        db, graph, model, service = served
+        first = service.deploy(model)
+        service.score_all()  # warms the cache with the first kernel
+        retrained = repro.train_gradient_boosting(
+            db, graph, {"num_iterations": 4, "num_leaves": 4, "seed": 6}
+        )
+        second = service.deploy(retrained)
+        assert second != first
+        stats = service.stats()
+        assert stats["invalidations"] == 1
+        assert stats["deployments"]["default"] == second
+        # The next score must recompile (miss), not serve the old bits.
+        before = stats["misses"]
+        scores = service.score_all()
+        frame = feature_frame(db, graph, include_target=False)
+        assert np.array_equal(scores, retrained.predict_arrays(frame))
+        assert service.stats()["misses"] == before + 1
+
+
+class TestCacheCensus:
+    def test_hit_miss_store_counts(self, served):
+        _, _, model, service = served
+        service.deploy(model)
+        service.score_all()  # miss -> compile -> store
+        service.score_all()  # hit
+        service.score_all()  # hit
+        stats = service.stats()
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["hits"] == 2
+        assert stats["entries"] == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = CompiledModelCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalidate_unknown_digest_is_noop(self):
+        cache = CompiledModelCache()
+        assert cache.invalidate("nope") is False
+        assert cache.stats()["invalidations"] == 0
+
+
+class TestWorkerParity:
+    def test_parallel_score_all_identical_to_serial(self, served, monkeypatch):
+        db, graph, model, service = served
+        service.deploy(model)
+        serial = service.score_all(workers=1)
+        frame = feature_frame(db, graph, include_target=False)
+        assert np.array_equal(serial, model.predict_arrays(frame))
+
+        monkeypatch.setenv("JOINBOOST_NUM_WORKERS", "4")
+        parallel = service.score_all(batch_rows=64)  # env-resolved workers
+        assert np.array_equal(parallel, serial)
+
+    def test_score_batches_preserves_order(self, served):
+        db, graph, model, service = served
+        service.deploy(model)
+        frame = feature_frame(db, graph, include_target=False)
+        rng = np.random.default_rng(8)
+        n = len(next(iter(frame.values())))
+        frames = []
+        for _ in range(6):
+            idx = rng.integers(0, n, 17)
+            frames.append({k: v[idx] for k, v in frame.items()})
+        serial = service.score_batches(frames, workers=1)
+        fanned = service.score_batches(frames, workers=4)
+        for a, b in zip(serial, fanned):
+            assert np.array_equal(a, b)
+
+    def test_sql_path_matches_compiled(self, served):
+        _, _, model, service = served
+        service.deploy(model)
+        assert np.array_equal(service.score_sql(), service.score_all())
