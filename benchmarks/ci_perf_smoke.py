@@ -37,7 +37,16 @@ exits non-zero when a gate fails:
   ``SERVING_MIN_SPEEDUP``x single-row-equivalent throughput on
   request-shaped (one-row) calls; the in-harness parity asserts also
   make this leg fail if compiled or SQL scores ever drift from the
-  recursive reference.
+  recursive reference;
+* **duckdb** — on the Figure 9 CI config the duckdb backend must train
+  the same model as the embedded engine (rmse to 1e-9), grow
+  bit-identical models across ``num_workers`` in {1, 4}
+  (``model_digest`` equality), engage the scheduler (parallel rounds >
+  0, no fallback reason), and finish no slower than the sqlite
+  dialect-translation path on the same workload.  All duckdb gates are
+  *waived* (recorded as unavailable, not enforced) when the optional
+  ``duckdb`` package is not installed — the CI ``perf-smoke`` job
+  installs it, so the gates bind there.
 
 Sizes are deliberately small (seconds, not minutes): this is a smoke
 gate, not the paper reproduction — ``pytest benchmarks/`` is that.
@@ -56,6 +65,7 @@ import time
 
 from repro.bench.harness import (
     fig05_residual_updates,
+    fig09_duckdb_comparison,
     fig09_encoding_cache_comparison,
     fig09_parallel_comparison,
     fig09_query_census,
@@ -85,6 +95,10 @@ PARALLEL_WORKERS = 4
 
 #: compiled request-shaped scoring must beat recursive by this factor
 SERVING_MIN_SPEEDUP = 5.0
+
+#: duckdb num_workers=4 wall must be no worse than sqlite num_workers=4
+#: on the same workload (factor = sqlite wall / duckdb wall)
+DUCKDB_VS_SQLITE_MIN_FACTOR = 1.0
 
 #: serving leg: small enough to train in seconds, deep enough that the
 #: per-node dispatch cost of recursive scoring is visible per request
@@ -133,6 +147,10 @@ def run_smoke() -> dict:
         FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
         workers=PARALLEL_WORKERS, backend="sqlite",
     )
+    duckdb = fig09_duckdb_comparison(
+        FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
+        workers=PARALLEL_WORKERS,
+    )
     serving = serving_latency_benchmark(
         num_rows=SERVING_ROWS,
         num_trees=SERVING_TREES,
@@ -146,7 +164,7 @@ def run_smoke() -> dict:
     reb_census = rebuild["frontier_census"]
     cpu_count = os.cpu_count() or 1
     return {
-        "schema": "bench-ci-v5",
+        "schema": "bench-ci-v6",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -206,6 +224,34 @@ def run_smoke() -> dict:
             "parallel_rounds": parallel["parallel_rounds"],
             "parallel_overlap_seconds": parallel["parallel_overlap_seconds"],
             "rmse_delta": parallel["rmse_delta"],
+        },
+        "duckdb": {
+            # All gates on this leg are waived when available=False: the
+            # optional package cannot be measured where it isn't installed.
+            "available": duckdb["available"],
+            "reason": duckdb.get("reason"),
+            "workers": PARALLEL_WORKERS,
+            "rmse_delta_vs_embedded": duckdb.get("rmse_delta_vs_embedded"),
+            "digest_match_across_workers": duckdb.get(
+                "digest_match_across_workers"
+            ),
+            "parallel_rounds": duckdb.get("parallel_rounds"),
+            "parallel_fallback_reason": duckdb.get("parallel_fallback_reason"),
+            "embedded_wall_seconds": duckdb.get("embedded", {}).get(
+                "wall_seconds"
+            ),
+            "duckdb_serial_wall_seconds": duckdb.get("duckdb_serial", {}).get(
+                "wall_seconds"
+            ),
+            "duckdb_parallel_wall_seconds": duckdb.get(
+                "duckdb_parallel", {}
+            ).get("wall_seconds"),
+            "sqlite_parallel_wall_seconds": duckdb.get(
+                "sqlite_parallel", {}
+            ).get("wall_seconds"),
+            "duckdb_vs_sqlite_wall_factor": duckdb.get(
+                "duckdb_vs_sqlite_wall_factor"
+            ),
         },
         "serving": {
             "rows": SERVING_ROWS,
@@ -338,6 +384,37 @@ def gate(results: dict) -> list:
             f"{parallel['cpu_count']}-core host "
             f"(gate: >= {PARALLEL_MIN_SPEEDUP}x)"
         )
+    # DuckDB backend: embedded parity, bit-identical fan-out, an engaged
+    # scheduler, and no wall regression vs the sqlite translation path.
+    # Waived entirely when the optional package is absent (recorded).
+    duckdb = results["duckdb"]
+    if duckdb["available"]:
+        if duckdb["rmse_delta_vs_embedded"] > 1e-9:
+            failures.append(
+                "duckdb: rmse differs from embedded by "
+                f"{duckdb['rmse_delta_vs_embedded']:.3e}"
+            )
+        if not duckdb["digest_match_across_workers"]:
+            failures.append(
+                "duckdb: num_workers=4 and num_workers=1 grew models with "
+                "different digests"
+            )
+        if duckdb["parallel_rounds"] <= 0:
+            failures.append(
+                "duckdb: num_workers=4 training never engaged the scheduler"
+                f" (fallback: {duckdb['parallel_fallback_reason']})"
+            )
+        if (
+            duckdb["duckdb_vs_sqlite_wall_factor"]
+            < DUCKDB_VS_SQLITE_MIN_FACTOR
+        ):
+            failures.append(
+                "duckdb: native wall "
+                f"{duckdb['duckdb_parallel_wall_seconds']:.2f}s slower than "
+                f"sqlite {duckdb['sqlite_parallel_wall_seconds']:.2f}s "
+                f"(factor {duckdb['duckdb_vs_sqlite_wall_factor']:.2f}, "
+                f"gate: >= {DUCKDB_VS_SQLITE_MIN_FACTOR}x)"
+            )
     # Compiled serving: request-shaped scoring must clearly beat the
     # recursive path (parity is asserted inside the harness itself).
     serving = results["serving"]
@@ -410,6 +487,19 @@ def main(argv=None) -> int:
         f"overlap={parallel['parallel_overlap_seconds']:.2f}s "
         f"rmse delta={parallel['rmse_delta']:.1e}"
     )
+    duckdb = results["duckdb"]
+    if duckdb["available"]:
+        print(
+            "duckdb: rmse delta vs embedded="
+            f"{duckdb['rmse_delta_vs_embedded']:.1e}, "
+            f"digest match={duckdb['digest_match_across_workers']}, "
+            f"rounds={duckdb['parallel_rounds']}; wall "
+            f"duckdb={duckdb['duckdb_parallel_wall_seconds']:.2f}s "
+            f"sqlite={duckdb['sqlite_parallel_wall_seconds']:.2f}s "
+            f"(factor {duckdb['duckdb_vs_sqlite_wall_factor']:.2f}x)"
+        )
+    else:
+        print(f"duckdb: gates waived — {duckdb['reason']}")
     serving = results["serving"]
     print(
         "serving: request p50 recursive="

@@ -12,12 +12,16 @@ name             engine
                  different physical layouts (the Figure 5/15 benches)
 ``sqlite``       stdlib ``sqlite3`` via a dialect-translation layer — an
                  actual second DBMS, no extra packages
-``duckdb``       the optional ``duckdb`` package (``pip install
-                 repro[duckdb]``); raises a guided error when absent
+``duckdb``       the paper's demo engine via the optional ``duckdb``
+                 package (``pip install repro[duckdb]``) — a tier-1
+                 backend with concurrent reads when installed; raises a
+                 guided install error when absent
 ===============  ==========================================================
 
-See docs/DESIGN.md ("Connector layer") for the protocol surface and what
-each capability flag gates.
+See docs/BACKENDS.md for the full backend-authoring contract (every
+protocol method, every capability flag and what degrades when it is
+off) and docs/DESIGN.md ("Connector layer") for how training consumes
+the surface.
 """
 
 from repro.backends.base import (
@@ -31,7 +35,7 @@ from repro.backends.base import (
 from repro.backends.embedded import EmbeddedConnector
 from repro.backends.sqlite3_backend import SQLiteConnector, SQLiteTableView
 from repro.backends.duckdb_backend import DuckDBConnector
-from repro.backends.dialect import SQLiteDialect, split_statements
+from repro.backends.dialect import DuckDBDialect, SQLiteDialect, split_statements
 
 __all__ = [
     "BackendError",
@@ -41,6 +45,7 @@ __all__ = [
     "SQLiteConnector",
     "SQLiteTableView",
     "DuckDBConnector",
+    "DuckDBDialect",
     "SQLiteDialect",
     "split_statements",
     "backend_names",

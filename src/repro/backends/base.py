@@ -93,8 +93,19 @@ class Connector:
 
     # -- statement execution -------------------------------------------
     def execute(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
-        """Run one or more ``;``-separated statements; return the final
-        SELECT's result, or ``None`` if the last statement was DDL/DML."""
+        """Run one or more ``;``-separated statements on the owner handle.
+
+        Returns the final SELECT's result as a
+        :class:`~repro.engine.result.Relation`, or ``None`` if the last
+        statement was DDL/DML.  This is the *mutating* entry point: any
+        statement may write, so implementations serialize calls on the
+        owning connection (single writer).  ``tag`` labels the resulting
+        :class:`QueryProfile` for the census (``"feature"``,
+        ``"message"``, ``"frontier"``, ...).  Raises
+        :class:`~repro.exceptions.ExecutionError` on engine errors and
+        :class:`~repro.exceptions.CatalogError` on missing/duplicate
+        tables where the statement makes that distinction.
+        """
         raise NotImplementedError
 
     def execute_read(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
@@ -127,9 +138,21 @@ class Connector:
         raise NotImplementedError
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Drop a stored table (a mutation; owner-serialized).
+
+        Raises :class:`~repro.exceptions.CatalogError` when ``name`` does
+        not exist unless ``if_exists`` is set, matching the embedded
+        engine's semantics so callers can rely on one behavior.
+        """
         raise NotImplementedError
 
     def rename_table(self, old: str, new: str) -> None:
+        """Rename ``old`` to ``new`` (a mutation; owner-serialized).
+
+        The swap half of create-and-swap residual updates.  Raises
+        :class:`~repro.exceptions.CatalogError` when ``old`` is missing
+        or ``new`` already exists.
+        """
         raise NotImplementedError
 
     def table(self, name: str):
@@ -138,9 +161,15 @@ class Connector:
         raise NotImplementedError
 
     def has_table(self, name: str) -> bool:
+        """Whether ``name`` is a stored table (read-only, never raises)."""
         raise NotImplementedError
 
     def table_names(self) -> List[str]:
+        """All stored table names, including ``jb_tmp_`` temporaries.
+
+        Read-only; :meth:`cleanup_temp` filters this list by prefix, so
+        external engines must report their catalog faithfully.
+        """
         raise NotImplementedError
 
     # -- temporary namespace (the paper's safety contract) --------------
@@ -189,9 +218,13 @@ class Connector:
     profiles: Sequence = ()
 
     def reset_profiles(self) -> None:
+        """Clear accumulated query profiles (no-op for non-profiling
+        engines); the bench harness calls this between measured legs."""
         pass
 
     def profiles_by_tag(self) -> Dict[str, list]:
+        """Group :attr:`profiles` by their census tag (``"untagged"``
+        collects profiles whose statement carried no tag)."""
         grouped: Dict[str, list] = {}
         for profile in self.profiles:
             grouped.setdefault(profile.tag or "untagged", []).append(profile)
@@ -199,12 +232,20 @@ class Connector:
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
+        """Release engine resources (connections, scratch directories).
+
+        Must be idempotent — training drivers and tests call it from
+        ``finally`` blocks that may run after an explicit close.  After
+        closing, further statement execution may raise.
+        """
         pass
 
     def __enter__(self) -> "Connector":
+        """Context-manager support: ``with connect(...) as db:``."""
         return self
 
     def __exit__(self, *exc) -> None:
+        """Close the connector on context exit (exceptions propagate)."""
         self.close()
 
 
@@ -281,6 +322,7 @@ class TempNamespaceMixin:
     """
 
     def temp_name(self, hint: str = "t") -> str:
+        """Mint a fresh ``jb_tmp_{hint}_{n}`` name (thread-safe)."""
         counter = getattr(self, "_temp_name_counter", None)
         if counter is None:
             with _TEMP_NAME_INIT_LOCK:
@@ -290,6 +332,8 @@ class TempNamespaceMixin:
         return f"{TEMP_PREFIX}{hint}_{next(counter)}"
 
     def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
+        """Drop every ``jb_tmp_`` table not named in ``keep``; return the
+        count dropped (the paper's leave-no-trace safety contract)."""
         keep_keys = {k.lower() for k in (keep or [])}
         doomed = [
             n for n in self.table_names()
@@ -309,15 +353,16 @@ _BACKENDS: Dict[str, Callable[..., Connector]] = {}
 def register_backend(*names: str):
     """Class decorator: register a connector factory under ``names``."""
 
-    def wrap(factory):
+    def _wrap(factory):
         for name in names:
             _BACKENDS[name.lower()] = factory
         return factory
 
-    return wrap
+    return _wrap
 
 
 def backend_names() -> List[str]:
+    """All registered backend names (sorted, for error messages)."""
     return sorted(_BACKENDS)
 
 

@@ -1,4 +1,4 @@
-"""SQL dialect translation for external engines (sqlite3 today).
+"""SQL dialect translation for external engines (sqlite3 and DuckDB).
 
 The Factorizer emits a small, disciplined SQL surface (CREATE TABLE AS
 SELECT, aggregations, window prefix sums, CASE, semi-join ``IN``
@@ -29,10 +29,19 @@ Scalar functions the emitted SQL needs but SQLite may lack (``EXP``,
 they are registered as Python functions on the connection by the
 connector (see ``SQLiteConnector._register_functions``).
 
-The translator is deliberately a lexer-level rewriter, not a parser: it
-walks the text once, skips string literals, and rewrites identifiers and
-aggregate calls.  That keeps it honest about what it is — a dialect shim
-for the SQL *this system emits* — rather than a general transpiler.
+DuckDB (the paper's actual demo engine) needs almost nothing: ``/`` on
+integers is REAL division, ``TRUE``/``FALSE``, window frames and every
+scalar the emitted SQL uses are native.  The one semantic gap is the
+statistical aggregates — DuckDB's bare ``VARIANCE``/``STDDEV`` are the
+*sample* estimators while the embedded engine's are *population* — so
+:class:`DuckDBDialect` renames them onto DuckDB's ``var_pop`` /
+``stddev_pop`` and leaves everything else verbatim.
+
+The translators are deliberately lexer-level rewriters, not parsers:
+they walk the text once, skip string literals, and rewrite identifiers
+and aggregate calls.  That keeps them honest about what they are — a
+dialect shim for the SQL *this system emits* — rather than a general
+transpiler.
 """
 
 from __future__ import annotations
@@ -125,8 +134,8 @@ def _stddev_rewrite(arg: str) -> str:
     return f"(POWER({_variance_rewrite(arg)}, 0.5))"
 
 
-#: aggregate-call rewrites: name -> fn(argument text) -> replacement
-_CALL_REWRITES: Dict[str, Callable[[str], str]] = {
+#: sqlite aggregate-call rewrites: name -> fn(argument text) -> replacement
+_SQLITE_CALL_REWRITES: Dict[str, Callable[[str], str]] = {
     "sum": lambda arg: f"TOTAL({arg})",
     "variance": _variance_rewrite,
     "var": _variance_rewrite,
@@ -135,11 +144,91 @@ _CALL_REWRITES: Dict[str, Callable[[str], str]] = {
     "stddev_pop": _stddev_rewrite,
 }
 
-#: bare-word rewrites (applied outside strings, whole identifiers only)
-_WORD_REWRITES: Dict[str, str] = {
+#: sqlite bare-word rewrites (outside strings, whole identifiers only)
+_SQLITE_WORD_REWRITES: Dict[str, str] = {
     "true": "1",
     "false": "0",
 }
+
+#: duckdb aggregate-call renames: the embedded engine's VARIANCE/STDDEV
+#: are population estimators, DuckDB's bare spellings are sample ones
+_DUCKDB_CALL_REWRITES: Dict[str, Callable[[str], str]] = {
+    "variance": lambda arg: f"var_pop({arg})",
+    "var": lambda arg: f"var_pop({arg})",
+    "stddev": lambda arg: f"stddev_pop({arg})",
+}
+
+#: duckdb needs no bare-word rewrites (TRUE/FALSE are native)
+_DUCKDB_WORD_REWRITES: Dict[str, str] = {}
+
+
+def _rewrite(
+    sql: str,
+    call_rewrites: Dict[str, Callable[[str], str]],
+    word_rewrites: Dict[str, str],
+) -> str:
+    """One lexer pass: apply call/word rewrites outside quoted spans.
+
+    Call arguments are rewritten recursively (with the same maps), so
+    nested aggregates like ``SUM(SUM(a) + 1)`` translate all the way
+    down.
+    """
+    out: List[str] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in ("'", '"'):
+            # '...' literals and "..." quoted identifiers pass through
+            # verbatim — a column named "true" stays a column.
+            end = _skip_string(sql, i)
+            out.append(sql[i:end])
+            i = end
+            continue
+        if _is_ident_char(ch) and (i == 0 or not _is_ident_char(sql[i - 1])) \
+                and not ch.isdigit():
+            j = i
+            while j < n and _is_ident_char(sql[j]):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            # Function-call rewrite: identifier directly followed by (
+            k = j
+            while k < n and sql[k] in " \t\n":
+                k += 1
+            if k < n and sql[k] == "(" and lowered in call_rewrites:
+                close = _matching_paren(sql, k)
+                inner = _rewrite(sql[k + 1:close], call_rewrites, word_rewrites)
+                out.append(call_rewrites[lowered](inner))
+                i = close + 1
+                continue
+            if lowered in word_rewrites and not (k < n and sql[k] == "("):
+                out.append(word_rewrites[lowered])
+                i = j
+                continue
+            out.append(word)
+            i = j
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def classify_statement(sql: str) -> Tuple[str, bool]:
+    """(kind, returns_rows) for one statement — profiling parity with
+    the embedded engine's ``QueryProfile.kind`` taxonomy."""
+    head = sql.lstrip().split(None, 2)
+    first = head[0].upper() if head else ""
+    if first == "SELECT" or first == "WITH":
+        return "Select", True
+    if first == "CREATE":
+        return "CreateTableAs", False
+    if first == "DROP":
+        return "DropTable", False
+    if first == "UPDATE":
+        return "Update", False
+    if first in ("INSERT", "DELETE", "ALTER"):
+        return first.title(), False
+    return first.title() or "Unknown", False
 
 
 class SQLiteDialect:
@@ -148,60 +237,28 @@ class SQLiteDialect:
     name = "sqlite"
 
     def translate(self, sql: str) -> str:
-        out: List[str] = []
-        i, n = 0, len(sql)
-        while i < n:
-            ch = sql[i]
-            if ch in ("'", '"'):
-                # '...' literals and "..." quoted identifiers pass through
-                # verbatim — a column named "true" stays a column.
-                end = _skip_string(sql, i)
-                out.append(sql[i:end])
-                i = end
-                continue
-            if _is_ident_char(ch) and (i == 0 or not _is_ident_char(sql[i - 1])) \
-                    and not ch.isdigit():
-                j = i
-                while j < n and _is_ident_char(sql[j]):
-                    j += 1
-                word = sql[i:j]
-                lowered = word.lower()
-                # Function-call rewrite: identifier directly followed by (
-                k = j
-                while k < n and sql[k] in " \t\n":
-                    k += 1
-                if k < n and sql[k] == "(" and lowered in _CALL_REWRITES:
-                    close = _matching_paren(sql, k)
-                    inner = self.translate(sql[k + 1:close])
-                    out.append(_CALL_REWRITES[lowered](inner))
-                    i = close + 1
-                    continue
-                if lowered in _WORD_REWRITES and not (k < n and sql[k] == "("):
-                    out.append(_WORD_REWRITES[lowered])
-                    i = j
-                    continue
-                out.append(word)
-                i = j
-                continue
-            out.append(ch)
-            i += 1
-        return "".join(out)
+        """SQLite spelling of ``sql``: SUM->TOTAL, lifted variance,
+        TRUE/FALSE literals."""
+        return _rewrite(sql, _SQLITE_CALL_REWRITES, _SQLITE_WORD_REWRITES)
 
-    # -- statement classification (profiling parity with the embedded
-    #    engine's QueryProfile.kind) --------------------------------------
-    @staticmethod
-    def classify(sql: str) -> Tuple[str, bool]:
-        """(kind, returns_rows) for one statement."""
-        head = sql.lstrip().split(None, 2)
-        first = head[0].upper() if head else ""
-        if first == "SELECT" or first == "WITH":
-            return "Select", True
-        if first == "CREATE":
-            return "CreateTableAs", False
-        if first == "DROP":
-            return "DropTable", False
-        if first == "UPDATE":
-            return "Update", False
-        if first in ("INSERT", "DELETE", "ALTER"):
-            return first.title(), False
-        return first.title() or "Unknown", False
+    #: statement classification shared across external dialects
+    classify = staticmethod(classify_statement)
+
+
+class DuckDBDialect:
+    """Translates the engine's emitted SQL into DuckDB's dialect.
+
+    DuckDB already matches the embedded engine on division semantics,
+    boolean literals and window frames, so the only rewrite is renaming
+    the population statistical aggregates onto their ``_pop`` spellings.
+    """
+
+    name = "duckdb"
+
+    def translate(self, sql: str) -> str:
+        """DuckDB spelling of ``sql``: VARIANCE/STDDEV -> var_pop /
+        stddev_pop; everything else passes through verbatim."""
+        return _rewrite(sql, _DUCKDB_CALL_REWRITES, _DUCKDB_WORD_REWRITES)
+
+    #: statement classification shared across external dialects
+    classify = staticmethod(classify_statement)

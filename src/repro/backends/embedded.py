@@ -61,6 +61,7 @@ class EmbeddedConnector(Connector):
 
     # -- protocol -------------------------------------------------------
     def execute(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
+        """Delegate to :meth:`Database.execute` (natively profiled)."""
         return self._db.execute(sql, tag=tag)
 
     def create_table(
@@ -70,27 +71,35 @@ class EmbeddedConnector(Connector):
         config=None,
         replace: bool = False,
     ):
+        """Create a table honouring the storage ``config`` preset."""
         return self._db.create_table(name, data, config=config, replace=replace)
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Drop a stored table (engine raises on missing names)."""
         self._db.drop_table(name, if_exists=if_exists)
 
     def rename_table(self, old: str, new: str) -> None:
+        """Rename a stored table (the swap half of create-and-swap)."""
         self._db.rename_table(old, new)
 
     def table(self, name: str):
+        """Column-view handle onto a stored table."""
         return self._db.table(name)
 
     def has_table(self, name: str) -> bool:
+        """Whether ``name`` is a stored table."""
         return self._db.has_table(name)
 
     def table_names(self) -> List[str]:
+        """All stored table names, temporaries included."""
         return self._db.table_names()
 
     def temp_name(self, hint: str = "t") -> str:
+        """Mint a fresh ``jb_tmp_`` name from the engine catalog."""
         return self._db.temp_name(hint)
 
     def cleanup_temp(self, keep: Optional[List[str]] = None) -> int:
+        """Drop JoinBoost temporaries; returns the count dropped."""
         return self._db.cleanup_temp(keep=keep)
 
     def replace_column(
@@ -100,16 +109,20 @@ class EmbeddedConnector(Connector):
         values: np.ndarray,
         strategy: str = "swap",
     ) -> None:
+        """Replace a stored column via the engine's physical strategy."""
         self._db.replace_column(table_name, column_name, values, strategy)
 
     @property
     def profiles(self):
+        """The engine's per-query :class:`QueryProfile` records."""
         return self._db.profiles
 
     def reset_profiles(self) -> None:
+        """Clear the engine's accumulated query profiles."""
         self._db.reset_profiles()
 
     def profiles_by_tag(self):
+        """Group the engine's profiles by census tag."""
         return self._db.profiles_by_tag()
 
     # -- engine-specific passthrough ------------------------------------
@@ -121,6 +134,7 @@ class EmbeddedConnector(Connector):
 
 
 def embedded_factory(preset: str = "plain", **kwargs) -> EmbeddedConnector:
+    """Registry factory: build an :class:`EmbeddedConnector` preset."""
     return EmbeddedConnector(preset=preset, **kwargs)
 
 

@@ -57,10 +57,12 @@ class _Median:
         self.values: List[float] = []
 
     def step(self, value):
+        """Accumulate one non-NULL value."""
         if value is not None:
             self.values.append(float(value))
 
     def finalize(self):
+        """Median of the accumulated values (NULL when empty)."""
         return statistics.median(self.values) if self.values else None
 
 
@@ -105,15 +107,19 @@ class SQLiteTableView:
         self.name = name
 
     def column_names(self) -> List[str]:
+        """Column names in stored order."""
         return self._connector._column_names(self.name)
 
     def num_rows(self) -> int:
+        """Row count (cached per data version)."""
         return self._connector._num_rows(self.name)
 
     def column(self, name: str) -> Column:
+        """Fetch one column as an embedded-engine :class:`Column`."""
         return self._connector._fetch_column(self.name, name)
 
     def columns(self):
+        """Iterate all columns in stored order."""
         for name in self.column_names():
             yield self.column(name)
 
@@ -124,6 +130,7 @@ class SQLiteTableView:
         return self.num_rows()
 
     def nbytes(self) -> int:
+        """Total bytes of the materialized column arrays."""
         return sum(c.values.nbytes for c in self.columns())
 
     def __repr__(self) -> str:
@@ -281,6 +288,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
     # Statement execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, tag: Optional[str] = None) -> Optional[Relation]:
+        """Run translated statements on the owner connection (locked)."""
         result: Optional[Relation] = None
         for statement in split_statements(sql):
             result = self._run_statement(statement, tag)
@@ -387,6 +395,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         config=None,
         replace: bool = False,
     ) -> SQLiteTableView:
+        """Create a table from arrays (NaN rows stored as NULL)."""
         # ``config`` is an embedded-engine storage preset; SQLite owns its
         # physical layout, so the parameter is accepted and ignored.
         arrays = {col: np.asarray(values) for col, values in data.items()}
@@ -416,6 +425,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         self._indexed = {i for i in self._indexed if i[0] != key}
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Drop a table; :class:`CatalogError` unless ``if_exists``."""
         with self._lock:
             if not if_exists and not self.has_table(name):
                 raise CatalogError(f"no such table: {name!r}")
@@ -424,6 +434,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             self._bump_version()
 
     def rename_table(self, old: str, new: str) -> None:
+        """Rename ``old`` to ``new`` with embedded-engine semantics."""
         with self._lock:
             if not self.has_table(old):
                 raise CatalogError(f"no such table: {old!r}")
@@ -437,11 +448,13 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             self._bump_version()
 
     def table(self, name: str) -> SQLiteTableView:
+        """Lazy column view; :class:`CatalogError` on missing names."""
         if not self.has_table(name):
             raise CatalogError(f"no such table: {name!r}")
         return SQLiteTableView(self, name)
 
     def has_table(self, name: str) -> bool:
+        """Case-insensitive catalog membership test."""
         with self._lock:
             row = self._conn.execute(
                 "SELECT COUNT(*) FROM sqlite_master "
@@ -451,6 +464,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         return row[0] > 0
 
     def table_names(self) -> List[str]:
+        """All stored table names (sorted), temporaries included."""
         with self._lock:
             rows = self._conn.execute(
                 "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
@@ -631,9 +645,12 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
     # Profiling / lifecycle
     # ------------------------------------------------------------------
     def reset_profiles(self) -> None:
+        """Clear accumulated query profiles."""
         self.profiles.clear()
 
     def close(self) -> None:
+        """Close pooled readers then the owner (idempotent); ephemeral
+        scratch directories are removed, file-backed stores kept."""
         with self._pool_lock:
             if self._closed:
                 return

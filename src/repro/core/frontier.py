@@ -97,14 +97,27 @@ LEAF_COLUMN = "jb_leaf"
 _STATE_COLUMNS = itertools.count(1)
 
 
+def concurrent_read_veto(db) -> Optional[str]:
+    """Why the scheduler must NOT fan read queries out on this backend
+    (``None`` = safe).  Missing capabilities follow the permissive idiom
+    the training stack uses everywhere (a bare embedded ``Database`` has
+    the audited read path); connectors opt out via
+    ``Capabilities.concurrent_read=False`` — and the reason string is
+    what ``frontier_census["parallel_fallback_reason"]`` surfaces, so
+    the fallback is never silent."""
+    capabilities = getattr(db, "capabilities", None)
+    if capabilities is None or getattr(capabilities, "concurrent_read", True):
+        return None
+    return (
+        f"backend dialect {getattr(db, 'dialect', 'unknown')!r} declares "
+        "Capabilities.concurrent_read=False"
+    )
+
+
 def concurrent_read_ok(db) -> bool:
     """May the scheduler fan read queries out to worker threads on this
-    backend?  Missing capabilities follow the permissive idiom the
-    training stack uses everywhere (a bare embedded ``Database`` has the
-    audited read path); connectors opt out via
-    ``Capabilities.concurrent_read=False``."""
-    capabilities = getattr(db, "capabilities", None)
-    return capabilities is None or getattr(capabilities, "concurrent_read", True)
+    backend?  Boolean form of :func:`concurrent_read_veto`."""
+    return concurrent_read_veto(db) is None
 
 
 class BatchingUnavailable(TrainingError):
@@ -350,6 +363,10 @@ class FrontierEvaluator:
         self.parallel_rounds = 0
         self.parallel_wall_seconds = 0.0
         self.parallel_busy_seconds = 0.0
+        # why the most recent evaluation round stayed serial (None =
+        # the round fanned out); census() derives a reason for rounds
+        # that never reached the batched evaluator at all
+        self.parallel_fallback_reason: Optional[str] = None
         self._batch_veto: Optional[str] = None
         self._veto_checked = False
         self._incremental_veto: Optional[str] = None
@@ -460,7 +477,27 @@ class FrontierEvaluator:
             "parallel_overlap_seconds": max(
                 0.0, self.parallel_busy_seconds - self.parallel_wall_seconds
             ),
+            "parallel_fallback_reason": self._fallback_reason(),
         }
+
+    def _fallback_reason(self) -> Optional[str]:
+        """Why evaluation rounds stayed serial (None = the most recent
+        round fanned out to the worker pool).  Rounds that never reached
+        the batched evaluator — per-leaf mode, batching vetoes — derive
+        their reason here so the census never reports a silent serial
+        fallback."""
+        if self.parallel_fallback_reason is not None:
+            return self.parallel_fallback_reason
+        if self.parallel_rounds > 0:
+            return None
+        if self.num_workers <= 1:
+            return "num_workers=1 (serial by request)"
+        if self.mode == "off":
+            return "split_batching='off' keeps rounds per-leaf"
+        veto = self._batch_veto or self._batching_veto()
+        if veto is not None:
+            return f"batching unavailable: {veto}"
+        return "no batched evaluation round ran"
 
     # ------------------------------------------------------------------
     # Eligibility
@@ -639,10 +676,23 @@ class FrontierEvaluator:
     def _pool_eligible(self, by_relation: Dict[str, List[Tuple[int, str]]]) -> bool:
         """Fan a round out to the worker pool?  Needs >1 worker, >1
         relation to overlap, and a backend whose read path is declared
-        concurrency-safe (``Capabilities.concurrent_read``)."""
-        if self.num_workers <= 1 or len(by_relation) <= 1:
+        concurrency-safe (``Capabilities.concurrent_read``).  Every
+        serial outcome records *why* on ``parallel_fallback_reason`` —
+        the silent-serialization bug this census field exists to fix."""
+        if self.num_workers <= 1:
+            self.parallel_fallback_reason = "num_workers=1 (serial by request)"
             return False
-        return concurrent_read_ok(self.db)
+        veto = concurrent_read_veto(self.db)
+        if veto is not None:
+            self.parallel_fallback_reason = veto
+            return False
+        if len(by_relation) <= 1:
+            self.parallel_fallback_reason = (
+                "single feature-bearing relation (nothing to overlap)"
+            )
+            return False
+        self.parallel_fallback_reason = None
+        return True
 
     def _evaluate_parallel(
         self,

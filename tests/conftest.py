@@ -1,10 +1,45 @@
-"""Shared fixtures: small databases and join graphs."""
+"""Shared fixtures: small databases, join graphs, the backend matrix."""
+
+import importlib.util
+import os
 
 import numpy as np
 import pytest
 
 from repro.engine.database import Database
 from repro.datasets import favorita, imdb, star_schema
+
+#: is the optional duckdb package importable on this host?
+DUCKDB_INSTALLED = importlib.util.find_spec("duckdb") is not None
+
+#: mark for tests that need a real duckdb (clean skip when absent)
+requires_duckdb = pytest.mark.skipif(
+    not DUCKDB_INSTALLED, reason="optional 'duckdb' package not installed"
+)
+
+#: an extra backend column forced into every parametrized matrix — the
+#: CI backend-duckdb leg sets JOINBOOST_BACKEND=duckdb so parity suites
+#: fail loudly (not skip) if the forced backend is broken or missing
+FORCED_BACKEND = os.environ.get("JOINBOOST_BACKEND", "").strip().lower()
+
+
+def backend_matrix(*base):
+    """Backend ids for connector-parity parametrization.
+
+    The given base names run unconditionally; a ``duckdb`` column rides
+    along, skipping cleanly when the optional package is absent —
+    unless ``JOINBOOST_BACKEND=duckdb`` forces it (the CI leg), in
+    which case a missing package is a hard failure.
+    """
+    params = [pytest.param(name) for name in base]
+    if "duckdb" not in base:
+        if FORCED_BACKEND == "duckdb":
+            params.append(pytest.param("duckdb"))
+        else:
+            params.append(pytest.param("duckdb", marks=requires_duckdb))
+    if FORCED_BACKEND and FORCED_BACKEND not in base + ("duckdb",):
+        params.append(pytest.param(FORCED_BACKEND))
+    return params
 
 
 @pytest.fixture

@@ -15,6 +15,7 @@ from repro.backends import (
     Capabilities,
     Connector,
     DuckDBConnector,
+    DuckDBDialect,
     EmbeddedConnector,
     SQLiteConnector,
     SQLiteDialect,
@@ -24,6 +25,8 @@ from repro.backends import (
 )
 from repro.exceptions import CatalogError, ExecutionError
 from repro.joingraph.graph import JoinGraph
+
+from conftest import backend_matrix
 
 
 # ---------------------------------------------------------------------------
@@ -94,6 +97,49 @@ class TestSQLiteDialect:
     def test_double_quoted_identifiers_untouched(self):
         sql = 'SELECT "true", "sum"(x) FROM t WHERE "false" = 1'
         assert self.dialect.translate(sql) == sql
+
+
+class TestDuckDBDialect:
+    """The duckdb translator is pure Python — it runs with or without
+    the optional package installed."""
+
+    def setup_method(self):
+        self.dialect = DuckDBDialect()
+
+    def test_sum_passes_through(self):
+        """DuckDB divides integer aggregates as REAL and returns NULL on
+        empty input exactly like the emitted SQL expects — no TOTAL
+        rewrite wanted."""
+        sql = "SELECT SUM(c) OVER (ORDER BY f) AS cw, SUM(s) FROM t"
+        assert self.dialect.translate(sql) == sql
+
+    def test_variance_renames_to_population_spelling(self):
+        out = self.dialect.translate("SELECT VARIANCE(x), VAR(y + 1) FROM t")
+        assert out == "SELECT var_pop(x), var_pop(y + 1) FROM t"
+
+    def test_stddev_renames_to_population_spelling(self):
+        out = self.dialect.translate("SELECT STDDEV(x) FROM t")
+        assert out == "SELECT stddev_pop(x) FROM t"
+
+    def test_true_false_left_alone(self):
+        sql = "SELECT * FROM t WHERE TRUE AND b = FALSE"
+        assert self.dialect.translate(sql) == sql
+
+    def test_string_literals_are_preserved(self):
+        sql = "SELECT 'VARIANCE(x); really' AS s, VARIANCE(v) FROM t"
+        out = self.dialect.translate(sql)
+        assert "'VARIANCE(x); really'" in out
+        assert out.endswith("var_pop(v) FROM t")
+
+    def test_identifiers_containing_keywords_untouched(self):
+        sql = "SELECT variance_estimate, stddev_col FROM t"
+        assert self.dialect.translate(sql) == sql
+
+    def test_classify_is_shared(self):
+        assert DuckDBDialect.classify("SELECT 1") == ("Select", True)
+        assert DuckDBDialect.classify("UPDATE t SET a = 1") == ("Update", False)
+        assert DuckDBDialect.classify("  create table x as select 1") == \
+            ("CreateTableAs", False)
 
 
 # ---------------------------------------------------------------------------
@@ -258,10 +304,10 @@ class TestRegistry:
         with pytest.raises(BackendError, match="available"):
             get_backend("oracle9i")
 
-    def test_duckdb_stub_guides_install(self):
+    def test_duckdb_guides_install_when_absent(self):
         try:
             import duckdb  # noqa: F401
-            pytest.skip("duckdb installed; stub path not reachable")
+            pytest.skip("duckdb installed; missing-package path not reachable")
         except ImportError:
             pass
         with pytest.raises(BackendError, match="pip install"):
@@ -320,43 +366,49 @@ def _tree_shape(node):
 
 
 class TestConnectorParity:
-    def test_single_tree_identical_structure(self):
+    """Embedded is the reference; every external backend in the matrix
+    (sqlite always, duckdb when installed) must grow the same model."""
+
+    @pytest.mark.parametrize("backend", backend_matrix("sqlite"))
+    def test_single_tree_identical_structure(self, backend):
         models = {}
-        for backend in ("embedded", "sqlite"):
-            train_set = _build_trainset(repro.connect(backend=backend))
-            models[backend] = repro.train(
+        for name in ("embedded", backend):
+            train_set = _build_trainset(repro.connect(backend=name))
+            models[name] = repro.train(
                 {"model": "tree", "num_leaves": 6, "min_data_in_leaf": 2},
                 train_set,
             )
-        embedded, sqlite = models["embedded"], models["sqlite"]
-        assert _tree_shape(embedded.root) == _tree_shape(sqlite.root)
+        assert _tree_shape(models["embedded"].root) == \
+            _tree_shape(models[backend].root)
 
-    def test_gradient_boosting_parity_within_1e9(self):
+    @pytest.mark.parametrize("backend", backend_matrix("sqlite"))
+    def test_gradient_boosting_parity_within_1e9(self, backend):
         rmses = {}
         shapes = {}
-        for backend in ("embedded", "sqlite"):
-            train_set = _build_trainset(repro.connect(backend=backend))
+        for name in ("embedded", backend):
+            train_set = _build_trainset(repro.connect(backend=name))
             model = repro.train(
                 {"objective": "regression", "num_iterations": 4,
                  "num_leaves": 5, "min_data_in_leaf": 2},
                 train_set,
             )
-            rmses[backend] = repro.evaluate_rmse(model, train_set)
-            shapes[backend] = [_tree_shape(t.root) for t in model.trees]
-        assert shapes["embedded"] == shapes["sqlite"]
-        assert rmses["embedded"] == pytest.approx(rmses["sqlite"], abs=1e-9)
+            rmses[name] = repro.evaluate_rmse(model, train_set)
+            shapes[name] = [_tree_shape(t.root) for t in model.trees]
+        assert shapes["embedded"] == shapes[backend]
+        assert rmses["embedded"] == pytest.approx(rmses[backend], abs=1e-9)
 
-    def test_predictions_align_rowwise(self):
+    @pytest.mark.parametrize("backend", backend_matrix("sqlite"))
+    def test_predictions_align_rowwise(self, backend):
         scores = {}
-        for backend in ("embedded", "sqlite"):
-            train_set = _build_trainset(repro.connect(backend=backend))
+        for name in ("embedded", backend):
+            train_set = _build_trainset(repro.connect(backend=name))
             model = repro.train(
                 {"objective": "regression", "num_iterations": 2,
                  "num_leaves": 4, "min_data_in_leaf": 2},
                 train_set,
             )
-            scores[backend] = repro.predict(model, train_set)
-        np.testing.assert_allclose(scores["embedded"], scores["sqlite"],
+            scores[name] = repro.predict(model, train_set)
+        np.testing.assert_allclose(scores["embedded"], scores[backend],
                                    atol=1e-9)
 
     def test_sqlite_leaves_no_temp_tables(self):

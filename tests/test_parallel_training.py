@@ -149,6 +149,8 @@ class TestWiring:
         assert census["parallel_wall_seconds"] > 0.0
         assert census["parallel_busy_seconds"] >= census["parallel_wall_seconds"] - 1e-9
         assert census["parallel_overlap_seconds"] >= 0.0
+        # Rounds fanned out, so there is nothing to explain.
+        assert census["parallel_fallback_reason"] is None
 
     def test_serial_census_reports_no_parallel_rounds(self):
         db, graph = favorita(num_fact_rows=2000, num_extra_features=2)
@@ -157,7 +159,9 @@ class TestWiring:
             {"num_iterations": 1, "num_leaves": 6, "min_data_in_leaf": 3,
              "num_workers": 1},
         )
-        assert model.frontier_census["parallel_rounds"] == 0
+        census = model.frontier_census
+        assert census["parallel_rounds"] == 0
+        assert "num_workers=1" in census["parallel_fallback_reason"]
 
     def test_backend_without_concurrent_read_stays_serial(self):
         db, graph = mixed_schema(EmbeddedConnector())
@@ -169,7 +173,10 @@ class TestWiring:
             {"num_iterations": 1, "num_leaves": 6, "min_data_in_leaf": 2,
              "num_workers": 4},
         )
-        assert model.frontier_census["parallel_rounds"] == 0
+        census = model.frontier_census
+        assert census["parallel_rounds"] == 0
+        # The silent-serialization bugfix: the census names the culprit.
+        assert "concurrent_read" in census["parallel_fallback_reason"]
         assert model.trees  # trained fine, just serially
 
     def test_single_relation_round_stays_serial(self):
@@ -193,7 +200,12 @@ class TestWiring:
             {"num_iterations": 1, "num_leaves": 4, "min_data_in_leaf": 2,
              "num_workers": 4},
         )
-        assert model.frontier_census["parallel_rounds"] == 0
+        census = model.frontier_census
+        assert census["parallel_rounds"] == 0
+        assert (
+            "single feature-bearing relation"
+            in census["parallel_fallback_reason"]
+        )
 
 
 # ---------------------------------------------------------------------------

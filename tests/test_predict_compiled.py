@@ -23,7 +23,9 @@ from repro.core.compile import (
 from repro.core.predict import feature_frame
 from repro.core.sql_score import score_by_key, sql_scores
 
-BACKENDS = ("embedded", "sqlite")
+from conftest import backend_matrix
+
+BACKENDS = backend_matrix("embedded", "sqlite")
 
 
 def _star(conn, n=500, seed=7, classify=False):
