@@ -38,6 +38,13 @@ exits non-zero when a gate fails:
   request-shaped (one-row) calls; the in-harness parity asserts also
   make this leg fail if compiled or SQL scores ever drift from the
   recursive reference;
+* **fault-tolerance** — on a downsized Favorita config (sqlite,
+  ``num_workers=4``) per-round checkpointing must cost at most
+  ``CKPT_MAX_OVERHEAD``x baseline wall (plus a small absolute grace for
+  second-scale noise), chaos-injected transient faults must be retried
+  (retries > 0, none exhausted) without changing the model digest, and
+  a run killed mid-training then resumed from its checkpoint must
+  reproduce the uninterrupted digest bit for bit;
 * **duckdb** — on the Figure 9 CI config the duckdb backend must train
   the same model as the embedded engine (rmse to 1e-9), grow
   bit-identical models across ``num_workers`` in {1, 4}
@@ -64,6 +71,7 @@ import sys
 import time
 
 from repro.bench.harness import (
+    fault_tolerance_comparison,
     fig05_residual_updates,
     fig09_duckdb_comparison,
     fig09_encoding_cache_comparison,
@@ -99,6 +107,18 @@ SERVING_MIN_SPEEDUP = 5.0
 #: duckdb num_workers=4 wall must be no worse than sqlite num_workers=4
 #: on the same workload (factor = sqlite wall / duckdb wall)
 DUCKDB_VS_SQLITE_MIN_FACTOR = 1.0
+
+#: per-round checkpointing may cost at most this multiple of the
+#: fault-free baseline wall time ...
+CKPT_MAX_OVERHEAD = 1.05
+
+#: ... plus this absolute grace: the smoke legs run in ~1s, where timer
+#: noise alone can exceed 5% (the ratio gate is the real contract)
+CKPT_ABS_GRACE_SECONDS = 0.75
+
+#: fault-tolerance leg sizing (sqlite backend, the parallel workload)
+FAULT_SMOKE_ROWS = 8_000
+FAULT_SMOKE_ITERATIONS = 3
 
 #: serving leg: small enough to train in seconds, deep enough that the
 #: per-node dispatch cost of recursive scoring is visible per request
@@ -151,6 +171,13 @@ def run_smoke() -> dict:
         FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
         workers=PARALLEL_WORKERS,
     )
+    fault = fault_tolerance_comparison(
+        num_fact_rows=FAULT_SMOKE_ROWS,
+        num_leaves=FIG9_SMOKE_LEAVES,
+        iterations=FAULT_SMOKE_ITERATIONS,
+        backend="sqlite",
+        workers=PARALLEL_WORKERS,
+    )
     serving = serving_latency_benchmark(
         num_rows=SERVING_ROWS,
         num_trees=SERVING_TREES,
@@ -164,7 +191,7 @@ def run_smoke() -> dict:
     reb_census = rebuild["frontier_census"]
     cpu_count = os.cpu_count() or 1
     return {
-        "schema": "bench-ci-v6",
+        "schema": "bench-ci-v7",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -252,6 +279,27 @@ def run_smoke() -> dict:
             "duckdb_vs_sqlite_wall_factor": duckdb.get(
                 "duckdb_vs_sqlite_wall_factor"
             ),
+        },
+        "fault_tolerance": {
+            "backend": fault["backend"],
+            "workers": fault["workers"],
+            "iterations": fault["iterations"],
+            "baseline_wall_seconds": fault["baseline_wall_seconds"],
+            "checkpoint_wall_seconds": fault["checkpoint_wall_seconds"],
+            "checkpoint_overhead_factor": fault[
+                "checkpoint_overhead_factor"
+            ],
+            "checkpoint_saves": fault["checkpoint_saves"],
+            "checkpoint_digest_match": fault["checkpoint_digest_match"],
+            "chaos_wall_seconds": fault["chaos_wall_seconds"],
+            "chaos_digest_match": fault["chaos_digest_match"],
+            "chaos_injected": fault["chaos_injected"],
+            "retries": fault["retries"],
+            "retry_exhausted": fault["retry_exhausted"],
+            "recovered_after_retry": fault["recovered_after_retry"],
+            "resume_wall_seconds": fault["resume_wall_seconds"],
+            "resumed_digest_match": fault["resumed_digest_match"],
+            "resumed_from_round": fault["resumed_from_round"],
         },
         "serving": {
             "rows": SERVING_ROWS,
@@ -415,6 +463,48 @@ def gate(results: dict) -> list:
                 f"(factor {duckdb['duckdb_vs_sqlite_wall_factor']:.2f}, "
                 f"gate: >= {DUCKDB_VS_SQLITE_MIN_FACTOR}x)"
             )
+    # Fault tolerance: checkpointing stays cheap, chaos faults retry to
+    # the same bits, and an interrupted run resumes to the same bits.
+    fault = results["fault_tolerance"]
+    ckpt_budget = (
+        CKPT_MAX_OVERHEAD * fault["baseline_wall_seconds"]
+        + CKPT_ABS_GRACE_SECONDS
+    )
+    if fault["checkpoint_wall_seconds"] > ckpt_budget:
+        failures.append(
+            "fault: checkpointed training took "
+            f"{fault['checkpoint_wall_seconds']:.2f}s vs baseline "
+            f"{fault['baseline_wall_seconds']:.2f}s "
+            f"(gate: <= {CKPT_MAX_OVERHEAD}x + "
+            f"{CKPT_ABS_GRACE_SECONDS}s grace)"
+        )
+    if not fault["checkpoint_digest_match"]:
+        failures.append("fault: checkpointing changed the model digest")
+    if not fault["chaos_digest_match"]:
+        failures.append(
+            "fault: chaos-injected training grew a different model"
+        )
+    if fault["chaos_injected"] <= 0 or fault["retries"] <= 0:
+        failures.append(
+            "fault: chaos leg injected "
+            f"{fault['chaos_injected']} faults but recorded "
+            f"{fault['retries']} retries (both must be > 0)"
+        )
+    if fault["retry_exhausted"] != 0:
+        failures.append(
+            f"fault: {fault['retry_exhausted']} queries exhausted the "
+            "retry policy on a plan the policy is sized to absorb"
+        )
+    if not fault["resumed_digest_match"]:
+        failures.append(
+            "fault: resumed run's digest differs from the uninterrupted "
+            "baseline"
+        )
+    if fault["checkpoint_saves"] != fault["iterations"]:
+        failures.append(
+            "fault: expected one checkpoint per round "
+            f"({fault['iterations']}), saw {fault['checkpoint_saves']}"
+        )
     # Compiled serving: request-shaped scoring must clearly beat the
     # recursive path (parity is asserted inside the harness itself).
     serving = results["serving"]
@@ -500,6 +590,21 @@ def main(argv=None) -> int:
         )
     else:
         print(f"duckdb: gates waived — {duckdb['reason']}")
+    fault = results["fault_tolerance"]
+    print(
+        "fault: ckpt overhead "
+        f"{fault['checkpoint_overhead_factor']:.3f}x "
+        f"({fault['baseline_wall_seconds']:.2f}s -> "
+        f"{fault['checkpoint_wall_seconds']:.2f}s, "
+        f"{fault['checkpoint_saves']} saves); chaos injected="
+        f"{fault['chaos_injected']} retries={fault['retries']} "
+        f"exhausted={fault['retry_exhausted']}; digests "
+        f"ckpt={fault['checkpoint_digest_match']} "
+        f"chaos={fault['chaos_digest_match']} "
+        f"resumed={fault['resumed_digest_match']} "
+        f"(resume from round {fault['resumed_from_round']}, "
+        f"{fault['resume_wall_seconds']:.2f}s)"
+    )
     serving = results["serving"]
     print(
         "serving: request p50 recursive="

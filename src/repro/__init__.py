@@ -33,10 +33,26 @@ from repro.api import (
     train_decision_tree,
 )
 from repro.backends import (
+    ChaosConnector,
     Connector,
     DuckDBConnector,
     EmbeddedConnector,
+    FaultPlan,
+    RetryConnector,
     SQLiteConnector,
+)
+from repro.core.checkpoint import (
+    CheckpointSink,
+    DirectoryCheckpointSink,
+    MemoryCheckpointSink,
+    resume_training,
+)
+from repro.core.session import TrainingSessionGuard, side_state_audit
+from repro.engine.retry import RetryPolicy
+from repro.exceptions import (
+    BackendError,
+    BackendExecutionError,
+    TransientBackendError,
 )
 from repro.core.boosting import (
     GradientBoostingModel,
@@ -83,6 +99,19 @@ __all__ = [
     "EmbeddedConnector",
     "SQLiteConnector",
     "DuckDBConnector",
+    "ChaosConnector",
+    "RetryConnector",
+    "FaultPlan",
+    "RetryPolicy",
+    "BackendError",
+    "BackendExecutionError",
+    "TransientBackendError",
+    "resume_training",
+    "CheckpointSink",
+    "MemoryCheckpointSink",
+    "DirectoryCheckpointSink",
+    "TrainingSessionGuard",
+    "side_state_audit",
     "Database",
     "JoinGraph",
     "StorageConfig",

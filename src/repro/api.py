@@ -19,17 +19,21 @@ Usage mirrors Example 6::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import os
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.backends import Connector, get_backend
+from repro.backends.chaos import FaultPlan, RetryConnector, wrap_with_chaos
+from repro.engine.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.exceptions import TrainingError
 from repro.joingraph.graph import JoinGraph
 from repro.core.boosting import train_gradient_boosting
 from repro.core.forest import train_random_forest
 from repro.core.params import TrainParams
 from repro.core.predict import predict_join, rmse_on_join
+from repro.core.session import TrainingSessionGuard
 from repro.core.split import VarianceCriterion
 from repro.core.trainer import DecisionTreeTrainer
 from repro.factorize.executor import (
@@ -41,7 +45,11 @@ from repro.semiring.variance import VarianceSemiRing
 
 
 def connect(
-    backend: str = "plain", name: str = "repro", **table_data
+    backend: str = "plain",
+    name: str = "repro",
+    chaos: Union[FaultPlan, str, None] = None,
+    retry: Union[RetryPolicy, bool, None] = None,
+    **table_data,
 ) -> Connector:
     """Open a database connection; ``backend`` picks the engine.
 
@@ -50,8 +58,27 @@ def connect(
     stdlib ``sqlite`` backend, or ``duckdb`` when the optional package is
     installed — see :mod:`repro.backends`.  Keyword arguments become
     tables (column-name -> array mappings), Example 6 style.
+
+    Fault tolerance knobs (PR 8):
+
+    * ``chaos`` — a :class:`~repro.backends.chaos.FaultPlan` or spec
+      string; defaults to the ``JOINBOOST_CHAOS`` environment variable.
+      Wraps the backend in a fault-injecting
+      :class:`~repro.backends.chaos.ChaosConnector`.
+    * ``retry`` — a :class:`~repro.engine.retry.RetryPolicy`, ``True``
+      (default policy), or ``False`` (never retry).  Left unset, retries
+      are enabled automatically whenever chaos is active.  The retry
+      proxy is outermost, so it sees (and absorbs) injected faults.
     """
     conn = get_backend(backend, name=name)
+    if chaos is None:
+        chaos = os.environ.get("JOINBOOST_CHAOS") or None
+    conn = wrap_with_chaos(conn, chaos)
+    if retry is None:
+        retry = chaos is not None
+    if retry is not False:
+        policy = retry if isinstance(retry, RetryPolicy) else DEFAULT_RETRY_POLICY
+        conn = RetryConnector(conn, policy)
     for table_name, data in table_data.items():
         conn.create_table(table_name, data)
     return conn
@@ -127,13 +154,16 @@ def train_decision_tree(db, graph: JoinGraph, params=None, **overrides):
     graph.validate()
     configure_encoding_cache(db, train_params.encoding_cache)
     factorizer = Factorizer(db, graph, VarianceSemiRing())
-    factorizer.lift()
-    prepare_training_paths(db, graph, factorizer)
-    trainer = DecisionTreeTrainer(
-        db, graph, factorizer, VarianceCriterion(), train_params
-    )
-    model = trainer.train()
-    factorizer.cleanup()
+    # A mid-training failure must not strand the lifted fact or message
+    # temps — the guard drops them before re-raising.
+    with TrainingSessionGuard(db).register(factorizer):
+        factorizer.lift()
+        prepare_training_paths(db, graph, factorizer)
+        trainer = DecisionTreeTrainer(
+            db, graph, factorizer, VarianceCriterion(), train_params
+        )
+        model = trainer.train()
+        factorizer.cleanup()
     return model
 
 

@@ -32,6 +32,13 @@ from repro.backends.base import (
     get_backend,
     register_backend,
 )
+from repro.backends.chaos import (
+    ChaosConnector,
+    FaultPlan,
+    FaultRule,
+    RetryConnector,
+    wrap_with_chaos,
+)
 from repro.backends.embedded import EmbeddedConnector
 from repro.backends.sqlite3_backend import SQLiteConnector, SQLiteTableView
 from repro.backends.duckdb_backend import DuckDBConnector
@@ -40,7 +47,12 @@ from repro.backends.dialect import DuckDBDialect, SQLiteDialect, split_statement
 __all__ = [
     "BackendError",
     "Capabilities",
+    "ChaosConnector",
     "Connector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryConnector",
+    "wrap_with_chaos",
     "EmbeddedConnector",
     "SQLiteConnector",
     "SQLiteTableView",

@@ -29,17 +29,30 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.engine.result import Relation
-from repro.exceptions import ReproError, StorageError
+
+# BackendError moved to repro.exceptions (PR 8, error taxonomy) so the
+# whole hierarchy lives in one module; re-exported here for compat.
+from repro.exceptions import BackendError, StorageError
 from repro.storage.catalog import TEMP_PREFIX
 
 #: the logical residual-update strategies every backend must accept
 #: (external engines map them all onto their own physical write)
 UPDATE_STRATEGIES = ("update", "create", "swap")
 
-
-class BackendError(ReproError):
-    """A connector could not be built or used (unknown name, missing
-    optional dependency, unsupported operation)."""
+__all__ = [
+    "BackendError",
+    "Capabilities",
+    "Connector",
+    "TempNamespaceMixin",
+    "UPDATE_STRATEGIES",
+    "backend_names",
+    "check_equal_lengths",
+    "check_update_strategy",
+    "column_from_values",
+    "get_backend",
+    "register_backend",
+    "to_sql_values",
+]
 
 
 def check_update_strategy(strategy: str) -> None:
@@ -239,6 +252,17 @@ class Connector:
         closing, further statement execution may raise.
         """
         pass
+
+    @property
+    def unwrapped(self) -> "Connector":
+        """The innermost backend behind any proxy stack (self here).
+
+        ``connect(..., chaos=..., retry=...)`` layers fault-injection
+        and retry proxies over the backend; code that needs the concrete
+        connector (type checks, engine internals) reaches it here
+        without knowing how many wrappers are in the way.
+        """
+        return self
 
     def __enter__(self) -> "Connector":
         """Context-manager support: ``with connect(...) as db:``."""

@@ -40,10 +40,11 @@ and ``joinboost.connect(backend="duckdb")`` will use it.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 import zlib
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -62,8 +63,62 @@ from repro.backends.dialect import DuckDBDialect, split_statements
 from repro.backends.sqlite3_backend import SQLiteTableView
 from repro.engine.database import QueryProfile
 from repro.engine.result import Relation
-from repro.exceptions import CatalogError, ExecutionError
+from repro.exceptions import (
+    BackendExecutionError,
+    CatalogError,
+    ReproError,
+    TransientBackendError,
+)
 from repro.storage.column import Column
+
+#: duckdb exception *class names* that signal momentary conditions — IO
+#: hiccups, transaction conflicts, connection interruptions.  Matched by
+#: name because the package is optional: this module must classify
+#: without importing ``duckdb`` at module scope.
+_TRANSIENT_CLASS_NAMES = (
+    "IOException",
+    "TransactionException",
+    "ConnectionException",
+    "InterruptException",
+)
+
+#: message fragments that mark a transient fault regardless of class
+_TRANSIENT_MESSAGE_MARKERS = ("database is locked", "could not set lock")
+
+
+def _translate_duckdb_error(
+    exc: Exception, context: str
+) -> BackendExecutionError:
+    """Map a raw duckdb exception onto the backend taxonomy.
+
+    Callers of the connector never see the driver's exception classes:
+    IO/transaction/connection hiccups become
+    :class:`TransientBackendError` (retryable), everything else
+    :class:`BackendExecutionError` (permanent).
+    """
+    message = f"duckdb backend failed on: {context}: {exc}"
+    transient = type(exc).__name__ in _TRANSIENT_CLASS_NAMES or any(
+        marker in str(exc).lower() for marker in _TRANSIENT_MESSAGE_MARKERS
+    )
+    if transient:
+        return TransientBackendError(message)
+    return BackendExecutionError(message)
+
+
+@contextlib.contextmanager
+def _wrap_errors(context: str) -> Iterator[None]:
+    """Re-raise raw duckdb exceptions as their taxonomy translation.
+
+    Our own :class:`ReproError` family passes through untouched — the
+    connector's catalog checks raise it deliberately from inside these
+    blocks.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except Exception as exc:  # duckdb.Error hierarchy (package optional)
+        raise _translate_duckdb_error(exc, context) from exc
 
 _INSTALL_HINT = (
     "the 'duckdb' package is not installed in this environment.\n"
@@ -177,7 +232,7 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         """
         with self._pool_lock:
             if self._closed:
-                raise ExecutionError("duckdb connector is closed")
+                raise BackendExecutionError("duckdb connector is closed")
             if self._free_readers:
                 return self._free_readers.pop()
         with self._lock:
@@ -185,7 +240,7 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         with self._pool_lock:
             if self._closed:
                 cursor.close()
-                raise ExecutionError("duckdb connector is closed")
+                raise BackendExecutionError("duckdb connector is closed")
             self._all_readers.append(cursor)
         return cursor
 
@@ -225,13 +280,9 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         cursor = self._checkout_reader()
         start = time.perf_counter()
         try:
-            try:
+            with _wrap_errors(repr(translated)):
                 cursor.execute(translated)
-            except Exception as exc:  # duckdb.Error hierarchy
-                raise ExecutionError(
-                    f"duckdb backend failed on: {translated!r}: {exc}"
-                ) from exc
-            result = self._relation_from_cursor(cursor)
+                result = self._relation_from_cursor(cursor)
         finally:
             self._checkin_reader(cursor)
         elapsed = time.perf_counter() - start
@@ -251,12 +302,8 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         kind, returns_rows = self._dialect.classify(translated)
         start = time.perf_counter()
         with self._lock:
-            try:
+            with _wrap_errors(repr(translated)):
                 cursor = self._conn.execute(translated)
-            except Exception as exc:  # duckdb.Error hierarchy
-                raise ExecutionError(
-                    f"duckdb backend failed on: {translated!r}: {exc}"
-                ) from exc
             result: Optional[Relation] = None
             changed_rows = 0
             if returns_rows:
@@ -320,14 +367,15 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
             decls = ", ".join(
                 f"{col} {_duck_type(arr)}" for col, arr in arrays.items()
             )
-            self._conn.execute(f"CREATE TABLE {name} ({decls})")
             check_equal_lengths(name, arrays)
             placeholders = ", ".join(["?"] * len(arrays))
             rows = list(zip(*(to_sql_values(arr) for arr in arrays.values())))
-            if rows:
-                self._conn.executemany(
-                    f"INSERT INTO {name} VALUES ({placeholders})", rows
-                )
+            with _wrap_errors(f"CREATE TABLE {name}"):
+                self._conn.execute(f"CREATE TABLE {name} ({decls})")
+                if rows:
+                    self._conn.executemany(
+                        f"INSERT INTO {name} VALUES ({placeholders})", rows
+                    )
             self._bump_version()
         return SQLiteTableView(self, name)
 
@@ -343,7 +391,8 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         with self._lock:
             if not if_exists and not self.has_table(name):
                 raise CatalogError(f"no such table: {name!r}")
-            self._conn.execute(f"DROP TABLE IF EXISTS {name}")
+            with _wrap_errors(f"DROP TABLE {name}"):
+                self._conn.execute(f"DROP TABLE IF EXISTS {name}")
             self._forget_indexes(name)
             self._bump_version()
 
@@ -355,7 +404,8 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
                 raise CatalogError(f"no such table: {old!r}")
             if self.has_table(new):
                 raise CatalogError(f"table {new!r} already exists")
-            self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
+            with _wrap_errors(f"ALTER TABLE {old} RENAME TO {new}"):
+                self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
             self._forget_indexes(old)
             self._forget_indexes(new)
             self._bump_version()
@@ -369,20 +419,23 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
     def has_table(self, name: str) -> bool:
         """Case-insensitive existence check against the main schema."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM information_schema.tables "
-                "WHERE table_schema = 'main' AND lower(table_name) = lower(?)",
-                [name],
-            ).fetchone()
+            with _wrap_errors("has_table"):
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM information_schema.tables "
+                    "WHERE table_schema = 'main' "
+                    "AND lower(table_name) = lower(?)",
+                    [name],
+                ).fetchone()
         return row[0] > 0
 
     def table_names(self) -> List[str]:
         """Sorted names of every table in the main schema."""
         with self._lock:
-            rows = self._conn.execute(
-                "SELECT table_name FROM information_schema.tables "
-                "WHERE table_schema = 'main' ORDER BY table_name"
-            ).fetchall()
+            with _wrap_errors("table_names"):
+                rows = self._conn.execute(
+                    "SELECT table_name FROM information_schema.tables "
+                    "WHERE table_schema = 'main' ORDER BY table_name"
+                ).fetchall()
         return [r[0] for r in rows]
 
     # Temporary namespace: temp_name/cleanup_temp from TempNamespaceMixin.
@@ -408,26 +461,27 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         """
         check_update_strategy(strategy)
         with self._lock:
-            rowids = [r[0] for r in self._conn.execute(
-                f"SELECT rowid FROM {table_name} ORDER BY rowid"
-            ).fetchall()]
-            array = np.asarray(values)
-            if len(rowids) != len(array):
-                raise ExecutionError(
-                    f"replace_column: {len(array)} values for "
-                    f"{len(rowids)} rows of {table_name!r}"
+            with _wrap_errors(f"replace_column({table_name}.{column_name})"):
+                rowids = [r[0] for r in self._conn.execute(
+                    f"SELECT rowid FROM {table_name} ORDER BY rowid"
+                ).fetchall()]
+                array = np.asarray(values)
+                if len(rowids) != len(array):
+                    raise BackendExecutionError(
+                        f"replace_column: {len(array)} values for "
+                        f"{len(rowids)} rows of {table_name!r}"
+                    )
+                scratch = self.temp_name("swap")
+                self.create_table(
+                    scratch,
+                    {"rid": np.asarray(rowids, dtype=np.int64), "v": array},
                 )
-            scratch = self.temp_name("swap")
-            self.create_table(
-                scratch,
-                {"rid": np.asarray(rowids, dtype=np.int64), "v": array},
-            )
-            self._conn.execute(
-                f"UPDATE {table_name} SET {column_name} = ("
-                f"SELECT v FROM {scratch} "
-                f"WHERE {scratch}.rid = {table_name}.rowid)"
-            )
-            self.drop_table(scratch)
+                self._conn.execute(
+                    f"UPDATE {table_name} SET {column_name} = ("
+                    f"SELECT v FROM {scratch} "
+                    f"WHERE {scratch}.rid = {table_name}.rowid)"
+                )
+                self.drop_table(scratch)
             self._bump_version()
 
     # ------------------------------------------------------------------
@@ -451,8 +505,9 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
         with self._lock:
             settings_fresh = not self._settings_applied
             if settings_fresh:
-                for setting, value in DUCKDB_SETTINGS:
-                    self._conn.execute(f"SET {setting} TO {value}")
+                with _wrap_errors("SET training settings"):
+                    for setting, value in DUCKDB_SETTINGS:
+                        self._conn.execute(f"SET {setting} TO {value}")
                 self._settings_applied = True
             for edge in graph.edges:
                 for relation in (edge.left, edge.right):
@@ -467,10 +522,11 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
                     # no-op.
                     digest = zlib.crc32("|".join((table.lower(),) + keys).encode())
                     index_name = f"jb_idx_{digest:08x}"
-                    self._conn.execute(
-                        f"CREATE INDEX IF NOT EXISTS {index_name} "
-                        f"ON {table} ({', '.join(keys)})"
-                    )
+                    with _wrap_errors(f"CREATE INDEX {index_name}"):
+                        self._conn.execute(
+                            f"CREATE INDEX IF NOT EXISTS {index_name} "
+                            f"ON {table} ({', '.join(keys)})"
+                        )
                     self._indexed.add(ident)
                     created.append(index_name)
         elapsed = time.perf_counter() - start
@@ -509,12 +565,14 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
             return cached[1]
         with self._lock:
             version = self._data_version
-            rows = self._conn.execute(
-                "SELECT column_name FROM information_schema.columns "
-                "WHERE table_schema = 'main' AND lower(table_name) = lower(?) "
-                "ORDER BY ordinal_position",
-                [table_name],
-            ).fetchall()
+            with _wrap_errors(f"column names of {table_name}"):
+                rows = self._conn.execute(
+                    "SELECT column_name FROM information_schema.columns "
+                    "WHERE table_schema = 'main' "
+                    "AND lower(table_name) = lower(?) "
+                    "ORDER BY ordinal_position",
+                    [table_name],
+                ).fetchall()
         if not rows:
             raise CatalogError(f"no such table: {table_name!r}")
         names = [r[0] for r in rows]
@@ -528,9 +586,10 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
             return cached[1]
         with self._lock:
             version = self._data_version
-            n = self._conn.execute(
-                f"SELECT COUNT(*) FROM {table_name}"
-            ).fetchone()[0]
+            with _wrap_errors(f"COUNT rows of {table_name}"):
+                n = self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table_name}"
+                ).fetchone()[0]
         self._rows_cache[key] = (version, n)
         return n
 
@@ -542,7 +601,7 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
                 actual = name
                 break
         if actual is None:
-            raise ExecutionError(
+            raise BackendExecutionError(
                 f"table {table_name!r} has no column {column_name!r}"
             )
         key = (table_name.lower(), wanted)
@@ -551,9 +610,10 @@ class DuckDBConnector(TempNamespaceMixin, Connector):
             return cached[1]
         with self._lock:
             version = self._data_version
-            values = [r[0] for r in self._conn.execute(
-                f"SELECT {actual} FROM {table_name} ORDER BY rowid"
-            ).fetchall()]
+            with _wrap_errors(f"fetch {table_name}.{actual}"):
+                values = [r[0] for r in self._conn.execute(
+                    f"SELECT {actual} FROM {table_name} ORDER BY rowid"
+                ).fetchall()]
         column = column_from_values(actual, values)
         if len(self._column_cache) > 512:
             self._column_cache.clear()

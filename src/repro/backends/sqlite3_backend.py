@@ -20,6 +20,7 @@ a validity mask — matching the embedded engine's convention.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import os
 import shutil
@@ -29,7 +30,7 @@ import tempfile
 import threading
 import time
 import zlib
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,8 +47,43 @@ from repro.backends.base import (
 from repro.backends.dialect import SQLiteDialect, split_statements
 from repro.engine.database import QueryProfile
 from repro.engine.result import Relation
-from repro.exceptions import CatalogError, ExecutionError
+from repro.exceptions import (
+    BackendExecutionError,
+    CatalogError,
+    TransientBackendError,
+)
 from repro.storage.column import Column
+
+#: ``sqlite3.OperationalError`` messages that signal contention rather
+#: than a broken statement — these map to :class:`TransientBackendError`
+#: and are retried by the engine's retry policy
+_TRANSIENT_MARKERS = ("locked", "busy")
+
+
+def _translate_sqlite_error(
+    exc: sqlite3.Error, context: str
+) -> BackendExecutionError:
+    """Map a raw driver error onto the backend taxonomy.
+
+    Callers of the connector never see ``sqlite3.Error``: lock/busy
+    contention becomes :class:`TransientBackendError` (retryable),
+    everything else :class:`BackendExecutionError` (permanent).
+    """
+    message = f"sqlite backend failed on: {context}: {exc}"
+    if isinstance(exc, sqlite3.OperationalError) and any(
+        marker in str(exc).lower() for marker in _TRANSIENT_MARKERS
+    ):
+        return TransientBackendError(message)
+    return BackendExecutionError(message)
+
+
+@contextlib.contextmanager
+def _wrap_errors(context: str) -> Iterator[None]:
+    """Re-raise any ``sqlite3.Error`` as its taxonomy translation."""
+    try:
+        yield
+    except sqlite3.Error as exc:
+        raise _translate_sqlite_error(exc, context) from exc
 
 
 class _Median:
@@ -234,7 +270,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         """
         with self._pool_lock:
             if self._closed:
-                raise ExecutionError("sqlite connector is closed")
+                raise BackendExecutionError("sqlite connector is closed")
             if self._free_readers:
                 return self._free_readers.pop()
         conn = self._connect()
@@ -244,7 +280,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         with self._pool_lock:
             if self._closed:
                 conn.close()
-                raise ExecutionError("sqlite connector is closed")
+                raise BackendExecutionError("sqlite connector is closed")
             self._all_readers.append(conn)
         return conn
 
@@ -309,13 +345,9 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         conn = self._checkout_reader()
         start = time.perf_counter()
         try:
-            try:
+            with _wrap_errors(repr(translated)):
                 cursor = conn.execute(translated)
-            except sqlite3.Error as exc:
-                raise ExecutionError(
-                    f"sqlite backend failed on: {translated!r}: {exc}"
-                ) from exc
-            result = self._relation_from_cursor(cursor)
+                result = self._relation_from_cursor(cursor)
         finally:
             self._checkin_reader(conn)
         elapsed = time.perf_counter() - start
@@ -335,18 +367,14 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         kind, returns_rows = self._dialect.classify(translated)
         start = time.perf_counter()
         with self._lock:
-            try:
+            with _wrap_errors(repr(translated)):
                 cursor = self._conn.execute(translated)
-            except sqlite3.Error as exc:
-                raise ExecutionError(
-                    f"sqlite backend failed on: {translated!r}: {exc}"
-                ) from exc
-            result: Optional[Relation] = None
-            if returns_rows:
-                result = self._relation_from_cursor(cursor)
-            else:
-                self._bump_version()
-            rowcount = cursor.rowcount
+                result: Optional[Relation] = None
+                if returns_rows:
+                    result = self._relation_from_cursor(cursor)
+                else:
+                    self._bump_version()
+                rowcount = cursor.rowcount
         elapsed = time.perf_counter() - start
         if self.profiling_enabled:
             if result is not None:
@@ -408,13 +436,14 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             decls = ", ".join(
                 f"{col} {self._affinity(arr)}" for col, arr in arrays.items()
             )
-            self._conn.execute(f"CREATE TABLE {name} ({decls})")
             placeholders = ", ".join(["?"] * len(arrays))
             check_equal_lengths(name, arrays)
             rows = zip(*(to_sql_values(arr) for arr in arrays.values()))
-            self._conn.executemany(
-                f"INSERT INTO {name} VALUES ({placeholders})", rows
-            )
+            with _wrap_errors(f"CREATE TABLE {name}"):
+                self._conn.execute(f"CREATE TABLE {name} ({decls})")
+                self._conn.executemany(
+                    f"INSERT INTO {name} VALUES ({placeholders})", rows
+                )
             self._bump_version()
         return SQLiteTableView(self, name)
 
@@ -429,7 +458,8 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         with self._lock:
             if not if_exists and not self.has_table(name):
                 raise CatalogError(f"no such table: {name!r}")
-            self._conn.execute(f"DROP TABLE IF EXISTS {name}")
+            with _wrap_errors(f"DROP TABLE {name}"):
+                self._conn.execute(f"DROP TABLE IF EXISTS {name}")
             self._forget_indexes(name)
             self._bump_version()
 
@@ -440,7 +470,8 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
                 raise CatalogError(f"no such table: {old!r}")
             if self.has_table(new):
                 raise CatalogError(f"table {new!r} already exists")
-            self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
+            with _wrap_errors(f"ALTER TABLE {old} RENAME TO {new}"):
+                self._conn.execute(f"ALTER TABLE {old} RENAME TO {new}")
             # The physical indexes follow the table; the name-keyed records
             # do not — a future table under either name must re-index.
             self._forget_indexes(old)
@@ -456,19 +487,22 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
     def has_table(self, name: str) -> bool:
         """Case-insensitive catalog membership test."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM sqlite_master "
-                "WHERE type = 'table' AND lower(name) = lower(?)",
-                (name,),
-            ).fetchone()
+            with _wrap_errors("has_table"):
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM sqlite_master "
+                    "WHERE type = 'table' AND lower(name) = lower(?)",
+                    (name,),
+                ).fetchone()
         return row[0] > 0
 
     def table_names(self) -> List[str]:
         """All stored table names (sorted), temporaries included."""
         with self._lock:
-            rows = self._conn.execute(
-                "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
-            ).fetchall()
+            with _wrap_errors("table_names"):
+                rows = self._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table' "
+                    "ORDER BY name"
+                ).fetchall()
         return [r[0] for r in rows]
 
     # Temporary namespace: temp_name/cleanup_temp from TempNamespaceMixin.
@@ -493,19 +527,21 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
         """
         check_update_strategy(strategy)
         with self._lock:
-            rowids = [r[0] for r in self._conn.execute(
-                f"SELECT rowid FROM {table_name} ORDER BY rowid"
-            )]
-            array = np.asarray(values)
-            if len(rowids) != len(array):
-                raise ExecutionError(
-                    f"replace_column: {len(array)} values for "
-                    f"{len(rowids)} rows of {table_name!r}"
+            with _wrap_errors(f"replace_column({table_name}.{column_name})"):
+                rowids = [r[0] for r in self._conn.execute(
+                    f"SELECT rowid FROM {table_name} ORDER BY rowid"
+                )]
+                array = np.asarray(values)
+                if len(rowids) != len(array):
+                    raise BackendExecutionError(
+                        f"replace_column: {len(array)} values for "
+                        f"{len(rowids)} rows of {table_name!r}"
+                    )
+                self._conn.executemany(
+                    f"UPDATE {table_name} SET {column_name} = ? "
+                    "WHERE rowid = ?",
+                    zip(to_sql_values(array), rowids),
                 )
-            self._conn.executemany(
-                f"UPDATE {table_name} SET {column_name} = ? WHERE rowid = ?",
-                zip(to_sql_values(array), rowids),
-            )
             self._bump_version()
 
     # ------------------------------------------------------------------
@@ -548,15 +584,17 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
                     # make CREATE INDEX IF NOT EXISTS a silent no-op.
                     digest = zlib.crc32("|".join((table.lower(),) + keys).encode())
                     index_name = f"jb_idx_{digest:08x}"
-                    self._conn.execute(
-                        f"CREATE INDEX IF NOT EXISTS {index_name} "
-                        f"ON {table} ({', '.join(keys)})"
-                    )
+                    with _wrap_errors(f"CREATE INDEX {index_name}"):
+                        self._conn.execute(
+                            f"CREATE INDEX IF NOT EXISTS {index_name} "
+                            f"ON {table} ({', '.join(keys)})"
+                        )
                     self._indexed.add(ident)
                     created.append(index_name)
             if created:
                 # Refresh planner statistics so the fresh indexes get picked.
-                self._conn.execute("ANALYZE")
+                with _wrap_errors("ANALYZE"):
+                    self._conn.execute("ANALYZE")
         elapsed = time.perf_counter() - start
         self.index_seconds += elapsed
         if self.profiling_enabled and pragmas_fresh:
@@ -593,9 +631,10 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             return cached[1]
         with self._lock:
             version = self._data_version
-            rows = self._conn.execute(
-                f"PRAGMA table_info({table_name})"
-            ).fetchall()
+            with _wrap_errors(f"PRAGMA table_info({table_name})"):
+                rows = self._conn.execute(
+                    f"PRAGMA table_info({table_name})"
+                ).fetchall()
         if not rows:
             raise CatalogError(f"no such table: {table_name!r}")
         names = [r[1] for r in rows]
@@ -609,9 +648,10 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             return cached[1]
         with self._lock:
             version = self._data_version
-            n = self._conn.execute(
-                f"SELECT COUNT(*) FROM {table_name}"
-            ).fetchone()[0]
+            with _wrap_errors(f"COUNT rows of {table_name}"):
+                n = self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table_name}"
+                ).fetchone()[0]
         self._rows_cache[key] = (version, n)
         return n
 
@@ -623,7 +663,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
                 actual = name
                 break
         if actual is None:
-            raise ExecutionError(
+            raise BackendExecutionError(
                 f"table {table_name!r} has no column {column_name!r}"
             )
         key = (table_name.lower(), wanted)
@@ -632,9 +672,10 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             return cached[1]
         with self._lock:
             version = self._data_version
-            values = [r[0] for r in self._conn.execute(
-                f"SELECT {actual} FROM {table_name} ORDER BY rowid"
-            )]
+            with _wrap_errors(f"fetch {table_name}.{actual}"):
+                values = [r[0] for r in self._conn.execute(
+                    f"SELECT {actual} FROM {table_name} ORDER BY rowid"
+                )]
         column = column_from_values(actual, values)
         if len(self._column_cache) > 512:
             self._column_cache.clear()

@@ -459,6 +459,125 @@ def fig09_parallel_comparison(
     }
 
 
+def fault_tolerance_comparison(
+    num_fact_rows: int = 8_000,
+    num_features: int = 13,
+    num_leaves: int = 8,
+    iterations: int = 3,
+    backend: str = "sqlite",
+    workers: int = 4,
+    chaos_spec: str = (
+        "tag=message:nth=2:times=2:kind=transient;"
+        "tag=:nth=25:times=1:kind=transient"
+    ),
+) -> Dict[str, object]:
+    """Fault-tolerance overhead and parity on one workload (ISSUE 8).
+
+    Four legs, all on the same Favorita config and worker count:
+
+    * **baseline** — fault-free, no checkpointing: the reference wall
+      time and ``model_digest``;
+    * **checkpointed** — per-round checkpoints into a memory sink: the
+      wall overhead of serializing every committed round (the CI gate
+      holds it under 5%), digest unchanged;
+    * **chaos** — the ``chaos_spec`` transient faults injected under the
+      default retry policy: training must complete with retries > 0 and
+      the baseline digest, bit for bit;
+    * **resumed** — a run killed right after round ``iterations - 1``'s
+      checkpoint, then continued with ``resume_training``: the resumed
+      digest must equal the uninterrupted baseline's.
+    """
+    from repro.backends.chaos import RetryConnector, wrap_with_chaos
+    from repro.core.checkpoint import MemoryCheckpointSink, resume_training
+    from repro.core.serialize import model_digest
+    from repro.exceptions import TrainingError
+
+    params = {
+        "num_iterations": iterations, "num_leaves": num_leaves,
+        "min_data_in_leaf": 3, "num_workers": workers,
+    }
+
+    def _connect(chaos=None, retry=False):
+        inner = _backend_db(backend) or Database()
+        conn = wrap_with_chaos(inner, chaos)
+        if retry:
+            conn = RetryConnector(conn)
+        db, graph = favorita(
+            db=conn, num_fact_rows=num_fact_rows,
+            num_extra_features=num_features - 5,
+        )
+        return db, graph
+
+    def _timed_train(db, graph, checkpoint=None):
+        start = time.perf_counter()
+        model = repro.train_gradient_boosting(
+            db, graph, dict(params), checkpoint=checkpoint
+        )
+        return model, time.perf_counter() - start
+
+    # baseline and checkpointed legs (fault-free)
+    db, graph = _connect()
+    baseline_model, baseline_wall = _timed_train(db, graph)
+    baseline_digest = model_digest(baseline_model)
+
+    db, graph = _connect()
+    sink = MemoryCheckpointSink()
+    ckpt_model, ckpt_wall = _timed_train(db, graph, checkpoint=sink)
+
+    # chaos leg: injected transient faults absorbed by the retry layer
+    db, graph = _connect(chaos=chaos_spec, retry=True)
+    chaos_model, chaos_wall = _timed_train(db, graph)
+    retry_census = db.retry_census.snapshot()
+    chaos_census = db.chaos_census.snapshot()
+
+    # interrupted-then-resumed leg: a sink that kills the process right
+    # after the second-to-last round's checkpoint commits
+    class _KillSwitchSink(MemoryCheckpointSink):
+        """Simulates a crash landing just after a checkpoint write."""
+
+        def save(self, payload: str) -> None:
+            super().save(payload)
+            if self.saves == max(iterations - 1, 1):
+                raise TrainingError("simulated crash after checkpoint")
+
+    db, graph = _connect()
+    kill_sink = _KillSwitchSink()
+    interrupted_wall = None
+    start = time.perf_counter()
+    try:
+        repro.train_gradient_boosting(
+            db, graph, dict(params), checkpoint=kill_sink
+        )
+    except TrainingError:
+        interrupted_wall = time.perf_counter() - start
+    resume_start = time.perf_counter()
+    resumed_model = resume_training(db, graph, kill_sink)
+    resume_wall = time.perf_counter() - resume_start
+
+    return {
+        "backend": backend,
+        "workers": workers,
+        "iterations": iterations,
+        "baseline_wall_seconds": baseline_wall,
+        "checkpoint_wall_seconds": ckpt_wall,
+        "checkpoint_overhead_factor": ckpt_wall / max(baseline_wall, 1e-12),
+        "checkpoint_saves": sink.saves,
+        "checkpoint_digest_match": model_digest(ckpt_model)
+        == baseline_digest,
+        "chaos_wall_seconds": chaos_wall,
+        "chaos_digest_match": model_digest(chaos_model) == baseline_digest,
+        "chaos_injected": chaos_census["total"],
+        "retries": retry_census["retries"],
+        "retry_exhausted": retry_census["exhausted"],
+        "recovered_after_retry": retry_census["succeeded_after_retry"],
+        "interrupted_wall_seconds": interrupted_wall,
+        "resume_wall_seconds": resume_wall,
+        "resumed_digest_match": model_digest(resumed_model)
+        == baseline_digest,
+        "resumed_from_round": max(iterations - 1, 1),
+    }
+
+
 def fig09_duckdb_comparison(
     num_fact_rows: int = 20_000,
     num_features: int = 13,

@@ -15,13 +15,16 @@ then updates those annotations in place of the residuals:
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import TrainingError
+from repro.core.checkpoint import CheckpointSink, write_checkpoint
 from repro.core.params import TrainParams
+from repro.core.session import TrainingSessionGuard
 from repro.core.predict import feature_frame, rmse_on_join
 from repro.core.residual import ResidualUpdater
 from repro.core.split import GradientCriterion
@@ -196,19 +199,30 @@ def train_gradient_boosting(
     params: Optional[dict] = None,
     evaluate_every: int = 0,
     clusters: Optional[Sequence[Cluster]] = None,
+    checkpoint: Optional[CheckpointSink] = None,
+    resume_from: Optional[dict] = None,
     **overrides,
 ):
     """Train gradient boosting over a join graph (LightGBM-style entry).
 
     ``evaluate_every=k`` records training rmse every k iterations in the
     model history (used by the Figure 8c bench).  ``clusters`` forces the
-    galaxy/CPT path with the given clustering.
+    galaxy/CPT path with the given clustering.  ``checkpoint`` receives
+    the partial model after every committed round (snowflake schemas
+    only); ``resume_from`` is a validated checkpoint payload — use
+    :func:`repro.core.checkpoint.resume_training` rather than passing it
+    directly.
     """
     train_params = TrainParams.from_dict(params, **overrides)
     loss = get_loss(train_params.objective, **train_params.loss_kwargs())
     graph.validate()
     configure_encoding_cache(db, train_params.encoding_cache)
     if isinstance(loss, SoftmaxLoss):
+        if checkpoint is not None or resume_from is not None:
+            raise TrainingError(
+                "checkpoint/resume supports single-target snowflake "
+                "boosting only; multiclass chains are not checkpointable"
+            )
         return _train_multiclass(db, graph, train_params, loss)
 
     fact = graph.target_relation
@@ -219,7 +233,15 @@ def train_gradient_boosting(
             "schemas support rmse only (Section 5.1)"
         )
     if snowflake:
-        return _train_snowflake(db, graph, train_params, loss, evaluate_every)
+        return _train_snowflake(
+            db, graph, train_params, loss, evaluate_every,
+            checkpoint=checkpoint, resume_from=resume_from,
+        )
+    if checkpoint is not None or resume_from is not None:
+        raise TrainingError(
+            "checkpoint/resume supports snowflake schemas only; galaxy "
+            "(CPT) training is not checkpointable yet"
+        )
     return _train_galaxy(db, graph, train_params, loss, clusters, evaluate_every)
 
 
@@ -229,73 +251,138 @@ def _train_snowflake(
     params: TrainParams,
     loss: Loss,
     evaluate_every: int,
+    checkpoint: Optional[CheckpointSink] = None,
+    resume_from: Optional[dict] = None,
 ) -> GradientBoostingModel:
     fact = graph.target_relation
     y = graph.target_column
-    init = _init_score_sql(db, fact, y, loss)
+
+    # Resume: the checkpoint's init score and trees are authoritative —
+    # recomputing the init would re-run a query the interrupted run
+    # already committed to.
+    restored: List[DecisionTreeModel] = []
+    start_round = 0
+    if resume_from is not None:
+        from repro.core.serialize import tree_from_dict
+
+        spec = resume_from["model"]
+        if spec.get("kind") != "gradient_boosting":
+            raise TrainingError(
+                "checkpoint does not hold a gradient-boosting model"
+            )
+        start_round = int(resume_from["round"])
+        restored = [tree_from_dict(t) for t in spec["trees"][:start_round]]
+        init = float(spec["init_score"])
+    else:
+        init = _init_score_sql(db, fact, y, loss)
+
+    rng = np.random.default_rng(params.seed)
+    trees: List[DecisionTreeModel] = list(restored)
+    history: List[IterationRecord] = []
+    model = GradientBoostingModel(
+        trees, init, params.learning_rate, loss, history
+    )
+    if start_round >= params.num_iterations:
+        # The checkpoint already covers every round: nothing to train.
+        return model
+
     ring = GradientSemiRing()
     factorizer = Factorizer(db, graph, ring)
+    # Any failure from here on — chaos-injected or real — must leave the
+    # connection re-trainable: the guard drops the lifted fact, message
+    # temps and minted leaf columns before re-raising.
+    guard = TrainingSessionGuard(db).register(factorizer)
+    with guard:
+        init_lit = repr(float(init))
+        hessian_constant = loss.hessian_sql("y", "p") == "1"
+        lift_exprs: List[Tuple[str, str]] = [("pred", init_lit)]
+        lift_exprs += ring.lift_pair_sql(
+            loss.hessian_sql(f"t.{y}", init_lit),
+            loss.gradient_sql(f"t.{y}", init_lit),
+        )
+        fact_table = factorizer.lift(lift_exprs)
+        # Training setup: factorize every join-key column once (embedded
+        # encoding cache) and let external backends build physical access
+        # paths — the sqlite connector indexes the lifted fact's join keys
+        # and runs ANALYZE here.
+        prepare_training_paths(db, graph, factorizer)
+        updater = ResidualUpdater(
+            db, graph, fact, fact_table, loss, strategy=params.update_strategy
+        )
+        criterion = GradientCriterion(reg_lambda=params.reg_lambda)
+        trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, params)
 
-    init_lit = repr(float(init))
-    hessian_constant = loss.hessian_sql("y", "p") == "1"
-    lift_exprs: List[Tuple[str, str]] = [("pred", init_lit)]
-    lift_exprs += ring.lift_pair_sql(
-        loss.hessian_sql(f"t.{y}", init_lit),
-        loss.gradient_sql(f"t.{y}", init_lit),
-    )
-    fact_table = factorizer.lift(lift_exprs)
-    # Training setup: factorize every join-key column once (embedded
-    # encoding cache) and let external backends build physical access
-    # paths — the sqlite connector indexes the lifted fact's join keys
-    # and runs ANALYZE here.
-    prepare_training_paths(db, graph, factorizer)
-    updater = ResidualUpdater(
-        db, graph, fact, fact_table, loss, strategy=params.update_strategy
-    )
-    criterion = GradientCriterion(reg_lambda=params.reg_lambda)
-    trainer = DecisionTreeTrainer(db, graph, factorizer, criterion, params)
-    rng = np.random.default_rng(params.seed)
-
-    trees: List[DecisionTreeModel] = []
-    history: List[IterationRecord] = []
-    model = GradientBoostingModel([], init, params.learning_rate, loss, history)
-    for iteration in range(params.num_iterations):
-        features = _sample_features(graph, params, rng)
-        start = time.perf_counter()
-        tree = trainer.train(feature_subset=features)
-        train_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        # The incremental frontier state leaves a current leaf-membership
-        # column on the lifted fact: residual updates become one CASE over
-        # it instead of per-leaf semi-join scans (falls back when absent).
-        label_column = trainer.leaf_label_column(tree)
-        if loss.supports_galaxy:
-            # L2: the gradient shifts additively by lr·p* — one column.
-            updater.apply_additive(
-                tree, params.learning_rate, component="g",
-                label_column=label_column,
+        # Replay restored rounds: consume the same RNG draws an
+        # uninterrupted run would have, and re-apply each restored
+        # tree's residual update through the semi-join path (which is
+        # float-bit-identical to the leaf-label fast path), so the
+        # gradient state entering round ``start_round`` matches exactly.
+        for iteration in range(start_round):
+            _sample_features(graph, params, rng)
+            tree = restored[iteration]
+            if loss.supports_galaxy:
+                updater.apply_additive(
+                    tree, params.learning_rate, component="g",
+                    label_column=None,
+                )
+            else:
+                updater.apply_general(
+                    tree, params.learning_rate, y_column=y,
+                    hessian_constant=hessian_constant,
+                    label_column=None,
+                )
+            factorizer.invalidate_for_relation(fact)
+        if restored:
+            # Node ids must continue where the interrupted run stopped —
+            # they are part of the serialized model, hence of the digest.
+            max_node_id = max(
+                node.node_id for tree in restored for node in tree.nodes()
             )
-        else:
-            updater.apply_general(
-                tree, params.learning_rate, y_column=y,
-                hessian_constant=hessian_constant,
-                label_column=label_column,
-            )
-        factorizer.invalidate_for_relation(fact)
-        update_seconds = time.perf_counter() - start
+            trainer._ids = itertools.count(max_node_id + 1)
 
-        trees.append(tree)
-        model.trees = trees
-        record = IterationRecord(iteration, train_seconds, update_seconds)
-        if evaluate_every and (iteration + 1) % evaluate_every == 0:
-            record.rmse = rmse_on_join(db, graph, model)
-        history.append(record)
-    model.frontier_census = {
-        **trainer.evaluator.census(),
-        "factorizer": factorizer.census(),
-    }
-    factorizer.cleanup()
+        for iteration in range(start_round, params.num_iterations):
+            features = _sample_features(graph, params, rng)
+            start = time.perf_counter()
+            tree = trainer.train(feature_subset=features)
+            train_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            # The incremental frontier state leaves a current leaf-
+            # membership column on the lifted fact: residual updates
+            # become one CASE over it instead of per-leaf semi-join
+            # scans (falls back when absent).
+            label_column = trainer.leaf_label_column(tree)
+            if loss.supports_galaxy:
+                # L2: the gradient shifts additively by lr·p* — one column.
+                updater.apply_additive(
+                    tree, params.learning_rate, component="g",
+                    label_column=label_column,
+                )
+            else:
+                updater.apply_general(
+                    tree, params.learning_rate, y_column=y,
+                    hessian_constant=hessian_constant,
+                    label_column=label_column,
+                )
+            factorizer.invalidate_for_relation(fact)
+            update_seconds = time.perf_counter() - start
+
+            trees.append(tree)
+            model.trees = trees
+            record = IterationRecord(iteration, train_seconds, update_seconds)
+            if evaluate_every and (iteration + 1) % evaluate_every == 0:
+                record.rmse = rmse_on_join(db, graph, model)
+            history.append(record)
+            if checkpoint is not None:
+                # The round is committed (tree appended, residuals
+                # shifted): persist the partial model before starting
+                # the next one.
+                write_checkpoint(checkpoint, model, params, iteration + 1)
+        model.frontier_census = {
+            **trainer.evaluator.census(),
+            "factorizer": factorizer.census(),
+        }
+        factorizer.cleanup()
     return model
 
 
@@ -309,11 +396,23 @@ def _train_galaxy(
 ) -> GradientBoostingModel:
     if clusters is None:
         clusters = cluster_graph(graph)
-    target = graph.target_relation
-    y = graph.target_column
     init = _join_mean(db, graph)
     ring = GradientSemiRing()
     factorizer = Factorizer(db, graph, ring)
+    # Mid-training failure drops the cluster lifts and message temps.
+    with TrainingSessionGuard(db).register(factorizer):
+        return _train_galaxy_body(
+            db, graph, params, loss, clusters, evaluate_every,
+            init, ring, factorizer,
+        )
+
+
+def _train_galaxy_body(
+    db, graph, params, loss, clusters, evaluate_every,
+    init, ring, factorizer,
+) -> GradientBoostingModel:
+    target = graph.target_relation
+    y = graph.target_column
     # Target lift: g = p0 - y (the L2 gradient at the base score).
     factorizer.lift(ring.lift_pair_sql("1", f"({init!r} - t.{y})"))
     updaters: Dict[str, ResidualUpdater] = {}
@@ -421,6 +520,17 @@ def _train_multiclass(
     # One lifted table holds every class's pred/h/g columns.
     rings = [GradientSemiRing(suffix=str(i)) for i in range(k)]
     factorizers = [Factorizer(db, graph, rings[i]) for i in range(k)]
+    # Mid-training failure drops the shared lifted table and temps.
+    with TrainingSessionGuard(db).register(factorizers[0]):
+        return _train_multiclass_body(
+            db, graph, params, loss, fact, y, k,
+            init_scores, rings, factorizers,
+        )
+
+
+def _train_multiclass_body(
+    db, graph, params, loss, fact, y, k, init_scores, rings, factorizers
+) -> MulticlassBoostingModel:
     lift_exprs: List[Tuple[str, str]] = []
     prob_exprs = _softmax_exprs([repr(s) for s in init_scores])
     for i in range(k):

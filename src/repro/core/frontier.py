@@ -363,6 +363,12 @@ class FrontierEvaluator:
         self.parallel_rounds = 0
         self.parallel_wall_seconds = 0.0
         self.parallel_busy_seconds = 0.0
+        # fault-tolerance census: transient retries the scheduler spent
+        # on this evaluator's DAG rounds (the serial execute path's
+        # retries live on the connector's RetryCensus and merge in
+        # census())
+        self.scheduler_retries = 0
+        self.scheduler_exhausted = 0
         # why the most recent evaluation round stayed serial (None =
         # the round fanned out); census() derives a reason for rounds
         # that never reached the batched evaluator at all
@@ -449,6 +455,15 @@ class FrontierEvaluator:
     def census(self) -> Dict[str, object]:
         """Query accounting for the Figure 9 reproduction and CI gates."""
         state = self.state.census()
+        # Fault-tolerance counters: scheduler-side retries plus whatever
+        # the connector's own retry/chaos proxies (connect(..., chaos=...,
+        # retry=...)) accumulated on the serial execute path.
+        connector_retry = getattr(self.db, "retry_census", None)
+        retry_snapshot = (
+            connector_retry.snapshot() if connector_retry is not None
+            else {"retries": 0, "exhausted": 0, "succeeded_after_retry": 0}
+        )
+        chaos_census = getattr(self.db, "chaos_census", None)
         return {
             "mode": self.mode,
             "frontier_state": self.state_mode,
@@ -478,6 +493,15 @@ class FrontierEvaluator:
                 0.0, self.parallel_busy_seconds - self.parallel_wall_seconds
             ),
             "parallel_fallback_reason": self._fallback_reason(),
+            "retries": self.scheduler_retries + retry_snapshot["retries"],
+            "retry_exhausted": (
+                self.scheduler_exhausted + retry_snapshot["exhausted"]
+            ),
+            "recovered_after_retry": retry_snapshot["succeeded_after_retry"],
+            "chaos_injected": (
+                chaos_census.snapshot()["total"]
+                if chaos_census is not None else 0
+            ),
         }
 
     def _fallback_reason(self) -> Optional[str]:
@@ -722,7 +746,16 @@ class FrontierEvaluator:
         """
         from repro.engine.scheduler import QueryScheduler
 
-        scheduler = QueryScheduler(num_workers=self.num_workers)
+        # Retry wiring: when the connector carries a retry policy (the
+        # connect(..., retry=...) proxy), the scheduler retries transient
+        # backend faults per DAG node before skipping dependents.  The
+        # connector's RetryCensus is NOT shared with the scheduler —
+        # scheduler-level retries are accounted via report.retries, and
+        # census() sums the two sources without double counting.
+        scheduler = QueryScheduler(
+            num_workers=self.num_workers,
+            retry_policy=getattr(self.db, "retry_policy", None),
+        )
         absorptions: Dict[str, MultiAbsorption] = {}
         outputs: Dict[str, Tuple[Dict[Tuple[int, int], SplitCandidate], int]] = {}
 
@@ -781,6 +814,8 @@ class FrontierEvaluator:
         self.parallel_rounds += 1
         self.parallel_wall_seconds += report.wall_seconds
         self.parallel_busy_seconds += report.sequential_seconds
+        self.scheduler_retries += report.retries
+        self.scheduler_exhausted += report.exhausted
 
     def _label_frontier(
         self,

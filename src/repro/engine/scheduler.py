@@ -36,6 +36,8 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.engine.retry import RetryCensus, RetryPolicy, call_with_retry
+
 #: hard ceiling on the pool size — beyond this, thread switch overhead
 #: dwarfs any overlap a DBMS connection can deliver
 MAX_WORKERS = 64
@@ -57,13 +59,30 @@ class ScheduledQuery:
     error: Optional[BaseException] = None
     #: True when an upstream query failed and this one never ran
     skipped: bool = False
+    #: how many times the callable actually ran (>1 after transient retries)
+    attempts: int = 1
 
 
 class QueryScheduler:
-    """FIFO ready-queue scheduler over a dependency DAG."""
+    """FIFO ready-queue scheduler over a dependency DAG.
 
-    def __init__(self, num_workers: int = 4):
+    When ``retry_policy`` is set, each query's callable is retried on
+    :class:`~repro.exceptions.TransientBackendError` per the policy
+    *before* the record-error-and-skip-dependents behavior engages —
+    on the serial and threaded paths alike, since both go through
+    :meth:`_execute`.  A query that still fails records its *final*
+    attempt's exception with ``attempts`` attached.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_census: Optional[RetryCensus] = None,
+    ):
         self.num_workers = max(1, min(int(num_workers), MAX_WORKERS))
+        self.retry_policy = retry_policy
+        self.retry_census = retry_census
         self._queries: Dict[int, ScheduledQuery] = {}
         self._next_id = 0
 
@@ -96,7 +115,19 @@ class QueryScheduler:
         q.started = time.perf_counter() - wall_start
         start = time.perf_counter()
         try:
-            q.result = q.fn()
+            if self.retry_policy is not None:
+                attempts = [0]
+
+                def attempt_once(q: "ScheduledQuery" = q) -> object:
+                    attempts[0] += 1
+                    q.attempts = attempts[0]
+                    return q.fn()
+
+                q.result = call_with_retry(
+                    attempt_once, self.retry_policy, self.retry_census
+                )
+            else:
+                q.result = q.fn()
         except BaseException as exc:  # recorded, surfaced after the run
             q.error = exc
         q.seconds = time.perf_counter() - start
@@ -208,6 +239,18 @@ class ScheduleReport:
     @property
     def skipped(self) -> int:
         return sum(1 for q in self.queries if q.skipped)
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts spent recovering from transient faults."""
+        return sum(max(0, q.attempts - 1) for q in self.queries)
+
+    @property
+    def exhausted(self) -> int:
+        """Queries that failed even after their retry budget."""
+        return sum(
+            1 for q in self.queries if q.error is not None and q.attempts > 1
+        )
 
     @property
     def critical_path_seconds(self) -> float:

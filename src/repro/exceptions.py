@@ -43,6 +43,41 @@ class CatalogError(SQLError):
     """Catalog lookup or mutation failed (missing table, duplicate, ...)."""
 
 
+class BackendError(ReproError):
+    """A connector could not be built or used (unknown name, missing
+    optional dependency, unsupported operation).
+
+    This is the root of the backend error taxonomy: callers of the
+    connector layer never see raw driver exceptions (``sqlite3.Error``,
+    ``duckdb.Error``), only :class:`BackendError` subclasses.
+    """
+
+
+class BackendExecutionError(BackendError, ExecutionError):
+    """A statement failed inside a backend engine (permanent).
+
+    Subclasses both :class:`BackendError` (the taxonomy contract: only
+    ``BackendError`` subclasses escape a connector) and
+    :class:`ExecutionError` (so every existing ``except ExecutionError``
+    site keeps working).  ``attempts`` is attached by the retry layer
+    when the error survived a retry loop.
+    """
+
+    #: set by the retry layer: how many attempts this error survived
+    attempts: int = 1
+
+
+class TransientBackendError(BackendExecutionError):
+    """A statement failed in a way that is expected to succeed on retry.
+
+    Raised for driver errors that signal contention or momentary
+    unavailability — sqlite ``database is locked`` / ``database is
+    busy``, duckdb IO/connection hiccups, a dropped reader cursor —
+    and for chaos-injected faults.  The retry policy
+    (:mod:`repro.engine.retry`) retries exactly this type.
+    """
+
+
 class StorageError(ReproError):
     """Low-level storage failure (column type mismatch, codec error, ...)."""
 

@@ -225,11 +225,24 @@ class PredictionService:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Cache census plus the deployment table (observability hook)."""
+        """Cache census plus the deployment table (observability hook).
+
+        When the bound connector carries fault-tolerance proxies
+        (``connect(..., chaos=..., retry=...)``), their retry and
+        chaos-injection counters are surfaced too, so a serving
+        dashboard sees transient-fault pressure without reaching into
+        backend internals.
+        """
         out: Dict[str, object] = dict(self.cache.stats())
         out["deployments"] = {
             name: d.digest for name, d in self._deployments.items()
         }
+        retry_census = getattr(self.db, "retry_census", None)
+        if retry_census is not None:
+            out["retry"] = retry_census.snapshot()
+        chaos_census = getattr(self.db, "chaos_census", None)
+        if chaos_census is not None:
+            out["chaos"] = chaos_census.snapshot()
         return out
 
     @staticmethod

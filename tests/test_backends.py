@@ -289,14 +289,16 @@ class TestRegistry:
             assert expected in names
 
     def test_connect_routes_presets_to_embedded(self):
+        # .unwrapped sees through the chaos/retry proxies connect() may
+        # stack (e.g. under a JOINBOOST_CHAOS CI leg)
         conn = repro.connect(backend="d-swap")
-        assert isinstance(conn, EmbeddedConnector)
+        assert isinstance(conn.unwrapped, EmbeddedConnector)
         assert conn.capabilities.column_swap
         assert not repro.connect(backend="d-mem").capabilities.column_swap
 
     def test_connect_sqlite(self):
         conn = repro.connect(backend="sqlite", t={"a": [1, 2]})
-        assert isinstance(conn, SQLiteConnector)
+        assert isinstance(conn.unwrapped, SQLiteConnector)
         assert conn.dialect == "sqlite"
         assert conn.has_table("t")
 
@@ -520,3 +522,122 @@ class TestSQLiteFigure4Flow:
         frame = repro.feature_frame(conn, graph)
         proba = model.predict_proba(frame)
         np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy (ISSUE 8): raw driver errors never escape a connector
+# ---------------------------------------------------------------------------
+class TestErrorTaxonomy:
+    """Only BackendError subclasses escape the backend execute paths."""
+
+    def test_hierarchy(self):
+        from repro.exceptions import (
+            BackendError,
+            BackendExecutionError,
+            ReproError,
+            TransientBackendError,
+        )
+
+        # BackendExecutionError stays catchable at every legacy
+        # `except ExecutionError` site, and transient is a refinement.
+        assert issubclass(BackendError, ReproError)
+        assert issubclass(BackendExecutionError, BackendError)
+        assert issubclass(BackendExecutionError, ExecutionError)
+        assert issubclass(TransientBackendError, BackendExecutionError)
+
+    def test_sqlite_bad_sql_is_translated(self):
+        import sqlite3
+
+        from repro.exceptions import BackendExecutionError
+
+        conn = SQLiteConnector()
+        conn.create_table("t", {"a": [1, 2]})
+        for sql in (
+            "SELECT nope FROM t",
+            "SELECT FROM WHERE",
+            "SELECT * FROM missing_table",
+        ):
+            with pytest.raises(BackendExecutionError) as excinfo:
+                conn.execute(sql)
+            assert not isinstance(excinfo.value, sqlite3.Error)
+            # the raw driver error rides along as the cause
+            assert isinstance(excinfo.value.__cause__, sqlite3.Error)
+
+    def test_sqlite_transient_classification(self):
+        import sqlite3
+
+        from repro.backends.sqlite3_backend import _translate_sqlite_error
+        from repro.exceptions import (
+            BackendExecutionError,
+            TransientBackendError,
+        )
+
+        locked = _translate_sqlite_error(
+            sqlite3.OperationalError("database is locked"), "ctx"
+        )
+        busy = _translate_sqlite_error(
+            sqlite3.OperationalError("database table is busy"), "ctx"
+        )
+        syntax = _translate_sqlite_error(
+            sqlite3.OperationalError('near "FROM": syntax error'), "ctx"
+        )
+        integrity = _translate_sqlite_error(
+            sqlite3.IntegrityError("UNIQUE constraint failed"), "ctx"
+        )
+        assert isinstance(locked, TransientBackendError)
+        assert isinstance(busy, TransientBackendError)
+        assert not isinstance(syntax, TransientBackendError)
+        assert isinstance(syntax, BackendExecutionError)
+        assert not isinstance(integrity, TransientBackendError)
+
+    def test_duckdb_transient_classification(self):
+        """The duckdb mapper is a pure function — testable without the
+        optional package installed."""
+        from repro.backends.duckdb_backend import _translate_duckdb_error
+        from repro.exceptions import TransientBackendError
+
+        class IOException(Exception):
+            pass
+
+        class BinderException(Exception):
+            pass
+
+        assert isinstance(
+            _translate_duckdb_error(IOException("disk hiccup"), "ctx"),
+            TransientBackendError,
+        )
+        assert isinstance(
+            _translate_duckdb_error(
+                BinderException("database is locked"), "ctx"
+            ),
+            TransientBackendError,
+        )
+        assert not isinstance(
+            _translate_duckdb_error(
+                BinderException("column nope not found"), "ctx"
+            ),
+            TransientBackendError,
+        )
+
+    def test_closed_sqlite_connector_raises_backend_error(self):
+        from repro.exceptions import BackendExecutionError
+
+        conn = SQLiteConnector()
+        conn.create_table("t", {"a": [1]})
+        conn.close()
+        with pytest.raises(BackendExecutionError):
+            conn.execute_read("SELECT * FROM t")
+
+    def test_transient_caught_by_legacy_execution_error_sites(self):
+        from repro.exceptions import TransientBackendError
+
+        with pytest.raises(ExecutionError):
+            raise TransientBackendError("still an execution error")
+
+    def test_backend_error_importable_from_backends_package(self):
+        """Compat: BackendError moved to repro.exceptions but the old
+        import path keeps working."""
+        from repro.backends.base import BackendError as from_base
+        from repro.exceptions import BackendError as from_exceptions
+
+        assert from_base is from_exceptions is BackendError

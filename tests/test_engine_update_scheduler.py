@@ -7,9 +7,15 @@ import numpy as np
 import pytest
 
 from repro.engine.database import Database
+from repro.engine.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryCensus,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.engine.scheduler import QueryScheduler
+from repro.exceptions import StorageError, TransientBackendError
 from repro.engine.update import apply_column_update, supported_strategies
-from repro.exceptions import StorageError
 from repro.storage.table import StorageConfig
 
 
@@ -230,3 +236,142 @@ class TestSchedulerExecution:
         assert report.sequential_seconds == pytest.approx(
             report.wall_seconds + report.overlap_seconds
         )
+
+
+def flaky(times, exc=None, result="ok"):
+    """A callable that raises ``times`` transient faults, then succeeds."""
+    remaining = [times]
+
+    def run():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            raise exc or TransientBackendError("simulated transient fault")
+        return result
+
+    return run
+
+
+FAST_RETRIES = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+class TestRetryPolicy:
+    """call_with_retry semantics the scheduler and connectors share."""
+
+    def test_transient_retried_then_succeeds(self):
+        census = RetryCensus()
+        result = call_with_retry(flaky(2), FAST_RETRIES, census)
+        assert result == "ok"
+        snap = census.snapshot()
+        assert snap["retries"] == 2
+        assert snap["succeeded_after_retry"] == 1
+        assert snap["exhausted"] == 0
+
+    def test_exhaustion_raises_final_exception_with_attempts(self):
+        census = RetryCensus()
+        with pytest.raises(TransientBackendError) as excinfo:
+            call_with_retry(flaky(10), FAST_RETRIES, census)
+        assert excinfo.value.attempts == FAST_RETRIES.max_attempts
+        assert census.snapshot()["exhausted"] == 1
+
+    def test_non_transient_not_retried(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError):
+            call_with_retry(boom, FAST_RETRIES, RetryCensus())
+        assert len(calls) == 1
+
+    def test_budget_stops_before_max_attempts(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, max_delay=1.0, budget_seconds=0.5
+        )
+        slept = []
+        with pytest.raises(TransientBackendError) as excinfo:
+            call_with_retry(
+                flaky(10), policy, sleep=lambda s: slept.append(s)
+            )
+        # first delay (1.0s) would blow the 0.5s budget: no sleeping at all
+        assert slept == []
+        assert excinfo.value.attempts == 1
+
+    def test_backoff_schedule_deterministic(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, multiplier=2.0, max_delay=0.03
+        )
+        assert policy.schedule() == [0.01, 0.02, 0.03]
+
+
+class TestSchedulerRetry:
+    """Transient faults retry inside the DAG before dependents are skipped."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_transient_query_retried_then_succeeds(self, workers):
+        census = RetryCensus()
+        scheduler = QueryScheduler(
+            num_workers=workers, retry_policy=FAST_RETRIES, retry_census=census
+        )
+        qid = scheduler.submit(flaky(2), label="flaky")
+        downstream = scheduler.submit(lambda: "ran", deps=[qid])
+        report = scheduler.run()
+        assert report.results() == ["ok", "ran"]
+        assert report.retries == 2
+        assert report.exhausted == 0
+        assert census.snapshot()["succeeded_after_retry"] == 1
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_exhausted_query_reports_final_attempt(self, workers):
+        """A retried-then-failed query must surface its *final* attempt's
+        exception, stamped with the attempt count (ISSUE 8 satellite)."""
+        scheduler = QueryScheduler(
+            num_workers=workers, retry_policy=FAST_RETRIES
+        )
+        attempt_errors = []
+
+        def always_transient():
+            exc = TransientBackendError(
+                f"fault on attempt {len(attempt_errors) + 1}"
+            )
+            attempt_errors.append(exc)
+            raise exc
+
+        qid = scheduler.submit(always_transient, label="doomed")
+        child = scheduler.submit(lambda: "never", deps=[qid])
+        with pytest.raises(TransientBackendError) as excinfo:
+            scheduler.run()
+        # the raised error is the LAST attempt's, not the first's
+        assert excinfo.value is attempt_errors[-1]
+        assert excinfo.value.attempts == FAST_RETRIES.max_attempts
+        assert scheduler._queries[child].skipped
+        assert scheduler._queries[qid].attempts == FAST_RETRIES.max_attempts
+
+    def test_non_transient_error_not_retried_in_dag(self):
+        scheduler = QueryScheduler(num_workers=2, retry_policy=FAST_RETRIES)
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        scheduler.submit(boom)
+        with pytest.raises(ValueError):
+            scheduler.run()
+        assert len(calls) == 1
+
+    def test_no_policy_means_no_retry(self):
+        scheduler = QueryScheduler(num_workers=2)
+        scheduler.submit(flaky(1))
+        with pytest.raises(TransientBackendError):
+            scheduler.run()
+
+    def test_report_retry_counters_zero_without_faults(self):
+        scheduler = QueryScheduler(
+            num_workers=2, retry_policy=DEFAULT_RETRY_POLICY
+        )
+        scheduler.submit(lambda: 1)
+        scheduler.submit(lambda: 2)
+        report = scheduler.run()
+        assert report.retries == 0
+        assert report.exhausted == 0
