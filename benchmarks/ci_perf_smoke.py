@@ -45,6 +45,13 @@ exits non-zero when a gate fails:
   (retries > 0, none exhausted) without changing the model digest, and
   a run killed mid-training then resumed from its checkpoint must
   reproduce the uninterrupted digest bit for bit;
+* **sharded** — the hash-sharded training path must produce a
+  bit-identical ``model_digest`` across shard counts {1, 4} and
+  executors {serial, process}, with and without ``worker_crash`` /
+  ``stall`` task faults; the chaos legs must record redispatched tasks
+  (``tasks_redispatched > 0``) with nothing exhausted, and every leg
+  must report a measured wall > 0 — the shard steps really executed,
+  only the network is modelled;
 * **duckdb** — on the Figure 9 CI config the duckdb backend must train
   the same model as the embedded engine (rmse to 1e-9), grow
   bit-identical models across ``num_workers`` in {1, 4}
@@ -77,6 +84,7 @@ from repro.bench.harness import (
     fig09_encoding_cache_comparison,
     fig09_parallel_comparison,
     fig09_query_census,
+    fig12_sharded_comparison,
 )
 from repro.bench.serving import serving_latency_benchmark
 
@@ -119,6 +127,14 @@ CKPT_ABS_GRACE_SECONDS = 0.75
 #: fault-tolerance leg sizing (sqlite backend, the parallel workload)
 FAULT_SMOKE_ROWS = 8_000
 FAULT_SMOKE_ITERATIONS = 3
+
+#: sharded leg sizing: integer-valued target so cross-shard merges are
+#: exact, small enough that five cluster runs finish in seconds
+SHARDED_SMOKE_ROWS = 4_096
+
+#: per-shard-step deadline for the sharded stall leg (seconds); the
+#: stall leg costs about one deadline of wall waiting the timer out
+SHARDED_TASK_DEADLINE = 5.0
 
 #: serving leg: small enough to train in seconds, deep enough that the
 #: per-node dispatch cost of recursive scoring is visible per request
@@ -171,6 +187,10 @@ def run_smoke() -> dict:
         FIG9_SMOKE_ROWS, FIG9_SMOKE_FEATURES, FIG9_SMOKE_LEAVES,
         workers=PARALLEL_WORKERS,
     )
+    sharded = fig12_sharded_comparison(
+        rows=SHARDED_SMOKE_ROWS,
+        task_deadline=SHARDED_TASK_DEADLINE,
+    )
     fault = fault_tolerance_comparison(
         num_fact_rows=FAULT_SMOKE_ROWS,
         num_leaves=FIG9_SMOKE_LEAVES,
@@ -191,7 +211,7 @@ def run_smoke() -> dict:
     reb_census = rebuild["frontier_census"]
     cpu_count = os.cpu_count() or 1
     return {
-        "schema": "bench-ci-v7",
+        "schema": "bench-ci-v8",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -300,6 +320,13 @@ def run_smoke() -> dict:
             "resume_wall_seconds": fault["resume_wall_seconds"],
             "resumed_digest_match": fault["resumed_digest_match"],
             "resumed_from_round": fault["resumed_from_round"],
+        },
+        "sharded": {
+            "rows": sharded["rows"],
+            "digest_parity": sharded["digest_parity"],
+            "chaos_tasks_redispatched": sharded["chaos_tasks_redispatched"],
+            "retry_exhausted": sharded["retry_exhausted"],
+            "legs": sharded["legs"],
         },
         "serving": {
             "rows": SERVING_ROWS,
@@ -505,6 +532,38 @@ def gate(results: dict) -> list:
             "fault: expected one checkpoint per round "
             f"({fault['iterations']}), saw {fault['checkpoint_saves']}"
         )
+    # Sharded training: bit-identical digests across shard counts and
+    # executors, observable recovery under task faults, measured walls.
+    sharded = results["sharded"]
+    if not sharded["digest_parity"]:
+        failures.append(
+            "sharded: legs grew models with different digests "
+            + ", ".join(
+                f"{leg['name']}={leg['digest'][:12]}"
+                for leg in sharded["legs"]
+            )
+        )
+    if sharded["chaos_tasks_redispatched"] <= 0:
+        failures.append(
+            "sharded: chaos legs recorded zero redispatched tasks "
+            "(faults were not injected or not recovered)"
+        )
+    if sharded["retry_exhausted"] != 0:
+        failures.append(
+            f"sharded: {sharded['retry_exhausted']} shard steps exhausted "
+            "their retry budget on a plan sized to be absorbed"
+        )
+    for leg in sharded["legs"]:
+        if leg["measured_wall_seconds"] <= 0:
+            failures.append(
+                f"sharded: leg {leg['name']} reported no measured wall "
+                "(shard steps did not actually execute)"
+            )
+        if leg["chaos"] is not None and leg["tasks_redispatched"] <= 0:
+            failures.append(
+                f"sharded: chaos leg {leg['name']} never redispatched "
+                "its faulted shard step"
+            )
     # Compiled serving: request-shaped scoring must clearly beat the
     # recursive path (parity is asserted inside the harness itself).
     serving = results["serving"]
@@ -604,6 +663,25 @@ def main(argv=None) -> int:
         f"resumed={fault['resumed_digest_match']} "
         f"(resume from round {fault['resumed_from_round']}, "
         f"{fault['resume_wall_seconds']:.2f}s)"
+    )
+    sharded = results["sharded"]
+    crash_leg = next(
+        leg for leg in sharded["legs"]
+        if leg["name"] == "sharded_process_crash"
+    )
+    stall_leg = next(
+        leg for leg in sharded["legs"]
+        if leg["name"] == "sharded_process_stall"
+    )
+    print(
+        f"sharded: digest parity={sharded['digest_parity']} across "
+        f"{len(sharded['legs'])} legs; crash leg crashes="
+        f"{crash_leg['worker_crashes']} redispatched="
+        f"{crash_leg['tasks_redispatched']} "
+        f"wall={crash_leg['measured_wall_seconds']:.2f}s; stall leg "
+        f"timeouts={stall_leg['deadline_timeouts']} "
+        f"wall={stall_leg['measured_wall_seconds']:.2f}s; "
+        f"exhausted={sharded['retry_exhausted']}"
     )
     serving = results["serving"]
     print(

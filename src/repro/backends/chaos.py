@@ -45,11 +45,20 @@ from repro.engine.retry import (
 from repro.exceptions import (
     BackendError,
     BackendExecutionError,
+    ChaosSpecError,
     TransientBackendError,
 )
 
+#: fault kinds that target worker *processes* (the supervised pool and
+#: the sharded trainer), not individual statements: ``worker_crash``
+#: kills the child running the Nth matching task, ``stall`` hangs it
+#: past its deadline.  Statement-level calls never match these rules
+#: (and never advance their counters) — they fire only through
+#: :meth:`FaultPlan.next_task_fault` at task-dispatch time.
+TASK_FAULT_KINDS = ("worker_crash", "stall")
+
 #: the fault kinds a :class:`FaultRule` can inject
-FAULT_KINDS = ("transient", "permanent", "latency", "cursor")
+FAULT_KINDS = ("transient", "permanent", "latency", "cursor") + TASK_FAULT_KINDS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,7 +74,11 @@ class FaultRule:
     * ``permanent`` — raise :class:`BackendExecutionError` (no retry);
     * ``latency``  — sleep ``delay`` seconds, then run the statement;
     * ``cursor``   — flake the pooled reader path: transient failure
-      injected only on ``execute_read`` calls.
+      injected only on ``execute_read`` calls;
+    * ``worker_crash`` / ``stall`` — task-scoped kinds: kill or hang the
+      worker process handling the Nth matching *task* (dispatch-time
+      match via :meth:`FaultPlan.next_task_fault`); statement calls
+      ignore these rules entirely.
     """
 
     match: str = ""
@@ -117,6 +130,12 @@ class FaultPlan:
         shorthand for the match pattern::
 
             "tag=message:nth=3;tag=frontier:nth=1:kind=latency:delay=0.01"
+
+        Every malformed rule — a bad field, an unknown key, a
+        non-integer ``nth``/``times``, an unknown fault kind — raises
+        :class:`~repro.exceptions.ChaosSpecError` (a ``ValueError``)
+        naming the offending rule chunk, so a typo in ``JOINBOOST_CHAOS``
+        fails loudly instead of silently training without faults.
         """
         rules: List[FaultRule] = []
         for chunk in spec.split(";"):
@@ -132,8 +151,8 @@ class FaultPlan:
                     if i == 0:
                         fields["match"] = part
                         continue
-                    raise BackendError(
-                        f"bad chaos spec field {part!r} in {chunk!r}"
+                    raise ChaosSpecError(
+                        f"bad chaos spec field {part!r} in rule {chunk!r}"
                     )
                 key, _, value = part.partition("=")
                 fields[key.strip().lower()] = value.strip()
@@ -141,8 +160,8 @@ class FaultPlan:
                 fields["match"] = fields.pop("tag")
             unknown = set(fields) - {"match", "nth", "times", "kind", "delay"}
             if unknown:
-                raise BackendError(
-                    f"unknown chaos spec key(s) {sorted(unknown)} in "
+                raise ChaosSpecError(
+                    f"unknown chaos spec key(s) {sorted(unknown)} in rule "
                     f"{chunk!r}; expected tag/match, nth, times, kind, delay"
                 )
             try:
@@ -153,12 +172,14 @@ class FaultPlan:
                     kind=fields.get("kind", "transient"),
                     delay=float(fields.get("delay", "0")),
                 ))
-            except ValueError as exc:
-                raise BackendError(
-                    f"bad chaos spec {chunk!r}: {exc}"
+            except (BackendError, ValueError) as exc:
+                # FaultRule's own validation (unknown kind, nth/times < 1)
+                # and int()/float() conversion failures all name the rule.
+                raise ChaosSpecError(
+                    f"bad chaos spec rule {chunk!r}: {exc}"
                 ) from exc
         if not rules:
-            raise BackendError(f"chaos spec {spec!r} contains no rules")
+            raise ChaosSpecError(f"chaos spec {spec!r} contains no rules")
         return cls(rules)
 
     def next_fault(
@@ -169,11 +190,44 @@ class FaultPlan:
         Every matching rule's counter advances (so overlapping rules keep
         independent ordinals); the first rule whose fire window covers
         this ordinal wins.  ``cursor`` rules only consider read calls.
+        Task-scoped rules (:data:`TASK_FAULT_KINDS`) are skipped entirely
+        — statement calls neither fire them nor advance their counters,
+        so a ``worker_crash`` rule's ordinal counts *tasks*, not
+        statements, and stays deterministic across executors.
         """
         fired: Optional[FaultRule] = None
         with self._lock:
             for i, rule in enumerate(self.rules):
+                if rule.kind in TASK_FAULT_KINDS:
+                    continue
                 if rule.kind == "cursor" and not read:
+                    continue
+                if not rule.matches(tag, sql):
+                    continue
+                self._counts[i] += 1
+                ordinal = self._counts[i]
+                if fired is None and rule.nth <= ordinal < rule.nth + rule.times:
+                    fired = rule
+        return fired
+
+    def next_task_fault(
+        self, tag: Optional[str], sql: str = ""
+    ) -> Optional[FaultRule]:
+        """Advance task-scoped counters for one dispatch; return the rule
+        to fire, if any.
+
+        The mirror image of :meth:`next_fault`: only rules whose kind is
+        in :data:`TASK_FAULT_KINDS` participate, each matching rule's
+        counter advances by one *task*, and the first rule whose fire
+        window covers this ordinal wins.  Supervisors call this once per
+        task at dispatch time, before handing the task to a worker, so
+        the Nth matching task is faulted regardless of which worker runs
+        it or in what order results return.
+        """
+        fired: Optional[FaultRule] = None
+        with self._lock:
+            for i, rule in enumerate(self.rules):
+                if rule.kind not in TASK_FAULT_KINDS:
                     continue
                 if not rule.matches(tag, sql):
                     continue
@@ -286,6 +340,16 @@ class _ConnectorProxy(Connector):
         """Forward training setup to the wrapped connector."""
         return self._inner.prepare_training(graph, lifted=lifted)
 
+    def process_task_payload(self, sql, tag=None):
+        """Forward worker-task serialization to the wrapped connector.
+
+        Must be an explicit forward (not ``__getattr__``): the method
+        exists on the :class:`Connector` base class, whose default
+        *declines* every statement — inheriting it here would silently
+        turn the process executor off behind any chaos/retry proxy.
+        """
+        return self._inner.process_task_payload(sql, tag=tag)
+
     @property
     def profiles(self):
         """The wrapped connector's query profiles."""
@@ -392,6 +456,37 @@ class RetryConnector(_ConnectorProxy):
 
     def __repr__(self):
         return f"RetryConnector({self._inner!r}, {self.retry_policy!r})"
+
+
+def task_fault_directive(
+    db: object, tag: Optional[str], sql: str = ""
+) -> Optional[str]:
+    """Resolve the task-scoped fault directive for one dispatched task.
+
+    Supervisors (the process pool, the sharded trainer) call this once
+    per task at dispatch time.  If ``db`` carries a :class:`FaultPlan`
+    (i.e. somewhere in its proxy stack sits a :class:`ChaosConnector` —
+    the ``plan`` attribute forwards through :class:`_ConnectorProxy`)
+    and a task-scoped rule fires for this ``(tag, sql)``, the injection
+    is recorded in the chaos census and the fault kind
+    (``"worker_crash"`` or ``"stall"``) is returned; otherwise ``None``.
+
+    Resolving the directive in the *supervisor* (dispatch order is
+    deterministic) rather than in the worker (completion order is not)
+    is what keeps task-fault ordinals reproducible; stripping the
+    directive on re-dispatch is what lets the faulted task succeed on
+    its second attempt.
+    """
+    plan = getattr(db, "plan", None)
+    if not isinstance(plan, FaultPlan):
+        return None
+    rule = plan.next_task_fault(tag, sql)
+    if rule is None:
+        return None
+    census = getattr(db, "chaos_census", None)
+    if census is not None:
+        census.record(rule, tag, sql)
+    return rule.kind
 
 
 def wrap_with_chaos(

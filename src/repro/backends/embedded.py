@@ -14,6 +14,7 @@ working exactly as before the connector layer existed.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -22,6 +23,8 @@ from repro.backends.base import Capabilities, Connector, register_backend
 from repro.engine.database import Database
 from repro.engine.result import Relation
 from repro.storage.table import StorageConfig
+
+_IDENTIFIERS = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 
 class EmbeddedConnector(Connector):
@@ -52,6 +55,11 @@ class EmbeddedConnector(Connector):
             # registration is serialized behind the catalog lock.
             concurrent_read=True,
             in_process=True,
+            # Base relations are immutable numpy columns during an
+            # evaluation round — they pickle cheaply and exactly, so a
+            # worker process can rebuild the referenced tables and run
+            # the same statement on the same engine code.
+            process_safe=True,
         )
 
     @property
@@ -111,6 +119,33 @@ class EmbeddedConnector(Connector):
     ) -> None:
         """Replace a stored column via the engine's physical strategy."""
         self._db.replace_column(table_name, column_name, values, strategy)
+
+    def process_task_payload(
+        self, sql: str, tag: Optional[str] = None
+    ) -> Optional[Dict[str, object]]:
+        """Serialize a read-only statement plus its referenced tables.
+
+        Ships every catalog table whose name appears as an identifier in
+        the statement (case-insensitive) as ``(column name, values,
+        ctype, valid mask)`` tuples — the worker rebuilds real Columns
+        with masks preserved exactly, so no null round-trips through a
+        NaN sentinel.  Declines multi-statement scripts and anything
+        that is not a single ``SELECT`` (writes must stay on the owner).
+        """
+        stripped = sql.strip().rstrip(";")
+        if ";" in stripped or not stripped.upper().startswith("SELECT"):
+            return None
+        mentioned = {m.group(0).lower() for m in _IDENTIFIERS.finditer(stripped)}
+        tables: Dict[str, List[tuple]] = {}
+        for name in self._db.table_names():
+            if name.lower() not in mentioned:
+                continue
+            view = self._db.table(name)
+            tables[name] = [
+                (col.name, col.values, col.ctype.value, col.valid)
+                for col in view.columns()
+            ]
+        return {"kind": "embedded_read", "tables": tables, "sql": stripped}
 
     @property
     def profiles(self):

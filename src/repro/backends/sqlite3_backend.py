@@ -118,6 +118,39 @@ def _least(*args):
     return min(present) if present else None
 
 
+def register_sql_functions(conn: sqlite3.Connection) -> None:
+    """Register JoinBoost's SQL function surface on a connection.
+
+    Module-level so *any* connection to the database file — the owner,
+    a pooled reader, or a worker process that reopened the WAL file from
+    a serialized task spec — carries the identical function set; the
+    same Python lambdas on every connection is part of what keeps
+    child-computed results bit-identical to in-process ones.
+    """
+    conn.create_aggregate("MEDIAN", 1, _Median)
+    conn.create_function("GREATEST", -1, _greatest, deterministic=True)
+    conn.create_function("LEAST", -1, _least, deterministic=True)
+    # Math scalars: present on SQLITE_ENABLE_MATH_FUNCTIONS builds,
+    # registered otherwise so the Table-3 loss expressions always run.
+    probes = {
+        "EXP": (1, lambda x: None if x is None else math.exp(x)),
+        "LN": (1, lambda x: None if x is None or x <= 0 else math.log(x)),
+        "LOG": (1, lambda x: None if x is None or x <= 0 else math.log10(x)),
+        "SQRT": (1, lambda x: None if x is None or x < 0 else math.sqrt(x)),
+        "POWER": (2, lambda a, b: None if a is None or b is None
+                  else math.pow(a, b)),
+        "SIGN": (1, _sign),
+        "FLOOR": (1, lambda x: None if x is None else math.floor(x)),
+        "CEIL": (1, lambda x: None if x is None else math.ceil(x)),
+    }
+    for fn_name, (nargs, fn) in probes.items():
+        probe = f"SELECT {fn_name}({', '.join(['1'] * nargs)})"
+        try:
+            conn.execute(probe)
+        except sqlite3.OperationalError:
+            conn.create_function(fn_name, nargs, fn, deterministic=True)
+
+
 #: per-connection performance PRAGMAs applied to the owner and to every
 #: pooled reader (prepare_training records them under the ``index`` tag):
 #: sort/temp spills stay in RAM, the page cache is sized for the lifted
@@ -236,6 +269,11 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             narrow_update=True,
             concurrent_read=True,
             in_process=True,
+            # The database is a real WAL file (even ":memory:" maps to a
+            # tmpfs file): a worker process reopens it read-only and its
+            # snapshot reads never block on (or get blocked by) the
+            # owner — the cheapest possible task serialization, a path.
+            process_safe=True,
         )
 
     # ------------------------------------------------------------------
@@ -297,28 +335,7 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
             conn.execute(f"PRAGMA {pragma} = {value}")
 
     def _register_functions(self, conn: sqlite3.Connection) -> None:
-        conn.create_aggregate("MEDIAN", 1, _Median)
-        conn.create_function("GREATEST", -1, _greatest, deterministic=True)
-        conn.create_function("LEAST", -1, _least, deterministic=True)
-        # Math scalars: present on SQLITE_ENABLE_MATH_FUNCTIONS builds,
-        # registered otherwise so the Table-3 loss expressions always run.
-        probes = {
-            "EXP": (1, lambda x: None if x is None else math.exp(x)),
-            "LN": (1, lambda x: None if x is None or x <= 0 else math.log(x)),
-            "LOG": (1, lambda x: None if x is None or x <= 0 else math.log10(x)),
-            "SQRT": (1, lambda x: None if x is None or x < 0 else math.sqrt(x)),
-            "POWER": (2, lambda a, b: None if a is None or b is None
-                      else math.pow(a, b)),
-            "SIGN": (1, _sign),
-            "FLOOR": (1, lambda x: None if x is None else math.floor(x)),
-            "CEIL": (1, lambda x: None if x is None else math.ceil(x)),
-        }
-        for fn_name, (nargs, fn) in probes.items():
-            probe = f"SELECT {fn_name}({', '.join(['1'] * nargs)})"
-            try:
-                conn.execute(probe)
-            except sqlite3.OperationalError:
-                conn.create_function(fn_name, nargs, fn, deterministic=True)
+        register_sql_functions(conn)
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -394,6 +411,32 @@ class SQLiteConnector(TempNamespaceMixin, Connector):
                 started=start,
             ))
         return result
+
+    def process_task_payload(
+        self, sql: str, tag: Optional[str] = None
+    ) -> Optional[Dict[str, object]]:
+        """Serialize a rows-returning statement as a worker-process task.
+
+        The payload is just the WAL file path plus the *pre-translated*
+        statement — translation happens here, once, in the parent, so
+        the child runs byte-identical SQL against the same function set
+        (:func:`register_sql_functions`) and rebuilds its Relation with
+        the same :func:`column_from_values` conversion.  Declines
+        multi-statement scripts and anything that writes, exactly the
+        statements :meth:`execute_read` funnels back to the owner.
+        """
+        statements = split_statements(sql)
+        if len(statements) != 1:
+            return None
+        translated = self._dialect.translate(statements[0])
+        _, returns_rows = self._dialect.classify(translated)
+        if not returns_rows:
+            return None
+        return {
+            "kind": "sqlite_read",
+            "path": self._db_file,
+            "sql": translated,
+        }
 
     def _relation_from_cursor(self, cursor: sqlite3.Cursor) -> Relation:
         names = [d[0] for d in cursor.description or ()]

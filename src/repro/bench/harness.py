@@ -773,12 +773,19 @@ def fig12_multinode(
     rows_per_sf: int = 1_200,
     iterations: int = 10,
     per_machine_budget: int = 4_700_000,
+    executor: str = "serial",
 ) -> Dict[str, object]:
+    """Figure 12 series: simulated seconds (the paper's network model)
+    plus the *measured* wall of actually executing every shard step on
+    this host — the sharded path really runs; only the network is
+    modelled."""
     by_sf = []
+    measured_by_sf = {}
     for sf in scale_factors:
         db, graph = tpcds(sf=sf, rows_per_sf=rows_per_sf, num_features=12)
         cluster = SimulatedCluster(
-            db, graph, "date_sk", ClusterConfig(num_machines=4)
+            db, graph, "date_sk", ClusterConfig(num_machines=4),
+            executor=executor,
         )
         _, jb_seconds = cluster.train_gradient_boosting(
             {"num_iterations": iterations, "num_leaves": 8,
@@ -788,13 +795,16 @@ def fig12_multinode(
             db, graph, iterations, 4, per_machine_budget
         )
         by_sf.append((sf, jb_seconds, baseline))
+        measured_by_sf[sf] = cluster.measured_wall_seconds
 
     sf_fixed = scale_factors[-1]
     by_machines = []
+    measured_by_machines = {}
     for machines in machines_sweep:
         db, graph = tpcds(sf=sf_fixed, rows_per_sf=rows_per_sf, num_features=12)
         cluster = SimulatedCluster(
-            db, graph, "date_sk", ClusterConfig(num_machines=machines)
+            db, graph, "date_sk", ClusterConfig(num_machines=machines),
+            executor=executor,
         )
         _, jb_seconds = cluster.train_gradient_boosting(
             {"num_iterations": iterations, "num_leaves": 8,
@@ -804,7 +814,110 @@ def fig12_multinode(
             db, graph, iterations, machines, per_machine_budget
         )
         by_machines.append((machines, jb_seconds, baseline))
-    return {"by_sf": by_sf, "by_machines": by_machines, "sf_fixed": sf_fixed}
+        measured_by_machines[machines] = cluster.measured_wall_seconds
+    return {
+        "by_sf": by_sf,
+        "by_machines": by_machines,
+        "sf_fixed": sf_fixed,
+        "executor": executor,
+        "measured_by_sf": measured_by_sf,
+        "measured_by_machines": measured_by_machines,
+    }
+
+
+def _int_y_star_db(rows: int = 4_096, seed: int = 11):
+    """Star schema with an integer-valued float target: per-shard partial
+    sums are exact in float64, so merged aggregates — and the model — are
+    bit-identical for any shard count, which is what lets the sharded
+    comparison gate on digest equality across shards {1, 4}."""
+    from repro.joingraph.graph import JoinGraph
+
+    rng = np.random.default_rng(seed)
+    db = Database(name="inty")
+    db.create_table("fact", {
+        "k0": rng.integers(0, 40, size=rows),
+        "k1": rng.integers(0, 30, size=rows),
+        "y": rng.integers(-8, 9, size=rows).astype(np.float64),
+    })
+    db.create_table("dim0", {
+        "k0": np.arange(40),
+        "f0": rng.normal(size=40),
+        "f1": rng.integers(0, 5, size=40).astype(np.float64),
+    })
+    db.create_table("dim1", {
+        "k1": np.arange(30),
+        "f2": rng.normal(size=30),
+        "f3": rng.integers(0, 7, size=30).astype(np.float64),
+    })
+    graph = JoinGraph(db)
+    graph.add_relation("fact", features=[], y="y", is_fact=True)
+    graph.add_relation("dim0", features=["f0", "f1"])
+    graph.add_relation("dim1", features=["f2", "f3"])
+    graph.add_edge("fact", "dim0", ["k0"], ["k0"])
+    graph.add_edge("fact", "dim1", ["k1"], ["k1"])
+    return db, graph
+
+
+def fig12_sharded_comparison(
+    rows: int = 4_096,
+    task_deadline: float = 5.0,
+) -> Dict[str, object]:
+    """Sharded-training parity and recovery, measured on real executors.
+
+    Runs the same integer-target workload as one shard (the reference),
+    four serial shards, four process shards, and four process shards
+    under ``worker_crash`` and ``stall`` task faults.  Every leg must
+    produce the reference ``model_digest`` bit for bit, the chaos legs
+    must show redispatches with nothing exhausted, and every leg reports
+    its *measured* wall (real execution, not the network model)."""
+    from repro.core.serialize import model_digest
+
+    params = {"num_iterations": 1, "num_leaves": 8, "min_data_in_leaf": 2}
+    specs = [
+        ("one_shard_serial", 1, "serial", None),
+        ("sharded_serial", 4, "serial", None),
+        ("sharded_process", 4, "process", None),
+        ("sharded_process_crash", 4, "process",
+         "tag=feature:nth=3:times=1:kind=worker_crash"),
+        ("sharded_process_stall", 4, "process",
+         "tag=totals:nth=2:times=1:kind=stall"),
+    ]
+    legs = []
+    for name, shards, executor, chaos in specs:
+        db, graph = _int_y_star_db(rows=rows)
+        cluster = SimulatedCluster(
+            db, graph, "k0", ClusterConfig(num_machines=shards),
+            executor=executor, chaos=chaos, task_deadline=task_deadline,
+        )
+        model, simulated = cluster.train_gradient_boosting(params)
+        census = cluster.census()
+        legs.append({
+            "name": name,
+            "shards": shards,
+            "executor": census["executor"],
+            "executor_fallback_reason": census["executor_fallback_reason"],
+            "chaos": chaos,
+            "digest": model_digest(model),
+            "simulated_seconds": simulated,
+            "measured_wall_seconds": census["measured_wall_seconds"],
+            "worker_crashes": census["worker_crashes"],
+            "deadline_timeouts": census["deadline_timeouts"],
+            "tasks_redispatched": census["tasks_redispatched"],
+            "respawns": census["respawns"],
+            "retry_exhausted": census["retry_exhausted"],
+            "chaos_injected": census["chaos_injected"],
+        })
+    reference = legs[0]["digest"]
+    chaos_legs = [leg for leg in legs if leg["chaos"] is not None]
+    return {
+        "rows": rows,
+        "legs": legs,
+        "digest_parity": all(leg["digest"] == reference for leg in legs),
+        "chaos_tasks_redispatched": sum(
+            leg["tasks_redispatched"] for leg in chaos_legs
+        ),
+        "retry_exhausted": sum(leg["retry_exhausted"] for leg in legs),
+    }
 
 
 def fig13_warehouse(

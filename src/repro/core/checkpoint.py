@@ -36,7 +36,7 @@ CHECKPOINT_VERSION = 1
 
 #: TrainParams fields that are execution details, not model definition —
 #: a resumed run may change them freely without breaking digest parity
-EXECUTION_ONLY_PARAMS = ("num_workers",)
+EXECUTION_ONLY_PARAMS = ("num_workers", "executor")
 
 
 class CheckpointSink:
@@ -163,9 +163,11 @@ def check_resume_params(stored, requested) -> None:
     """Reject a resume whose parameters would change the model.
 
     Every :class:`TrainParams` field must match the checkpoint except
-    the execution-only ones (``num_workers``), which affect scheduling
-    but not the trained trees — the determinism contract makes worker
-    count digest-invariant, so resuming with a different pool is fine.
+    the execution-only ones (``num_workers``, ``executor``), which
+    affect scheduling but not the trained trees — the determinism
+    contract makes worker count *and* executor kind digest-invariant,
+    so resuming with a different pool (or on processes instead of
+    threads) is fine.
     """
     import dataclasses
 
@@ -200,7 +202,8 @@ def resume_training(
 
     ``params``/``overrides`` are optional; when given they must match the
     checkpoint's stored parameters on every model-defining field (see
-    :func:`check_resume_params`) — ``num_workers`` may differ.  With an
+    :func:`check_resume_params`) — ``num_workers``/``executor`` may
+    differ.  With an
     *empty* sink this degrades to a fresh ``train_gradient_boosting``
     run that checkpoints into ``sink``, so callers can use one code path
     for "run, and pick up where we left off if interrupted".
@@ -219,6 +222,7 @@ def resume_training(
         requested = TrainParams.from_dict(params, **overrides)
         check_resume_params(stored_params, requested)
         stored_params.num_workers = requested.num_workers
+        stored_params.executor = requested.executor
     import dataclasses
 
     return train_gradient_boosting(

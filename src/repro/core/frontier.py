@@ -339,6 +339,7 @@ class FrontierEvaluator:
         min_child_samples: int = 1,
         state_mode: str = "incremental",
         num_workers: int = 1,
+        executor: str = "thread",
     ):
         self.db = db
         self.graph = graph
@@ -350,6 +351,7 @@ class FrontierEvaluator:
         self.min_child_samples = min_child_samples
         self.state_mode = state_mode
         self.num_workers = max(1, int(num_workers))
+        self.executor = executor
         self.state = FrontierState(db, graph, factorizer)
         # census counters (read by the Figure 9 bench and the CI gate)
         self.rounds = 0
@@ -373,6 +375,15 @@ class FrontierEvaluator:
         # the round fanned out); census() derives a reason for rounds
         # that never reached the batched evaluator at all
         self.parallel_fallback_reason: Optional[str] = None
+        # process-executor supervision census, accumulated across every
+        # evaluation round of the training run (worker_crashes,
+        # tasks_redispatched, respawns, deadline_timeouts, ...)
+        from repro.engine.procpool import ProcPoolCensus
+
+        self.pool_census = ProcPoolCensus()
+        # why executor="process" degraded to threads (None = it engaged,
+        # or was never requested)
+        self.executor_fallback_reason: Optional[str] = None
         self._batch_veto: Optional[str] = None
         self._veto_checked = False
         self._incremental_veto: Optional[str] = None
@@ -464,6 +475,7 @@ class FrontierEvaluator:
             else {"retries": 0, "exhausted": 0, "succeeded_after_retry": 0}
         )
         chaos_census = getattr(self.db, "chaos_census", None)
+        pool_counts = self.pool_census.snapshot()
         return {
             "mode": self.mode,
             "frontier_state": self.state_mode,
@@ -502,6 +514,19 @@ class FrontierEvaluator:
                 chaos_census.snapshot()["total"]
                 if chaos_census is not None else 0
             ),
+            # process-executor supervision (the new failure domain the
+            # statement retry layer cannot see; ISSUE-9 recovery gates).
+            # "executor" is the one rounds actually ran on — a requested
+            # "process" that degraded reports "thread" plus the reason.
+            "executor": self._effective_executor(),
+            "executor_fallback_reason": self.executor_fallback_reason,
+            **{
+                key: pool_counts[key]
+                for key in (
+                    "worker_crashes", "tasks_redispatched",
+                    "respawns", "deadline_timeouts",
+                )
+            },
         }
 
     def _fallback_reason(self) -> Optional[str]:
@@ -718,6 +743,35 @@ class FrontierEvaluator:
         self.parallel_fallback_reason = None
         return True
 
+    def _effective_executor(self) -> str:
+        """The executor a fanned-out round actually runs on.
+
+        ``executor="process"`` engages only when the backend can
+        serialize read tasks for worker processes
+        (``Capabilities.process_safe`` + a ``process_task_payload``
+        entry point); otherwise the round degrades to the thread pool
+        and records why — the same no-silent-fallback stance as
+        ``parallel_fallback_reason``.
+        """
+        if self.executor != "process":
+            self.executor_fallback_reason = None
+            return "thread"
+        capabilities = getattr(self.db, "capabilities", None)
+        if capabilities is None or not getattr(
+            capabilities, "process_safe", False
+        ):
+            self.executor_fallback_reason = (
+                "backend is not process-safe (no serialized task specs)"
+            )
+            return "thread"
+        if not callable(getattr(self.db, "process_task_payload", None)):
+            self.executor_fallback_reason = (
+                "backend lacks process_task_payload()"
+            )
+            return "thread"
+        self.executor_fallback_reason = None
+        return "process"
+
     def _evaluate_parallel(
         self,
         by_relation: Dict[str, List[Tuple[int, str]]],
@@ -743,6 +797,16 @@ class FrontierEvaluator:
         relations, and each task computes exactly what the serial loop
         would — so the merged map, and therefore the chosen tree, is
         bit-identical to ``num_workers=1``.
+
+        On ``executor="process"`` (and a process-safe backend) each
+        relation's chain deepens to *build* (inline — message builds
+        mutate the catalog and stay on the owner) → one fused *read* per
+        kind group, serialized via ``process_task_payload`` and executed
+        in a supervised worker process → *scan* (inline — the numpy
+        prefix scan over the returned aggregates) → *finalize* (drop the
+        absorption temps, register the relation's output).  Results
+        still merge by relation/feature order, so the digest contract
+        holds across executors and across injected worker failures.
         """
         from repro.engine.scheduler import QueryScheduler
 
@@ -752,9 +816,12 @@ class FrontierEvaluator:
         # connector's RetryCensus is NOT shared with the scheduler —
         # scheduler-level retries are accounted via report.retries, and
         # census() sums the two sources without double counting.
+        effective_executor = self._effective_executor()
         scheduler = QueryScheduler(
             num_workers=self.num_workers,
             retry_policy=getattr(self.db, "retry_policy", None),
+            executor=effective_executor,
+            pool_census=self.pool_census,
         )
         absorptions: Dict[str, MultiAbsorption] = {}
         outputs: Dict[str, Tuple[Dict[Tuple[int, int], SplitCandidate], int]] = {}
@@ -787,15 +854,100 @@ class FrontierEvaluator:
                 outputs[relation] = (local, queries)
             return split
 
-        for relation, indexed in by_relation.items():
-            build_id = scheduler.submit(
-                build_task(relation), label=f"build:{relation}"
-            )
-            scheduler.submit(
-                split_task(relation, indexed),
-                deps=[build_id],
-                label=f"split:{relation}",
-            )
+        def submit_process_graph() -> None:
+            """The deeper per-relation chain for the process executor.
+
+            The read node's *spec* resolves at dispatch time (after the
+            build committed its message temps): it renders the fused
+            SQL, asks the backend to serialize it, and stamps any
+            task-scoped chaos directive — in query-id order, so fault
+            ordinals are deterministic.  A backend that declines a
+            particular statement returns ``None`` and the read runs
+            inline instead; either way the scan and finalize nodes stay
+            on the calling process.
+            """
+            from repro.backends.chaos import task_fault_directive
+
+            locals_by_relation: Dict[str, Dict[Tuple[int, int], SplitCandidate]] = {
+                relation: {} for relation in by_relation
+            }
+
+            for relation, indexed in by_relation.items():
+                build_id = scheduler.submit(
+                    build_task(relation), label=f"build:{relation}"
+                )
+                groups = self._split_by_kind(relation, indexed)
+                scan_ids: List[int] = []
+                for group_index, group in enumerate(groups):
+
+                    def read_spec(relation=relation, group=group):
+                        sql = self._fused_sql(
+                            relation, group, fact, absorptions[relation],
+                            label_column, round_ids,
+                        )
+                        payload = self.db.process_task_payload(
+                            sql, tag="feature"
+                        )
+                        if payload is None:
+                            return None
+                        directive = task_fault_directive(
+                            self.db, f"feature:{relation}", sql
+                        )
+                        if directive is not None:
+                            payload["chaos"] = directive
+                        return payload
+
+                    def read_inline(relation=relation, group=group):
+                        sql = self._fused_sql(
+                            relation, group, fact, absorptions[relation],
+                            label_column, round_ids,
+                        )
+                        runner = getattr(self.db, "execute_read", self.db.execute)
+                        return runner(sql, tag="feature")
+
+                    read_id = scheduler.submit(
+                        read_inline,
+                        deps=[build_id],
+                        label=f"read:{relation}:{group_index}",
+                        spec=read_spec,
+                    )
+
+                    def scan(
+                        relation=relation, group=group, read_id=read_id
+                    ) -> None:
+                        self._scan_fused_result(
+                            scheduler.result_of(read_id),
+                            relation, group, node_by_id,
+                            locals_by_relation[relation],
+                        )
+
+                    scan_ids.append(scheduler.submit(
+                        scan,
+                        deps=[read_id],
+                        label=f"scan:{relation}:{group_index}",
+                    ))
+
+                def finalize(relation=relation, queries=len(groups)) -> None:
+                    for temp in absorptions[relation].temp_tables:
+                        self.db.drop_table(temp, if_exists=True)
+                    outputs[relation] = (locals_by_relation[relation], queries)
+
+                scheduler.submit(
+                    finalize, deps=scan_ids, label=f"finalize:{relation}"
+                )
+
+        if effective_executor == "process":
+            submit_process_graph()
+        else:
+            for relation, indexed in by_relation.items():
+                build_id = scheduler.submit(
+                    build_task(relation), label=f"build:{relation}"
+                )
+                scheduler.submit(
+                    split_task(relation, indexed),
+                    deps=[build_id],
+                    label=f"split:{relation}",
+                )
         try:
             report = scheduler.run()
         except BaseException:
@@ -903,6 +1055,30 @@ class FrontierEvaluator:
         through the backend's ``execute_read`` entry point — a pooled
         per-thread connection on sqlite, the audited in-process read path
         on the embedded engine."""
+        sql = self._fused_sql(
+            relation, indexed, fact, absorption, label_column, frontier_ids
+        )
+        runner = getattr(self.db, "execute_read", self.db.execute)
+        result = runner(sql, tag="feature")
+        self._scan_fused_result(
+            result, relation, indexed, node_by_id, candidates
+        )
+        return 1
+
+    def _fused_sql(
+        self,
+        relation: str,
+        indexed: List[Tuple[int, str]],
+        fact: str,
+        absorption,
+        label_column: str = LEAF_COLUMN,
+        frontier_ids: Optional[Sequence[int]] = None,
+    ) -> str:
+        """Render the fused ``UNION ALL`` split query for one relation's
+        kind group.  Pure SQL construction — the process executor renders
+        here in the parent, serializes the text into a task spec, and a
+        worker executes it verbatim, so the statement a child runs is
+        byte-identical to the one the thread path would."""
         leaf_ref = absorption.ref(fact, label_column)
         agg_sql = ", ".join(
             f"{expr} AS {comp}" for comp, expr in absorption.agg_selects
@@ -926,10 +1102,22 @@ class FrontierEvaluator:
                 f"WHERE {where_sql} "
                 f"GROUP BY {leaf_ref}, t.{feature}"
             )
-        runner = getattr(self.db, "execute_read", self.db.execute)
-        result = runner(" UNION ALL ".join(branches), tag="feature")
+        return " UNION ALL ".join(branches)
+
+    def _scan_fused_result(
+        self,
+        result,
+        relation: str,
+        indexed: List[Tuple[int, str]],
+        node_by_id: Dict[int, TreeNode],
+        candidates: Dict[Tuple[int, int], SplitCandidate],
+    ) -> None:
+        """Client-side prefix scan over a fused query's aggregates,
+        filling ``candidates`` keyed by ``(node_id, feature index)`` —
+        identical numpy arithmetic regardless of which executor (or
+        which process) produced ``result``."""
         if result is None or result.num_rows == 0:
-            return 1
+            return
 
         feature_ids = result.column("jb_feature").values.astype(np.int64)
         leaf_ids = np.asarray(
@@ -966,4 +1154,3 @@ class FrontierEvaluator:
                 )
                 if candidate is not None:
                     candidates[(node_id, index)] = candidate
-        return 1

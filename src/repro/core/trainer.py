@@ -67,6 +67,7 @@ class DecisionTreeTrainer:
             min_child_samples=params.min_child_samples,
             state_mode=params.frontier_state,
             num_workers=params.resolved_workers(),
+            executor=params.executor,
         )
         self._ids = itertools.count()
 

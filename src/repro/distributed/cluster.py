@@ -1,40 +1,82 @@
-"""Simulated multi-node training (Figures 12 and 13).
+"""Hash-sharded multi-node training (Figures 12 and 13).
 
 Workers are real :class:`Database` instances over real hash partitions;
-every aggregate a worker contributes is computed by real queries.  Only
-*time* is simulated: workers run serially here, so the reported wall
-clock of a parallel step is ``max(worker times)`` plus a network model
-(``bytes / bandwidth + latency`` per synchronization).  EXPERIMENTS.md
-documents this substitution.
+every aggregate a worker contributes is computed by real queries.  Two
+clocks are kept:
 
-The distributed trainer is data-parallel, like Dask-LightGBM: each tree
-node's per-feature aggregates are computed per worker, merged at the
-coordinator (a real NumPy group-sum), and the split decision is global —
-so the distributed model is *identical* to the single-node model, which
-the tests assert.
+* ``simulated_seconds`` — the paper's network model: a parallel step
+  costs ``max(worker times)`` and each synchronization costs
+  ``bytes / bandwidth + latency``.  This is what Figure 12 plots.
+* ``measured_wall_seconds`` — the actual wall clock of running the
+  shard steps on this machine, with whichever executor was requested.
+  This is what the fig12 bench now *measures* rather than models.
+
+Shard steps run on one of three executors.  ``serial`` runs shards one
+after another in-process (the old behavior).  ``thread`` runs them on a
+thread per shard — each shard owns a private :class:`Database`, so the
+steps are disjoint.  ``process`` forks one child per shard for the
+*read-only* steps (root totals, per-feature aggregates) and ships the
+result back over a pipe — per-shard message passing with a real process
+boundary.  Mutating steps (lift, residual updates) never fork: their
+effects must land in the parent's catalogs.
+
+Failures recover at shard granularity.  A task-scoped chaos directive
+(``worker_crash``/``stall``, resolved in shard-index order at dispatch
+time, exactly like the process pool in :mod:`repro.engine.procpool`)
+kills or hangs the shard's child; the supervisor detects the nonzero
+exit code or the missed deadline, counts it, and re-executes that one
+shard in the parent with the directive stripped.  Real transient
+backend errors get the same bounded re-execution.  Because every merge
+happens in shard-index order over re-executed-or-not results, the
+trained model is bit-identical to the serial run — which the tests
+assert via ``model_digest``.
+
+Checkpoints (PR 8 machinery) are written at shard-merge granularity:
+after every committed boosting round — i.e. once all shards have merged
+the round's residual update — the partial model goes to the configured
+:class:`~repro.core.checkpoint.CheckpointSink`.  A cluster built over
+the same data resumes from the last committed round, replaying the
+restored trees' residual updates through the same per-shard path.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import TrainingError
+from repro.exceptions import TrainingError, TransientBackendError
 from repro.core.params import TrainParams
 from repro.core.residual import ResidualUpdater
 from repro.core.split import Criterion, GradientCriterion, SplitCandidate
 from repro.core.tree import DecisionTreeModel, TreeNode
-from repro.core.boosting import GradientBoostingModel, _init_score_sql
+from repro.core.boosting import GradientBoostingModel
+from repro.core.checkpoint import (
+    CheckpointSink,
+    check_resume_params,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.engine.operators import factorize, group_sum
+from repro.engine.procpool import (
+    CRASH_EXIT_CODE,
+    STALL_SLEEP_SECONDS,
+    ProcPoolCensus,
+    default_task_deadline,
+)
+from repro.backends.chaos import ChaosCensus, FaultPlan
 from repro.factorize.executor import Factorizer
-from repro.factorize.predicates import Predicate, PredicateMap, add_predicate
+from repro.factorize.predicates import Predicate, PredicateMap
 from repro.joingraph.graph import JoinGraph
 from repro.distributed.partition import partition_database
 from repro.semiring.gradient import GradientSemiRing
 from repro.semiring.losses import get_loss
+
+#: executors a cluster can run shard steps on
+EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclasses.dataclass
@@ -46,8 +88,51 @@ class ClusterConfig:
     latency_s: float = 5e-4
 
 
+def _shard_child(conn, step_fn, index: int, directive: Optional[str]) -> None:
+    """Body of one forked shard worker.
+
+    Runs ``step_fn(index)`` against the forked copy of the shard's
+    database and ships the (picklable) result back over ``conn``.  A
+    chaos directive is honored *after* the fork so the parent can
+    observe the real failure mode: ``worker_crash`` dies with
+    :data:`CRASH_EXIT_CODE` before doing any work, ``stall`` sleeps past
+    any reasonable deadline.  Exits via ``os._exit`` in every path —
+    the forked child inherits the parent's atexit handlers (including
+    the shared process-pool shutdown) and must not run them.
+    """
+    try:
+        if directive == "worker_crash":
+            os._exit(CRASH_EXIT_CODE)
+        if directive == "stall":
+            time.sleep(STALL_SLEEP_SECONDS)
+        start = time.perf_counter()
+        result = step_fn(index)
+        conn.send(("done", result, time.perf_counter() - start))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", type(exc)(*exc.args), 0.0))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        finally:
+            os._exit(0)
+
+
 class SimulatedCluster:
-    """Data-parallel factorized training over hash partitions."""
+    """Data-parallel factorized training over hash partitions.
+
+    ``executor`` picks how shard steps run (``serial``/``thread``/
+    ``process``); ``chaos`` is a :class:`FaultPlan` or a
+    ``JOINBOOST_CHAOS``-syntax spec string whose task-scoped rules
+    (``worker_crash``/``stall``) fault shard steps; ``checkpoint`` is a
+    :class:`CheckpointSink` that receives the partial model after every
+    committed boosting round and is consulted for resume on the next
+    ``train_gradient_boosting`` call; ``task_deadline`` bounds how long
+    the supervisor waits for one shard step in process mode before
+    declaring it stalled (default: ``JOINBOOST_TASK_DEADLINE`` or 30s).
+    """
 
     def __init__(
         self,
@@ -55,26 +140,225 @@ class SimulatedCluster:
         graph: JoinGraph,
         partition_key: str,
         config: Optional[ClusterConfig] = None,
+        *,
+        executor: str = "serial",
+        chaos: "FaultPlan | str | None" = None,
+        checkpoint: Optional[CheckpointSink] = None,
+        max_step_retries: int = 3,
+        task_deadline: Optional[float] = None,
     ):
+        if executor not in EXECUTORS:
+            raise TrainingError(
+                f"cluster executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.config = config or ClusterConfig()
         self.workers, self.worker_graphs = partition_database(
             db, graph, self.config.num_machines, partition_key
         )
         self.graph = graph
+        self.executor = executor
+        self.executor_fallback_reason: Optional[str] = None
+        if executor == "process":
+            import multiprocessing
+
+            if "fork" not in multiprocessing.get_all_start_methods():
+                # Without fork the children cannot see the in-memory
+                # shards; run the steps on threads instead — loudly.
+                self.executor = "thread"
+                self.executor_fallback_reason = (
+                    "fork start method unavailable (shards live in parent"
+                    " memory); running shard steps on threads"
+                )
+        if isinstance(chaos, str):
+            chaos = FaultPlan.from_spec(chaos)
+        self.fault_plan: Optional[FaultPlan] = chaos
+        self.chaos_census = ChaosCensus()
+        self.pool_census = ProcPoolCensus()
+        self.checkpoint = checkpoint
+        self.max_step_retries = max_step_retries
+        self.task_deadline = (
+            task_deadline if task_deadline is not None else default_task_deadline()
+        )
         self.simulated_seconds = 0.0
+        self.measured_wall_seconds = 0.0
         self.shuffle_bytes = 0
+        self._retry_exhausted = 0
 
     # ------------------------------------------------------------------
-    def _parallel(self, step_fn) -> List[object]:
-        """Run a step on every worker; account max(worker) wall time."""
-        results = []
-        durations = []
-        for worker, wgraph in zip(self.workers, self.worker_graphs):
-            start = time.perf_counter()
-            results.append(step_fn(worker, wgraph))
-            durations.append(time.perf_counter() - start)
+    # Supervised shard-step execution
+    # ------------------------------------------------------------------
+    def _directive(self, tag: str) -> Optional[str]:
+        """Task-scoped chaos directive for one shard step, if any."""
+        if self.fault_plan is None:
+            return None
+        rule = self.fault_plan.next_task_fault(tag)
+        if rule is None:
+            return None
+        self.chaos_census.record(rule, tag, "")
+        return rule.kind
+
+    def _run_step(self, step_fn: Callable[[int], object], index: int) -> object:
+        """One shard step with bounded transient-error re-execution."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return step_fn(index)
+            except TransientBackendError:
+                if attempt > self.max_step_retries:
+                    self._retry_exhausted += 1
+                    raise
+                self.pool_census.bump("task_retries")
+
+    def _parallel(
+        self,
+        step_fn: Callable[[int], object],
+        tag: str = "step",
+        readonly: bool = False,
+    ) -> List[object]:
+        """Run ``step_fn(i)`` for every shard ``i``; return index-ordered
+        results and account both clocks.
+
+        Chaos directives are resolved for *all* shards, in index order,
+        before anything executes — dispatch order is deterministic even
+        when completion order is not, so the Nth matching shard step is
+        faulted reproducibly across executors.  A faulted or genuinely
+        failed shard is re-executed in the parent with the directive
+        stripped; merges downstream see only successful results, in
+        shard-index order.
+        """
+        n = len(self.workers)
+        directives = [self._directive(f"{tag}:shard{i}") for i in range(n)]
+        wall_start = time.perf_counter()
+        if self.executor == "process" and readonly:
+            results, durations = self._run_shards_forked(step_fn, directives, tag)
+        else:
+            results, durations = self._run_shards_inline(step_fn, directives, tag)
+        self.measured_wall_seconds += time.perf_counter() - wall_start
         self.simulated_seconds += max(durations) if durations else 0.0
+        self.pool_census.bump("tasks_completed", n)
         return results
+
+    def _run_shards_inline(
+        self,
+        step_fn: Callable[[int], object],
+        directives: Sequence[Optional[str]],
+        tag: str,
+    ) -> Tuple[List[object], List[float]]:
+        """Serial/thread execution (and mutating steps under process).
+
+        There is no child to kill in-process, so a directive means the
+        shard's first attempt is *considered* lost — the failure is
+        counted exactly as the forked path would count it, then the
+        step runs.  That keeps chaos counters and fault ordinals
+        uniform across executors, which is what lets the tests compare
+        censuses, not just digests.
+        """
+        n = len(self.workers)
+
+        def run_one(i: int) -> Tuple[object, float]:
+            if directives[i] is not None:
+                self._count_shard_failure(directives[i])
+            start = time.perf_counter()
+            result = self._run_step(step_fn, i)
+            return result, time.perf_counter() - start
+
+        if self.executor == "serial" or n <= 1:
+            pairs = [run_one(i) for i in range(n)]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                pairs = list(pool.map(run_one, range(n)))
+        return [r for r, _ in pairs], [d for _, d in pairs]
+
+    def _run_shards_forked(
+        self,
+        step_fn: Callable[[int], object],
+        directives: Sequence[Optional[str]],
+        tag: str,
+    ) -> Tuple[List[object], List[float]]:
+        """Fork one child per shard; recover crashed/stalled shards.
+
+        Fork (not spawn) is load-bearing: the children must see the
+        in-memory shard databases, and fork's copy-on-write clone gives
+        them an identical snapshot without serializing the catalogs.
+        Each child ships its result back over a one-way pipe and exits
+        via ``os._exit`` so the parent's atexit/pool state is never
+        touched.  The parent sweeps shards in index order: a pipe EOF
+        or nonzero exit code is a crash, a missed deadline is a stall;
+        either way the child is killed and the shard re-executes in the
+        parent with the chaos directive stripped.
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        n = len(self.workers)
+        procs = []
+        for i in range(n):
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_shard_child,
+                args=(send_conn, step_fn, i, directives[i]),
+                daemon=True,
+            )
+            proc.start()
+            send_conn.close()
+            procs.append((proc, recv_conn, time.perf_counter()))
+
+        results: List[object] = [None] * n
+        durations: List[float] = [0.0] * n
+        for i, (proc, conn, started) in enumerate(procs):
+            outcome = None
+            remaining = self.task_deadline - (time.perf_counter() - started)
+            try:
+                if conn.poll(max(0.0, remaining)):
+                    outcome = conn.recv()
+            except (EOFError, OSError):
+                outcome = None  # pipe died with the child: crash
+            if outcome is None:
+                proc.join(timeout=0.1)
+                why = "worker_crash" if not proc.is_alive() else "stall"
+                self._requeue_shard(proc, why)
+                results[i], durations[i] = self._reexecute_shard(step_fn, i)
+            elif outcome[0] == "done":
+                results[i], durations[i] = outcome[1], outcome[2]
+                proc.join(timeout=5.0)
+            else:  # ("error", exc, _): real failure inside the child
+                proc.join(timeout=5.0)
+                exc = outcome[1]
+                if not isinstance(exc, TransientBackendError):
+                    raise TrainingError(
+                        f"shard {i} failed during {tag!r}: {exc}"
+                    ) from exc
+                self.pool_census.bump("task_retries")
+                results[i], durations[i] = self._reexecute_shard(step_fn, i)
+            conn.close()
+        return results, durations
+
+    def _count_shard_failure(self, why: str) -> None:
+        """Census one lost shard attempt plus its re-dispatch."""
+        if why == "worker_crash":
+            self.pool_census.bump("worker_crashes")
+        else:
+            self.pool_census.bump("deadline_timeouts")
+        self.pool_census.bump("tasks_redispatched")
+
+    def _requeue_shard(self, proc, why: str) -> None:
+        """Kill a failed shard child and account the recovery."""
+        self._count_shard_failure(why)
+        self.pool_census.bump("respawns")
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+
+    def _reexecute_shard(
+        self, step_fn: Callable[[int], object], index: int
+    ) -> Tuple[object, float]:
+        """Run a recovered shard's step in the parent, timed."""
+        start = time.perf_counter()
+        result = self._run_step(step_fn, index)
+        return result, time.perf_counter() - start
 
     def _sync(self, nbytes: int) -> None:
         """Account one coordinator synchronization."""
@@ -83,41 +367,110 @@ class SimulatedCluster:
             self.config.latency_s + nbytes / self.config.bandwidth_bytes_per_s
         )
 
+    def census(self) -> Dict[str, object]:
+        """Supervision counters plus both clocks, for benches and CI."""
+        counts = self.pool_census.snapshot()
+        return {
+            "executor": self.executor,
+            "executor_fallback_reason": self.executor_fallback_reason,
+            "num_shards": len(self.workers),
+            "worker_crashes": counts["worker_crashes"],
+            "tasks_redispatched": counts["tasks_redispatched"],
+            "respawns": counts["respawns"],
+            "deadline_timeouts": counts["deadline_timeouts"],
+            "task_retries": counts["task_retries"],
+            "retry_exhausted": self._retry_exhausted,
+            "tasks_completed": counts["tasks_completed"],
+            "chaos_injected": self.chaos_census.total,
+            "simulated_seconds": self.simulated_seconds,
+            "measured_wall_seconds": self.measured_wall_seconds,
+            "shuffle_bytes": self.shuffle_bytes,
+        }
+
     # ------------------------------------------------------------------
     def train_gradient_boosting(
         self, params: Optional[dict] = None, **overrides
     ) -> Tuple[GradientBoostingModel, float]:
-        """Distributed rmse boosting; returns (model, simulated seconds)."""
+        """Distributed rmse boosting; returns (model, simulated seconds).
+
+        With a ``checkpoint`` sink configured, every committed round is
+        checkpointed after its residual update has merged on all shards,
+        and a non-empty sink resumes from its last committed round
+        (parameters must match the checkpoint on every model-defining
+        field; the restored trees' updates are replayed per shard before
+        training continues).
+        """
         train_params = TrainParams.from_dict(params, **overrides)
+        restored_spec: Optional[dict] = None
+        start_round = 0
+        if self.checkpoint is not None:
+            payload = read_checkpoint(self.checkpoint)
+            if payload is not None:
+                stored_params = TrainParams.from_dict(payload["params"])
+                check_resume_params(stored_params, train_params)
+                stored_params.num_workers = train_params.num_workers
+                stored_params.executor = train_params.executor
+                train_params = stored_params
+                restored_spec = payload["model"]
+                start_round = int(payload["round"])
         loss = get_loss(train_params.objective, **train_params.loss_kwargs())
         if not loss.supports_galaxy:
             raise TrainingError("distributed training supports rmse only")
         self.simulated_seconds = 0.0
+        self.measured_wall_seconds = 0.0
         self.shuffle_bytes = 0
 
         fact = self.graph.target_relation
         y = self.graph.target_column
+        workers, worker_graphs = self.workers, self.worker_graphs
 
-        # Global init score: merge per-worker (sum, count).
-        stats = self._parallel(
-            lambda w, g: w.execute(
-                f"SELECT SUM({y}) AS s, COUNT(*) AS n FROM {fact}"
-            ).first_row()
+        if restored_spec is not None:
+            # The checkpoint's init score and trees are authoritative.
+            from repro.core.serialize import tree_from_dict
+
+            if restored_spec.get("kind") != "gradient_boosting":
+                raise TrainingError(
+                    "checkpoint does not hold a gradient-boosting model"
+                )
+            restored = [
+                tree_from_dict(t) for t in restored_spec["trees"][:start_round]
+            ]
+            init = float(restored_spec["init_score"])
+        else:
+            restored = []
+            stats = self._parallel(
+                lambda i: dict(
+                    workers[i]
+                    .execute(f"SELECT SUM({y}) AS s, COUNT(*) AS n FROM {fact}")
+                    .first_row()
+                ),
+                tag="stats",
+                readonly=True,
+            )
+            self._sync(len(stats) * 16)
+            total = sum(float(row["n"]) for row in stats)
+            init = sum(float(row["s"] or 0.0) for row in stats) / max(total, 1.0)
+
+        trees: List[DecisionTreeModel] = list(restored)
+        model = GradientBoostingModel(
+            trees, init, train_params.learning_rate, loss
         )
-        self._sync(len(stats) * 16)
-        total = sum(float(row["n"]) for row in stats)
-        init = sum(float(row["s"] or 0.0) for row in stats) / max(total, 1.0)
+        if start_round >= train_params.num_iterations:
+            # The checkpoint already covers every round.
+            model.frontier_census = self.census()
+            return model, self.simulated_seconds
 
         ring = GradientSemiRing()
-        factorizers: List[Factorizer] = []
 
-        def lift(worker, wgraph):
-            factorizer = Factorizer(worker, wgraph, ring)
+        def lift(i: int) -> Factorizer:
+            factorizer = Factorizer(workers[i], worker_graphs[i], ring)
             factorizer.lift(ring.lift_pair_sql("1", f"({init!r} - t.{y})"))
-            factorizers.append(factorizer)
             return factorizer
 
-        self._parallel(lift)
+        # Lift mutates the shard catalogs, so it never forks; _parallel
+        # returns in shard-index order, so factorizers[i] is shard i's
+        # regardless of which thread finished first.
+        factorizers: List[Factorizer] = self._parallel(lift, tag="lift")
         criterion = GradientCriterion(reg_lambda=train_params.reg_lambda)
         updaters = [
             ResidualUpdater(
@@ -125,28 +478,39 @@ class SimulatedCluster:
                 strategy="swap",
             )
             for worker, wgraph, factorizer in zip(
-                self.workers, self.worker_graphs, factorizers
+                workers, worker_graphs, factorizers
             )
         ]
 
-        trees: List[DecisionTreeModel] = []
-        model = GradientBoostingModel([], init, train_params.learning_rate, loss)
-        for _ in range(train_params.num_iterations):
+        def apply_tree(tree: DecisionTreeModel) -> None:
+            def update(i: int) -> None:
+                updaters[i].apply_additive(
+                    tree, train_params.learning_rate, component=ring.g
+                )
+                factorizers[i].invalidate_for_relation(fact)
+
+            self._parallel(update, tag="update")
+
+        # Resume: replay the restored trees' residual updates through
+        # the same per-shard path an uninterrupted run takes, so the
+        # shards' gradient columns match round `start_round` exactly.
+        for tree in restored:
+            apply_tree(tree)
+
+        for iteration in range(start_round, train_params.num_iterations):
             tree = self._train_tree(factorizers, criterion, train_params)
             trees.append(tree)
             model.trees = trees
-
-            def update(worker, wgraph):
-                index = self.workers.index(worker)
-                updaters[index].apply_additive(
-                    tree, train_params.learning_rate, component=ring.g
+            apply_tree(tree)
+            if self.checkpoint is not None:
+                write_checkpoint(
+                    self.checkpoint, model, train_params, iteration + 1
                 )
-                factorizers[index].invalidate_for_relation(fact)
-                return None
-
-            self._parallel(update)
         for factorizer in factorizers:
             factorizer.cleanup()
+        if self.checkpoint is not None:
+            self.checkpoint.clear()
+        model.frontier_census = self.census()
         return model, self.simulated_seconds
 
     def train_decision_tree(
@@ -155,25 +519,24 @@ class SimulatedCluster:
         """Distributed decision tree (the Figure 13 warehouse workload)."""
         train_params = TrainParams.from_dict(params, **overrides)
         self.simulated_seconds = 0.0
+        self.measured_wall_seconds = 0.0
         self.shuffle_bytes = 0
-        fact = self.graph.target_relation
-        y = self.graph.target_column
+        workers, worker_graphs = self.workers, self.worker_graphs
         from repro.core.split import VarianceCriterion
         from repro.semiring.variance import VarianceSemiRing
 
         ring = VarianceSemiRing()
-        factorizers: List[Factorizer] = []
 
-        def lift(worker, wgraph):
-            factorizer = Factorizer(worker, wgraph, ring)
+        def lift(i: int) -> Factorizer:
+            factorizer = Factorizer(workers[i], worker_graphs[i], ring)
             factorizer.lift()
-            factorizers.append(factorizer)
             return factorizer
 
-        self._parallel(lift)
+        factorizers: List[Factorizer] = self._parallel(lift, tag="lift")
         tree = self._train_tree(factorizers, VarianceCriterion(), train_params)
         for factorizer in factorizers:
             factorizer.cleanup()
+        tree.frontier_census = self.census()
         return tree, self.simulated_seconds
 
     # ------------------------------------------------------------------
@@ -236,15 +599,13 @@ class SimulatedCluster:
     def _merged_totals(
         self, factorizers: List[Factorizer], predicates: PredicateMap
     ) -> Dict[str, float]:
-        merged: Dict[str, float] = {}
-        results = []
-        durations = []
-        for factorizer in factorizers:
-            start = time.perf_counter()
-            results.append(factorizer.totals(predicates))
-            durations.append(time.perf_counter() - start)
-        self.simulated_seconds += max(durations)
+        results = self._parallel(
+            lambda i: factorizers[i].totals(predicates),
+            tag="totals",
+            readonly=True,
+        )
         self._sync(len(factorizers) * 8 * max(len(r) for r in results))
+        merged: Dict[str, float] = {}
         for result in results:
             for key, value in result.items():
                 merged[key] = merged.get(key, 0.0) + value
@@ -282,25 +643,27 @@ class SimulatedCluster:
         feature: str,
         predicates: PredicateMap,
     ):
-        results = []
-        durations = []
-        for factorizer in factorizers:
-            start = time.perf_counter()
-            results.append(
-                factorizer.absorb(relation, [feature], predicates, tag="feature")
-            )
-            durations.append(time.perf_counter() - start)
-        self.simulated_seconds += max(durations)
         comps = list(factorizers[0].semiring.components)
-        values = np.concatenate([r.column(feature).values.astype(np.float64)
-                                 for r in results])
+
+        def absorb(i: int) -> Dict[str, np.ndarray]:
+            # Ship plain arrays, not Relations: the result crosses a
+            # pipe in process mode, and arrays are what the merge needs.
+            result = factorizers[i].absorb(
+                relation, [feature], predicates, tag="feature"
+            )
+            payload = {feature: result.column(feature).values.astype(np.float64)}
+            for comp in comps:
+                payload[comp] = result.column(comp).values.astype(np.float64)
+            return payload
+
+        results = self._parallel(
+            absorb, tag=f"feature:{relation}.{feature}", readonly=True
+        )
+        values = np.concatenate([r[feature] for r in results])
         if len(values) == 0:
             return None
         stacked = {
-            comp: np.concatenate(
-                [r.column(comp).values.astype(np.float64) for r in results]
-            )
-            for comp in comps
+            comp: np.concatenate([r[comp] for r in results]) for comp in comps
         }
         self._sync(int(values.nbytes + sum(a.nbytes for a in stacked.values())))
         codes, ngroups, first_idx, _ = factorize([values])

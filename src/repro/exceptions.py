@@ -67,6 +67,18 @@ class BackendExecutionError(BackendError, ExecutionError):
     attempts: int = 1
 
 
+class ChaosSpecError(BackendError, ValueError):
+    """A ``JOINBOOST_CHAOS`` fault-plan spec string is malformed.
+
+    Subclasses both :class:`BackendError` (the connector-layer taxonomy
+    contract — chaos wiring lives in the backend stack) and the builtin
+    :class:`ValueError` (a malformed spec is a bad *value*, and callers
+    validating configuration expect ``except ValueError`` to catch it).
+    The message always names the offending rule chunk, so a typo in a
+    multi-rule spec is directly attributable.
+    """
+
+
 class TransientBackendError(BackendExecutionError):
     """A statement failed in a way that is expected to succeed on retry.
 

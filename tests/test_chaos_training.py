@@ -277,3 +277,90 @@ class TestSideStateCleanup:
                 train_set,
             )
         assert side_state_audit(conn)["clean"]
+
+
+# ---------------------------------------------------------------------------
+# Spec validation (ISSUE 9 satellite: malformed specs raise a ValueError
+# naming the offending rule) and task-scoped fault kinds
+# ---------------------------------------------------------------------------
+class TestChaosSpecErrors:
+    def test_spec_error_is_both_backend_error_and_value_error(self):
+        from repro.exceptions import ChaosSpecError
+
+        assert issubclass(ChaosSpecError, BackendError)
+        assert issubclass(ChaosSpecError, ValueError)
+
+    def test_unknown_key_names_the_rule(self):
+        with pytest.raises(ValueError, match=r"bogus_key.*kind=transient"):
+            FaultPlan.from_spec(
+                "tag=message:nth=1;bogus_key=1:kind=transient"
+            )
+
+    def test_non_integer_nth_names_the_rule(self):
+        with pytest.raises(ValueError, match=r"tag=message:nth=soon"):
+            FaultPlan.from_spec("tag=message:nth=soon")
+
+    def test_unknown_kind_names_the_rule(self):
+        with pytest.raises(ValueError, match=r"kind=teleport"):
+            FaultPlan.from_spec("tag=message:kind=teleport")
+
+    def test_bad_field_names_the_field_and_rule(self):
+        with pytest.raises(ValueError, match=r"oops.*tag=message"):
+            FaultPlan.from_spec("tag=message:oops")
+
+    def test_empty_spec_raises(self):
+        with pytest.raises(ValueError, match="contains no rules"):
+            FaultPlan.from_spec(" ; ")
+
+    def test_connect_surfaces_spec_error(self):
+        with pytest.raises(ValueError, match="kind=warp"):
+            repro.connect(backend="sqlite", chaos="tag=x:kind=warp")
+
+
+class TestTaskFaultKinds:
+    def test_task_kinds_parse(self):
+        from repro.backends.chaos import TASK_FAULT_KINDS
+
+        plan = FaultPlan.from_spec(
+            "tag=feature:nth=2:kind=worker_crash;tag=read:kind=stall"
+        )
+        assert [r.kind for r in plan.rules] == ["worker_crash", "stall"]
+        assert set(r.kind for r in plan.rules) == set(TASK_FAULT_KINDS)
+
+    def test_statement_calls_do_not_advance_task_counters(self):
+        """A worker_crash rule counts dispatched *tasks*; statement
+        traffic must neither fire it nor burn its ordinal."""
+        plan = FaultPlan.from_spec("tag=feature:nth=1:kind=worker_crash")
+        for _ in range(5):
+            assert plan.next_fault("feature", "SELECT 1", read=True) is None
+        # the first *task* still fires
+        rule = plan.next_task_fault("feature:sales")
+        assert rule is not None and rule.kind == "worker_crash"
+
+    def test_task_faults_fire_on_nth_matching_task(self):
+        plan = FaultPlan.from_spec("tag=feature:nth=3:times=2:kind=stall")
+        fired = [plan.next_task_fault("feature:r") is not None
+                 for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_statement_kinds_invisible_to_task_dispatch(self):
+        plan = FaultPlan.from_spec("tag=feature:nth=1:times=9:kind=transient")
+        assert plan.next_task_fault("feature:r") is None
+
+    def test_task_fault_directive_records_census(self):
+        from repro.backends.chaos import task_fault_directive
+
+        conn = repro.connect(
+            backend="sqlite",
+            chaos="tag=feature:nth=1:kind=worker_crash",
+        )
+        assert task_fault_directive(conn, "feature:sales") == "worker_crash"
+        assert conn.chaos_census.snapshot()["worker_crash"] == 1
+        # window exhausted: subsequent tasks run clean
+        assert task_fault_directive(conn, "feature:sales") is None
+
+    def test_task_fault_directive_none_without_plan(self):
+        from repro.backends.chaos import task_fault_directive
+
+        conn = repro.connect(backend="sqlite")
+        assert task_fault_directive(conn, "feature:sales") is None

@@ -255,3 +255,136 @@ class TestCheckpointScope:
                 {"objective": "regression", "num_iterations": 2},
                 checkpoint=MemoryCheckpointSink(),
             )
+
+
+# ---------------------------------------------------------------------------
+# ISSUE 9: resume under the process executor and under the sharded path
+# ---------------------------------------------------------------------------
+class TestProcessExecutorResume:
+    def test_resume_on_process_executor_matches_uninterrupted(self):
+        """Interrupted mid-round — a worker_crash fault kills (and
+        recovers) a pooled split task, then a permanent statement fault
+        aborts the round — resume on the process pool, digest identical."""
+        clean_conn = repro.connect(backend="sqlite")
+        reference = train_gradient_boosting(
+            clean_conn, _build(clean_conn),
+            dict(PARAMS, num_workers=4, executor="process"),
+        )
+        conn = repro.connect(
+            backend="sqlite",
+            chaos=(
+                "tag=feature:nth=2:times=1:kind=worker_crash;"
+                "tag=message:nth=9:times=1:kind=permanent"
+            ),
+            retry=False,
+        )
+        graph = _build(conn)
+        sink = MemoryCheckpointSink()
+        with pytest.raises(BackendExecutionError):
+            train_gradient_boosting(
+                conn, graph,
+                dict(PARAMS, num_workers=4, executor="process"),
+                checkpoint=sink,
+            )
+        assert read_checkpoint(sink)["round"] == 2
+        resumed = resume_training(conn, graph, sink)
+        assert model_digest(resumed) == model_digest(reference)
+
+    def test_resume_may_change_executor(self):
+        """executor is execution-only: a thread-interrupted run may
+        resume on processes without breaking digest parity."""
+        conn = repro.connect(
+            backend="sqlite",
+            chaos="tag=message:nth=9:times=1:kind=permanent",
+            retry=False,
+        )
+        graph = _build(conn)
+        sink = MemoryCheckpointSink()
+        _interrupt_after_round(conn, graph, sink, rounds=2)
+        resumed = resume_training(
+            conn, graph, sink, dict(PARAMS),
+            num_workers=4, executor="process",
+        )
+        clean_conn = repro.connect(backend="sqlite")
+        reference = train_gradient_boosting(
+            clean_conn, _build(clean_conn), dict(PARAMS)
+        )
+        assert model_digest(resumed) == model_digest(reference)
+
+    def test_executor_mismatch_allowed_by_param_check(self):
+        stored = TrainParams.from_dict(dict(PARAMS, executor="thread"))
+        requested = TrainParams.from_dict(dict(PARAMS, executor="process"))
+        check_resume_params(stored, requested)  # no raise
+
+
+class _InterruptingSink(MemoryCheckpointSink):
+    """Dies right after committing round ``after`` — the driver-crash
+    moment for the sharded path, whose trainer runs outside the
+    chaos-connector statement stream."""
+
+    def __init__(self, after):
+        super().__init__()
+        self.after = after
+
+    def save(self, payload):
+        super().save(payload)
+        if self.saves == self.after:
+            raise RuntimeError("driver killed after commit")
+
+
+class TestShardedResume:
+    PARAMS = {"num_iterations": 3, "num_leaves": 4, "learning_rate": 0.5}
+
+    def _dataset(self):
+        from repro.datasets import star_schema
+
+        return star_schema(num_fact_rows=2000, num_dims=2, seed=7)
+
+    def test_sharded_resume_digest_matches_uninterrupted(self):
+        from repro.distributed import ClusterConfig, SimulatedCluster
+
+        db, graph = self._dataset()
+        reference, _ = SimulatedCluster(
+            db, graph, "k0", ClusterConfig(num_machines=4)
+        ).train_gradient_boosting(self.PARAMS)
+
+        db2, graph2 = self._dataset()
+        sink = _InterruptingSink(after=1)
+        interrupted = SimulatedCluster(
+            db2, graph2, "k0", ClusterConfig(num_machines=4),
+            executor="process", checkpoint=sink,
+        )
+        with pytest.raises(RuntimeError):
+            interrupted.train_gradient_boosting(self.PARAMS)
+        assert read_checkpoint(sink)["round"] == 1
+
+        sink.after = -1  # the replacement driver's sink doesn't die
+        resumed_cluster = SimulatedCluster(
+            db2, graph2, "k0", ClusterConfig(num_machines=4),
+            executor="process", checkpoint=sink,
+            chaos="tag=feature:nth=2:times=1:kind=worker_crash",
+        )
+        model, _ = resumed_cluster.train_gradient_boosting(self.PARAMS)
+        assert model_digest(model) == model_digest(reference)
+        census = resumed_cluster.census()
+        # the resumed run both recovered a crashed shard and finished
+        assert census["worker_crashes"] == 1
+        assert census["tasks_redispatched"] == 1
+        assert sink.payload is None  # completed runs clear their sink
+
+    def test_sharded_resume_rejects_param_drift(self):
+        from repro.distributed import ClusterConfig, SimulatedCluster
+
+        db, graph = self._dataset()
+        sink = _InterruptingSink(after=1)
+        cluster = SimulatedCluster(
+            db, graph, "k0", ClusterConfig(num_machines=2), checkpoint=sink,
+        )
+        with pytest.raises(RuntimeError):
+            cluster.train_gradient_boosting(self.PARAMS)
+        sink.after = -1
+        with pytest.raises(TrainingError, match="num_leaves"):
+            SimulatedCluster(
+                db, graph, "k0", ClusterConfig(num_machines=2),
+                checkpoint=sink,
+            ).train_gradient_boosting(dict(self.PARAMS, num_leaves=8))

@@ -1,0 +1,246 @@
+"""Supervised process pool: payload contracts and crash supervision (ISSUE 9).
+
+The acceptance bar for the executor axis: task results come back in
+submission order whatever the completion order; a chaos-crashed or
+stalled worker is detected, killed, respawned and its task re-dispatched
+within bounded budgets; and the serialized task payloads produce results
+bit-identical to running the same statement in-process.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.procpool import (
+    CRASH_EXIT_CODE,
+    DEFAULT_TASK_DEADLINE,
+    SupervisedProcessPool,
+    ProcPoolCensus,
+    TaskOutcome,
+    WorkerTask,
+    default_task_deadline,
+    execute_task_payload,
+    get_shared_pool,
+)
+from repro.exceptions import (
+    BackendError,
+    BackendExecutionError,
+    TransientBackendError,
+)
+
+from conftest import backend_matrix
+
+
+# --------------------------------------------------------------------------
+# Module-level task functions (must be importable from worker processes)
+# --------------------------------------------------------------------------
+def _double(x):
+    return 2 * x
+
+
+def _slow_identity(x, seconds):
+    time.sleep(seconds)
+    return x
+
+
+def _fail_once_then(value, marker_path):
+    """Transient failure on the first attempt, success after."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write("seen")
+        raise TransientBackendError("first attempt fails")
+    return value
+
+
+def _always_transient():
+    raise TransientBackendError("never succeeds")
+
+
+def _always_value_error():
+    raise ValueError("genuine bug")
+
+
+def _callable_task(task_id, fn, *args):
+    return WorkerTask(
+        task_id=task_id, payload={"kind": "callable", "fn": fn, "args": args}
+    )
+
+
+# --------------------------------------------------------------------------
+# Payload execution (the child-side contract, callable in-process too)
+# --------------------------------------------------------------------------
+class TestPayloadExecution:
+    def test_callable_payload(self):
+        assert execute_task_payload(
+            {"kind": "callable", "fn": _double, "args": (21,)}
+        ) == 42
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(BackendError, match="unknown task payload"):
+            execute_task_payload({"kind": "teleport"})
+
+    @pytest.mark.parametrize("backend", backend_matrix("plain", "sqlite"))
+    def test_serialized_read_matches_inprocess(self, backend):
+        """A spec'd read executed via the payload path is bit-identical
+        to the connector's own execution of the same statement."""
+        conn = repro.connect(backend=backend)
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=50)
+        values[7] = np.nan
+        conn.create_table("t", {"k": np.arange(50) % 5, "v": values})
+        sql = "SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k ORDER BY k"
+        spec = conn.process_task_payload(sql)
+        if spec is None:
+            pytest.skip(f"{backend} backend declines process tasks")
+        parent = conn.execute(sql)
+        child = execute_task_payload(spec)
+        assert [c.name for c in child.columns()] == [
+            c.name for c in parent.columns()
+        ]
+        for col in parent.columns():
+            np.testing.assert_array_equal(
+                child.column(col.name).values, col.values
+            )
+
+    def test_multi_statement_declined(self):
+        conn = repro.connect(backend="sqlite")
+        conn.create_table("t", {"v": np.arange(4, dtype=np.float64)})
+        assert conn.process_task_payload("SELECT 1; SELECT 2") is None
+
+    def test_write_statement_declined(self):
+        conn = repro.connect(backend="sqlite")
+        conn.create_table("t", {"v": np.arange(4, dtype=np.float64)})
+        assert conn.process_task_payload("DELETE FROM t") is None
+
+
+# --------------------------------------------------------------------------
+# Supervision mechanics
+# --------------------------------------------------------------------------
+class TestSupervisedPool:
+    def test_results_in_submission_order(self):
+        """The slowest task is submitted first; results still come back
+        in submission order, not completion order."""
+        with SupervisedProcessPool(2) as pool:
+            tasks = [
+                _callable_task(0, _slow_identity, "slow", 0.3),
+                _callable_task(1, _slow_identity, "fast", 0.0),
+                _callable_task(2, _double, 5),
+            ]
+            outcomes = pool.run(tasks)
+        assert [o.task_id for o in outcomes] == [0, 1, 2]
+        assert [o.result for o in outcomes] == ["slow", "fast", 10]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_worker_crash_recovered(self):
+        census = ProcPoolCensus()
+        with SupervisedProcessPool(2) as pool:
+            tasks = [
+                WorkerTask(
+                    task_id=0,
+                    payload={"kind": "callable", "fn": _double, "args": (3,)},
+                    tag="victim",
+                    chaos="worker_crash",
+                ),
+                _callable_task(1, _double, 4),
+            ]
+            outcomes = pool.run(tasks, census=census)
+        assert [o.result for o in outcomes] == [6, 8]
+        victim = outcomes[0]
+        assert victim.attempts == 2 and victim.redispatches == 1
+        counts = census.snapshot()
+        assert counts["worker_crashes"] >= 1
+        assert counts["tasks_redispatched"] == 1
+        assert counts["respawns"] >= 1
+
+    def test_stall_hits_deadline_and_recovers(self):
+        census = ProcPoolCensus()
+        with SupervisedProcessPool(2, deadline_s=0.5) as pool:
+            outcomes = pool.run(
+                [
+                    WorkerTask(
+                        task_id=0,
+                        payload={
+                            "kind": "callable", "fn": _double, "args": (3,),
+                        },
+                        tag="sleeper",
+                        chaos="stall",
+                    )
+                ],
+                census=census,
+            )
+        outcome = outcomes[0]
+        assert outcome.ok and outcome.result == 6
+        assert outcome.timed_out
+        assert outcome.redispatches == 1
+        assert census.snapshot()["deadline_timeouts"] == 1
+
+    def test_transient_error_retried(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        census = ProcPoolCensus()
+        with SupervisedProcessPool(1) as pool:
+            outcomes = pool.run(
+                [_callable_task(0, _fail_once_then, "ok", marker)],
+                census=census,
+            )
+        assert outcomes[0].ok and outcomes[0].result == "ok"
+        assert outcomes[0].attempts == 2
+        assert census.snapshot()["task_retries"] == 1
+
+    def test_transient_budget_exhausts_into_error(self):
+        with SupervisedProcessPool(1, max_redispatches=1) as pool:
+            outcomes = pool.run([_callable_task(0, _always_transient)])
+        outcome = outcomes[0]
+        assert not outcome.ok
+        assert isinstance(outcome.error, TransientBackendError)
+        # one original dispatch + one retry, stamped on the error
+        assert outcome.attempts == 2
+        assert getattr(outcome.error, "attempts") == 2
+
+    def test_non_transient_error_not_retried(self):
+        with SupervisedProcessPool(1) as pool:
+            outcomes = pool.run([_callable_task(0, _always_value_error)])
+        outcome = outcomes[0]
+        assert isinstance(outcome.error, ValueError)
+        assert outcome.attempts == 1
+
+    def test_pool_survives_across_runs(self):
+        with SupervisedProcessPool(2) as pool:
+            first = pool.run([_callable_task(0, _double, 1)])
+            second = pool.run([_callable_task(0, _double, 2)])
+        assert first[0].result == 2 and second[0].result == 4
+
+    def test_closed_pool_rejects_work(self):
+        pool = SupervisedProcessPool(1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(BackendExecutionError, match="closed"):
+            pool.run([_callable_task(0, _double, 1)])
+
+    def test_shared_pool_reused_by_worker_count(self):
+        pool = get_shared_pool(2)
+        assert get_shared_pool(2) is pool
+        assert not pool._closed
+
+    def test_crash_exit_code_is_distinctive(self):
+        # not a Python-traceback exit, not a signal death
+        assert CRASH_EXIT_CODE not in (0, 1) and CRASH_EXIT_CODE > 0
+
+
+class TestDeadlineConfig:
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("JOINBOOST_TASK_DEADLINE", "7.5")
+        assert default_task_deadline() == 7.5
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("JOINBOOST_TASK_DEADLINE", "not-a-number")
+        assert default_task_deadline() == DEFAULT_TASK_DEADLINE
+        monkeypatch.setenv("JOINBOOST_TASK_DEADLINE", "-3")
+        assert default_task_deadline() == DEFAULT_TASK_DEADLINE
+
+    def test_outcome_defaults(self):
+        outcome = TaskOutcome(task_id=9)
+        assert outcome.ok and not outcome.timed_out
+        assert outcome.attempts == 0 and outcome.redispatches == 0
