@@ -14,7 +14,6 @@ working exactly as before the connector layer existed.
 
 from __future__ import annotations
 
-import re
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -22,9 +21,31 @@ import numpy as np
 from repro.backends.base import Capabilities, Connector, register_backend
 from repro.engine.database import Database
 from repro.engine.result import Relation
+from repro.sql import ast_nodes
+from repro.sql.parser import parse as parse_sql
 from repro.storage.table import StorageConfig
 
-_IDENTIFIERS = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+def _query_table_names(query, names: set) -> None:
+    """Collect every table a parsed Query reads from, subqueries included."""
+    selects = query.selects if isinstance(query, ast_nodes.UnionAll) else [query]
+    for select in selects:
+        refs = [select.source] if select.source is not None else []
+        refs += [join.table for join in select.joins]
+        for ref in refs:
+            if ref.subquery is not None:
+                _query_table_names(ref.subquery, names)
+            else:
+                names.add(str(ref.name))
+        exprs = [item.expr for item in select.items]
+        exprs += [j.condition for j in select.joins if j.condition is not None]
+        exprs += [e for e in (select.where, select.having) if e is not None]
+        exprs += list(select.group_by)
+        exprs += [order.expr for order in select.order_by]
+        for expr in exprs:
+            for node in ast_nodes.walk(expr):
+                if isinstance(node, ast_nodes.InSubquery):
+                    _query_table_names(node.query, names)
 
 
 class EmbeddedConnector(Connector):
@@ -125,27 +146,41 @@ class EmbeddedConnector(Connector):
     ) -> Optional[Dict[str, object]]:
         """Serialize a read-only statement plus its referenced tables.
 
-        Ships every catalog table whose name appears as an identifier in
-        the statement (case-insensitive) as ``(column name, values,
-        ctype, valid mask)`` tuples — the worker rebuilds real Columns
-        with masks preserved exactly, so no null round-trips through a
-        NaN sentinel.  Declines multi-statement scripts and anything
-        that is not a single ``SELECT`` (writes must stay on the owner).
+        The statement is parsed with the engine's own grammar and the
+        tables it actually reads (FROM/JOIN sources, recursively through
+        derived tables and ``IN`` subqueries — not identifiers that
+        merely appear somewhere in the text) are shipped as ``(column
+        name, values, ctype, valid mask)`` tuples — the worker rebuilds
+        real Columns with masks preserved exactly, so no null
+        round-trips through a NaN sentinel.  Declines (returns ``None``,
+        so the statement runs inline on the owner) multi-statement
+        scripts, anything that is not a ``SELECT``/``UNION ALL``,
+        anything the grammar cannot parse, and any statement naming a
+        table the catalog cannot resolve — an incomplete payload would
+        only fail in the child with a confusing missing-table error.
         """
-        stripped = sql.strip().rstrip(";")
-        if ";" in stripped or not stripped.upper().startswith("SELECT"):
+        try:
+            statements = parse_sql(sql)
+        except Exception:
             return None
-        mentioned = {m.group(0).lower() for m in _IDENTIFIERS.finditer(stripped)}
+        if len(statements) != 1 or not isinstance(
+            statements[0], (ast_nodes.Select, ast_nodes.UnionAll)
+        ):
+            return None
+        referenced: set = set()
+        _query_table_names(statements[0], referenced)
+        catalog = {name.lower(): name for name in self._db.table_names()}
         tables: Dict[str, List[tuple]] = {}
-        for name in self._db.table_names():
-            if name.lower() not in mentioned:
-                continue
-            view = self._db.table(name)
-            tables[name] = [
+        for name in sorted(referenced):
+            stored = catalog.get(name.lower())
+            if stored is None:
+                return None
+            view = self._db.table(stored)
+            tables[stored] = [
                 (col.name, col.values, col.ctype.value, col.valid)
                 for col in view.columns()
             ]
-        return {"kind": "embedded_read", "tables": tables, "sql": stripped}
+        return {"kind": "embedded_read", "tables": tables, "sql": sql.strip().rstrip(";")}
 
     @property
     def profiles(self):

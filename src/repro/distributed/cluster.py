@@ -308,32 +308,47 @@ class SimulatedCluster:
 
         results: List[object] = [None] * n
         durations: List[float] = [0.0] * n
-        for i, (proc, conn, started) in enumerate(procs):
-            outcome = None
-            remaining = self.task_deadline - (time.perf_counter() - started)
-            try:
-                if conn.poll(max(0.0, remaining)):
-                    outcome = conn.recv()
-            except (EOFError, OSError):
-                outcome = None  # pipe died with the child: crash
-            if outcome is None:
-                proc.join(timeout=0.1)
-                why = "worker_crash" if not proc.is_alive() else "stall"
-                self._requeue_shard(proc, why)
-                results[i], durations[i] = self._reexecute_shard(step_fn, i)
-            elif outcome[0] == "done":
-                results[i], durations[i] = outcome[1], outcome[2]
-                proc.join(timeout=5.0)
-            else:  # ("error", exc, _): real failure inside the child
-                proc.join(timeout=5.0)
-                exc = outcome[1]
-                if not isinstance(exc, TransientBackendError):
-                    raise TrainingError(
-                        f"shard {i} failed during {tag!r}: {exc}"
-                    ) from exc
-                self.pool_census.bump("task_retries")
-                results[i], durations[i] = self._reexecute_shard(step_fn, i)
-            conn.close()
+        try:
+            for i, (proc, conn, started) in enumerate(procs):
+                outcome = None
+                remaining = self.task_deadline - (time.perf_counter() - started)
+                try:
+                    if conn.poll(max(0.0, remaining)):
+                        outcome = conn.recv()
+                except (EOFError, OSError):
+                    outcome = None  # pipe died with the child: crash
+                if outcome is None:
+                    proc.join(timeout=0.1)
+                    why = "worker_crash" if not proc.is_alive() else "stall"
+                    self._requeue_shard(proc, why)
+                    results[i], durations[i] = self._reexecute_shard(step_fn, i)
+                elif outcome[0] == "done":
+                    results[i], durations[i] = outcome[1], outcome[2]
+                    proc.join(timeout=5.0)
+                else:  # ("error", exc, _): real failure inside the child
+                    proc.join(timeout=5.0)
+                    exc = outcome[1]
+                    if not isinstance(exc, TransientBackendError):
+                        raise TrainingError(
+                            f"shard {i} failed during {tag!r}: {exc}"
+                        ) from exc
+                    self.pool_census.bump("task_retries")
+                    results[i], durations[i] = self._reexecute_shard(step_fn, i)
+        finally:
+            # A raise mid-sweep (non-transient shard error) must not leak
+            # the children not yet swept — a chaos-stalled child would
+            # sleep for an hour holding its pipe open.
+            for proc, conn, _ in procs:
+                try:
+                    if proc.is_alive():
+                        proc.kill()
+                    proc.join(timeout=5.0)
+                except Exception:
+                    pass
+                try:
+                    conn.close()
+                except Exception:
+                    pass
         return results, durations
 
     def _count_shard_failure(self, why: str) -> None:

@@ -10,8 +10,9 @@ the statement-level retry layer, so the pool runs its own control loop:
 
 * **heartbeats** — every worker acknowledges each task with a ``start``
   message before running it, and the supervisor stamps the ack time;
-* **per-task deadlines** — a dispatched task that neither completes nor
-  errors within its deadline is presumed stalled, its worker is killed;
+* **per-task deadlines** — a task that neither completes nor errors
+  within its deadline of the last heartbeat (the ``start`` ack,
+  initially the dispatch stamp) is presumed stalled, its worker killed;
 * **crash detection** — a worker whose process exits while a task is in
   flight is detected via ``Process.is_alive()``/``exitcode``;
 * **bounded re-dispatch** — the in-flight task of a crashed/stalled
@@ -428,13 +429,32 @@ class SupervisedProcessPool:
     ) -> List[TaskOutcome]:
         census = census if census is not None else ProcPoolCensus()
         deadline = deadline_s if deadline_s is not None else self.deadline_s
+        # Backstop for the shared pool: a worker still marked busy from a
+        # previous run would misattribute its pending messages to this
+        # run's task ids — replace it (not charged to the respawn
+        # budget; nothing failed in *this* run).
+        for worker in list(self._workers):
+            if not worker.idle:
+                worker.in_flight = None
+                worker.kill()
+                self._workers.remove(worker)
+                self._workers.append(self._spawn())
         outcomes = {t.task_id: TaskOutcome(task_id=t.task_id) for t in tasks}
         first_dispatch: Dict[int, float] = {}
         queue: List[WorkerTask] = list(tasks)
         done = 0
 
+        finished: set = set()
+
         def finish(task_id: int, result=None, error=None) -> None:
             nonlocal done
+            if task_id in finished:
+                # Backstop: a task completes exactly once.  Recovery is
+                # single-sourced (requeue() owns re-queuing), so a second
+                # finish() would mean a task ran twice — keep the first
+                # outcome rather than over-counting ``done``.
+                return
+            finished.add(task_id)
             outcome = outcomes[task_id]
             outcome.result = result
             outcome.error = error
@@ -469,8 +489,9 @@ class SupervisedProcessPool:
             queue.insert(0, dataclasses.replace(task, chaos=None))
 
         while done < len(tasks):
-            # Fill every idle worker from the front of the queue.
-            for worker in self._workers:
+            # Fill every idle worker from the front of the queue
+            # (snapshot: requeue() mutates self._workers mid-pass).
+            for worker in list(self._workers):
                 if not queue:
                     break
                 if not worker.idle:
@@ -482,6 +503,12 @@ class SupervisedProcessPool:
                 try:
                     worker.dispatch(task)
                 except (BrokenPipeError, OSError):
+                    # The send never reached the child, so this is not a
+                    # re-dispatch: clear the in-flight slot dispatch()
+                    # stamped *before* calling requeue(), which would
+                    # otherwise insert a second copy of the task — both
+                    # copies would run and finish() would fire twice.
+                    worker.in_flight = None
                     queue.insert(0, task)
                     outcome.attempts -= 1
                     requeue(worker, "a dead pipe at dispatch")
@@ -542,6 +569,10 @@ class SupervisedProcessPool:
                     finish(task.task_id, error=error)
 
             # Liveness + deadline sweep over workers still holding work.
+            # The stall clock runs from the last heartbeat (the child's
+            # ``start`` ack, initially the dispatch stamp), so a task
+            # sitting unacked in a saturated pipe is not misclassified
+            # as a stalled execution.
             now = time.monotonic()
             for worker in list(self._workers):
                 if worker.idle:
@@ -549,7 +580,7 @@ class SupervisedProcessPool:
                 if not worker.process.is_alive():
                     census.bump("worker_crashes")
                     requeue(worker, "a worker crash")
-                elif now - worker.dispatched_at > deadline:
+                elif now - worker.last_heartbeat > deadline:
                     census.bump("deadline_timeouts")
                     task_id = worker.in_flight.task_id
                     outcomes[task_id].timed_out = True

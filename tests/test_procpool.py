@@ -110,6 +110,24 @@ class TestPayloadExecution:
         conn.create_table("t", {"v": np.arange(4, dtype=np.float64)})
         assert conn.process_task_payload("SELECT 1; SELECT 2") is None
 
+    def test_embedded_ships_only_tables_the_query_reads(self):
+        """A table named only inside a string literal is not shipped."""
+        conn = repro.connect(backend="plain")
+        conn.create_table("t", {"v": np.arange(4, dtype=np.float64)})
+        conn.create_table("decoy", {"v": np.arange(4, dtype=np.float64)})
+        spec = conn.process_task_payload(
+            "SELECT COUNT(*) AS n FROM t WHERE 'decoy' <> v"
+        )
+        assert spec is not None
+        assert set(spec["tables"]) == {"t"}
+
+    def test_embedded_unresolvable_table_declines(self):
+        """A statement naming a table the catalog cannot resolve runs
+        inline on the owner instead of failing inside a child."""
+        conn = repro.connect(backend="plain")
+        conn.create_table("t", {"v": np.arange(4, dtype=np.float64)})
+        assert conn.process_task_payload("SELECT v FROM missing") is None
+
     def test_write_statement_declined(self):
         conn = repro.connect(backend="sqlite")
         conn.create_table("t", {"v": np.arange(4, dtype=np.float64)})
@@ -205,6 +223,23 @@ class TestSupervisedPool:
         outcome = outcomes[0]
         assert isinstance(outcome.error, ValueError)
         assert outcome.attempts == 1
+
+    def test_dead_pipe_at_dispatch_runs_task_once(self):
+        """A worker that died while idle fails the dispatch send; the
+        task must be re-queued exactly once (never double-queued) and
+        every outcome must carry a real result."""
+        census = ProcPoolCensus()
+        with SupervisedProcessPool(2) as pool:
+            victim = pool._workers[0]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            tasks = [_callable_task(i, _double, i) for i in range(4)]
+            outcomes = pool.run(tasks, census=census)
+        assert [o.result for o in outcomes] == [0, 2, 4, 6]
+        assert all(o.ok for o in outcomes)
+        assert census.snapshot()["tasks_completed"] == 4
+        # the pool is left clean for its next run
+        assert all(w.idle for w in pool._workers)
 
     def test_pool_survives_across_runs(self):
         with SupervisedProcessPool(2) as pool:
