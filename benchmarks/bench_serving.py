@@ -1,15 +1,25 @@
-"""Serving latency/throughput bench: recursive vs compiled vs SQL scoring.
+"""Serving latency/throughput bench: scoring paths + resilient gateway.
 
 Runs :func:`repro.bench.serving.serving_latency_benchmark` at the PR-6
-reference size and writes ``BENCH_pr6.json`` — p50/p99 per-call latency
-and throughput for request-shaped scoring (the gated series), bulk
-full-frontier scoring via all three paths, the semi-join point-lookup
-series, and the compiled-model cache census.
+reference size — p50/p99 per-call latency and throughput for
+request-shaped scoring (the gated series), bulk full-frontier scoring
+via all three paths, the semi-join point-lookup series, and the
+compiled-model cache census — plus (PR 10)
+:func:`repro.bench.serving.gateway_concurrency_benchmark`: N concurrent
+client threads against the :class:`~repro.serve.ServingGateway`, an
+overload leg that must shed past the queue bound, and an injected
+``serve_sql`` fault leg whose degraded responses must stay bit-identical
+to the healthy compiled path.  Writes ``BENCH_pr10.json``.
 
-The compiled kernel must beat recursive scoring by at least
-``MIN_SPEEDUP``x single-row-equivalent throughput on request-shaped
-calls (the same gate ``ci_perf_smoke.py`` enforces on its downsized
-config); the run exits non-zero otherwise.
+Gates (exit non-zero on failure):
+
+* compiled kernel >= ``MIN_SPEEDUP``x recursive single-row-equivalent
+  throughput on request-shaped calls;
+* healthy concurrent leg: zero sheds, zero degradations;
+* overload leg: the bound sheds (at least one
+  ``ServiceOverloadedError``), nothing hangs;
+* fault leg: every request served, every one degraded with a stamped
+  reason, zero parity failures, breaker tripped.
 
 Run locally:  PYTHONPATH=src python benchmarks/bench_serving.py
 """
@@ -20,8 +30,12 @@ import argparse
 import json
 import platform
 import sys
+from typing import List
 
-from repro.bench.serving import serving_latency_benchmark
+from repro.bench.serving import (
+    gateway_concurrency_benchmark,
+    serving_latency_benchmark,
+)
 
 #: compiled request throughput must exceed recursive by this factor
 MIN_SPEEDUP = 5.0
@@ -30,6 +44,10 @@ BENCH_ROWS = 40_000
 BENCH_TREES = 16
 BENCH_LEAVES = 64
 BENCH_REQUESTS = 200
+
+GATEWAY_ROWS = 8_000
+GATEWAY_CLIENTS = 4
+GATEWAY_REQUESTS_PER_CLIENT = 12
 
 
 def _print_path(label: str, stats: dict) -> None:
@@ -40,15 +58,66 @@ def _print_path(label: str, stats: dict) -> None:
     )
 
 
+def gateway_gate_failures(gateway: dict) -> List[str]:
+    """The PR-10 resilience gates over the gateway bench legs."""
+    failures = []
+    healthy = gateway["healthy"]
+    if healthy["shed"] or healthy["degraded"]:
+        failures.append(
+            f"gateway: healthy leg shed {healthy['shed']} and degraded "
+            f"{healthy['degraded']} requests (gate: zero of each)"
+        )
+    expected = healthy["num_clients"] * healthy["requests_per_client"]
+    if healthy["served"] != expected:
+        failures.append(
+            f"gateway: healthy leg served {healthy['served']} of "
+            f"{expected} requests"
+        )
+    overload = gateway["overload"]
+    if overload["shed"] < 1:
+        failures.append(
+            "gateway: overload leg shed nothing past a 1-deep queue "
+            f"({overload['num_clients']} concurrent clients)"
+        )
+    fault = gateway["fault"]
+    if fault["served"] != fault["requests"]:
+        failures.append(
+            f"gateway: fault leg served {fault['served']} of "
+            f"{fault['requests']} requests under injected serve_sql faults"
+        )
+    if fault["degraded"] != fault["served"]:
+        failures.append(
+            f"gateway: fault leg has {fault['served'] - fault['degraded']} "
+            f"unexplained non-degraded responses under a failing backend"
+        )
+    if fault["parity_failures"]:
+        failures.append(
+            f"gateway: {fault['parity_failures']} degraded responses "
+            f"diverged from the healthy compiled path (gate: bit-parity)"
+        )
+    if fault["breaker_opens"] < 1:
+        failures.append(
+            "gateway: sql breaker never opened under persistent faults"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", default="BENCH_pr6.json", help="where to write the report"
+        "--output", default="BENCH_pr10.json", help="where to write the report"
     )
     parser.add_argument("--rows", type=int, default=BENCH_ROWS)
     parser.add_argument("--trees", type=int, default=BENCH_TREES)
     parser.add_argument("--leaves", type=int, default=BENCH_LEAVES)
     parser.add_argument("--requests", type=int, default=BENCH_REQUESTS)
+    parser.add_argument("--gateway-rows", type=int, default=GATEWAY_ROWS)
+    parser.add_argument("--clients", type=int, default=GATEWAY_CLIENTS)
+    parser.add_argument(
+        "--requests-per-client",
+        type=int,
+        default=GATEWAY_REQUESTS_PER_CLIENT,
+    )
     args = parser.parse_args(argv)
 
     results = serving_latency_benchmark(
@@ -57,21 +126,27 @@ def main(argv=None) -> int:
         num_leaves=args.leaves,
         request_count=args.requests,
     )
-    results["schema"] = "bench-serving-v2"
+    results["schema"] = "bench-serving-v3"
     results["python"] = platform.python_version()
     results["machine"] = platform.machine()
+    results["gateway"] = gateway_concurrency_benchmark(
+        num_rows=args.gateway_rows,
+        num_clients=args.clients,
+        requests_per_client=args.requests_per_client,
+    )
 
     speedup = results["compiled_speedup_factor"]
-    passed = speedup >= MIN_SPEEDUP
-    results["gates"] = {
-        "passed": passed,
-        "min_speedup": MIN_SPEEDUP,
-        "failures": []
-        if passed
-        else [
+    failures = []
+    if speedup < MIN_SPEEDUP:
+        failures.append(
             f"serving: compiled request throughput only {speedup:.2f}x "
             f"recursive (gate: >= {MIN_SPEEDUP}x)"
-        ],
+        )
+    failures.extend(gateway_gate_failures(results["gateway"]))
+    results["gates"] = {
+        "passed": not failures,
+        "min_speedup": MIN_SPEEDUP,
+        "failures": failures,
     }
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)
@@ -89,14 +164,32 @@ def main(argv=None) -> int:
         f"p99={lookup['p99_seconds'] * 1e3:.2f}ms"
     )
     print(f"compiled vs recursive request speedup: {speedup:.1f}x")
+    gateway = results["gateway"]
+    healthy = gateway["healthy"]
+    print(
+        f"gateway healthy x{healthy['num_clients']} clients: "
+        f"p50={healthy['p50_seconds'] * 1e3:.2f}ms "
+        f"p99={healthy['p99_seconds'] * 1e3:.2f}ms "
+        f"shed={healthy['shed']} degraded={healthy['degraded']}"
+    )
+    overload = gateway["overload"]
+    print(
+        f"gateway overload x{overload['num_clients']} clients: "
+        f"shed={overload['shed']} served={overload['served']} "
+        f"max_latency={overload['max_latency_seconds'] * 1e3:.1f}ms"
+    )
+    fault = gateway["fault"]
+    print(
+        f"gateway fault leg: served={fault['served']}/{fault['requests']} "
+        f"degraded={fault['degraded']} parity_failures="
+        f"{fault['parity_failures']} breaker={fault['breaker_state']}"
+    )
     print(f"report written to {args.output}")
-    if not passed:
-        print(
-            f"SERVING GATE FAILED — {results['gates']['failures'][0]}",
-            file=sys.stderr,
-        )
+    if failures:
+        for failure in failures:
+            print(f"SERVING GATE FAILED — {failure}", file=sys.stderr)
         return 1
-    print("serving gate passed")
+    print("serving gates passed")
     return 0
 
 

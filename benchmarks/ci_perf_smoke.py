@@ -38,6 +38,14 @@ exits non-zero when a gate fails:
   request-shaped (one-row) calls; the in-harness parity asserts also
   make this leg fail if compiled or SQL scores ever drift from the
   recursive reference;
+* **gateway** — the resilient serving gateway (PR 10) under concurrent
+  clients: the healthy leg must serve every request with zero sheds and
+  zero degradations; the overload leg (one in-flight slot, one-deep
+  queue, injected ``serve_key`` latency) must shed past the bound
+  rather than queue unboundedly; the fault leg (every ``serve_sql``
+  statement failing transiently) must serve every request bit-identical
+  to the healthy compiled path, stamp every degradation, and trip the
+  ``sql`` circuit breaker;
 * **fault-tolerance** — on a downsized Favorita config (sqlite,
   ``num_workers=4``) per-round checkpointing must cost at most
   ``CKPT_MAX_OVERHEAD``x baseline wall (plus a small absolute grace for
@@ -86,7 +94,14 @@ from repro.bench.harness import (
     fig09_query_census,
     fig12_sharded_comparison,
 )
-from repro.bench.serving import serving_latency_benchmark
+from repro.bench.serving import (
+    gateway_concurrency_benchmark,
+    serving_latency_benchmark,
+)
+
+# Sibling bench script: running `python benchmarks/ci_perf_smoke.py`
+# puts benchmarks/ on sys.path, so the shared gate logic imports direct.
+from bench_serving import gateway_gate_failures
 
 #: batched wall time may be at most this multiple of per-leaf wall time
 #: (and incremental labeling at most this multiple of rebuild labeling)
@@ -142,6 +157,14 @@ SERVING_ROWS = 12_000
 SERVING_TREES = 10
 SERVING_LEAVES = 32
 SERVING_REQUESTS = 60
+
+#: gateway leg: enough rows that a request does real work, enough
+#: clients (>= 4) that admission control and the breakers are genuinely
+#: exercised concurrently
+GATEWAY_ROWS = 6_000
+GATEWAY_CLIENTS = 4
+GATEWAY_REQUESTS_PER_CLIENT = 6
+GATEWAY_FAULT_REQUESTS = 4
 
 FIG5_SMOKE_ROWS = 60_000
 FIG5_SMOKE_BACKENDS = ("x-col", "d-mem", "d-swap")
@@ -207,11 +230,19 @@ def run_smoke() -> dict:
         sql_reps=1,
         key_lookups=5,
     )
+    gateway = gateway_concurrency_benchmark(
+        num_rows=GATEWAY_ROWS,
+        num_trees=SERVING_TREES,
+        num_leaves=SERVING_LEAVES,
+        num_clients=GATEWAY_CLIENTS,
+        requests_per_client=GATEWAY_REQUESTS_PER_CLIENT,
+        fault_requests=GATEWAY_FAULT_REQUESTS,
+    )
     inc_census = incremental["frontier_census"]
     reb_census = rebuild["frontier_census"]
     cpu_count = os.cpu_count() or 1
     return {
-        "schema": "bench-ci-v8",
+        "schema": "bench-ci-v9",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "total_seconds": time.perf_counter() - start,
@@ -343,6 +374,9 @@ def run_smoke() -> dict:
             "key_lookup_p50_seconds": serving["key_lookup"]["p50_seconds"],
             "cache_stats": serving["cache_stats"],
         },
+        # Raw gateway legs: gate() reads them through the same
+        # gateway_gate_failures() bench_serving.py enforces standalone.
+        "gateway": gateway,
     }
 
 
@@ -573,6 +607,9 @@ def gate(results: dict) -> list:
             f"{serving['request_speedup_factor']:.2f}x recursive "
             f"(gate: >= {SERVING_MIN_SPEEDUP}x)"
         )
+    # Resilient gateway: healthy concurrency clean, overload sheds,
+    # faults degrade with bit-parity and an open breaker.
+    failures.extend(gateway_gate_failures(results["gateway"]))
     return failures
 
 
@@ -691,6 +728,20 @@ def main(argv=None) -> int:
         f"(speedup {serving['request_speedup_factor']:.1f}x); "
         f"bulk speedup={serving['bulk_speedup_factor']:.2f}x; "
         f"key lookup p50={serving['key_lookup_p50_seconds'] * 1e3:.2f}ms"
+    )
+    gateway = results["gateway"]
+    healthy = gateway["healthy"]
+    fault_leg = gateway["fault"]
+    print(
+        f"gateway: healthy x{healthy['num_clients']} "
+        f"p50={healthy['p50_seconds'] * 1e3:.2f}ms "
+        f"p99={healthy['p99_seconds'] * 1e3:.2f}ms "
+        f"shed={healthy['shed']} degraded={healthy['degraded']}; "
+        f"overload shed={gateway['overload']['shed']}; fault leg "
+        f"served={fault_leg['served']}/{fault_leg['requests']} "
+        f"degraded={fault_leg['degraded']} "
+        f"parity_failures={fault_leg['parity_failures']} "
+        f"breaker={fault_leg['breaker_state']}"
     )
     print(f"report written to {args.output}")
     if failures:

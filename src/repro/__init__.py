@@ -52,7 +52,14 @@ from repro.engine.retry import RetryPolicy
 from repro.exceptions import (
     BackendError,
     BackendExecutionError,
+    CanaryParityError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ServingBackendError,
+    ServingError,
     TransientBackendError,
+    TransientServingError,
 )
 from repro.core.boosting import (
     GradientBoostingModel,
@@ -68,7 +75,13 @@ from repro.core.sql_score import score_by_key, sql_scores
 from repro.core.tree import DecisionTreeModel
 from repro.engine.database import Database
 from repro.joingraph.graph import JoinGraph
-from repro.serve import PredictionService
+from repro.serve import (
+    BreakerPolicy,
+    CircuitBreaker,
+    GatewayResponse,
+    PredictionService,
+    ServingGateway,
+)
 from repro.storage.table import StorageConfig
 
 __version__ = "1.0.0"
@@ -93,6 +106,17 @@ __all__ = [
     "load_model",
     "model_digest",
     "PredictionService",
+    "ServingGateway",
+    "GatewayResponse",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ServingError",
+    "ServingBackendError",
+    "TransientServingError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "CanaryParityError",
     "TrainSet",
     "TrainParams",
     "Connector",

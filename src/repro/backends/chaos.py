@@ -60,6 +60,15 @@ TASK_FAULT_KINDS = ("worker_crash", "stall")
 #: the fault kinds a :class:`FaultRule` can inject
 FAULT_KINDS = ("transient", "permanent", "latency", "cursor") + TASK_FAULT_KINDS
 
+#: census tags the serving layer stamps on its backend statements
+#: (``score_sql`` → ``serve_sql``, ``score_key`` → ``serve_key``).  A
+#: fault plan targeting serving traffic matches them directly —
+#: ``"tag=serve_sql:nth=1:kind=transient"`` — or all serving statements
+#: at once with the shared prefix: ``"tag=serve_:nth=2:times=1"``.
+#: Training statements never carry these tags, so a serving-scoped plan
+#: leaves model fitting untouched.
+SERVE_FAULT_TAGS = ("serve_sql", "serve_key")
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultRule:

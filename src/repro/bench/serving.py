@@ -23,16 +23,20 @@ report to ``BENCH_pr6.json``.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List
 
 import numpy as np
 
 import repro
+from repro.backends.embedded import EmbeddedConnector
+from repro.backends.chaos import wrap_with_chaos
 from repro.core.predict import feature_frame
 from repro.engine.database import Database
+from repro.exceptions import ServingError
 from repro.joingraph.graph import JoinGraph
-from repro.serve import PredictionService
+from repro.serve import BreakerPolicy, PredictionService, ServingGateway
 
 
 def _star_schema(num_rows: int, num_dim: int = 64, seed: int = 11):
@@ -196,3 +200,182 @@ def _timed_keys(service: PredictionService, keys) -> List[float]:
         service.score_key({"k1": int(key)})
         latencies.append(time.perf_counter() - start)
     return latencies
+
+
+def _client_threads(count, fn):
+    """Run ``fn(client_index)`` on ``count`` threads; re-raise the first
+    uncaught error so a broken leg fails the bench instead of reporting
+    fiction."""
+    errors: List[BaseException] = []
+
+    def run(i: int) -> None:
+        try:
+            fn(i)
+        except BaseException as exc:  # noqa: BLE001 - collected, re-raised
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,), daemon=True)
+        for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def gateway_concurrency_benchmark(
+    num_rows: int = 8_000,
+    num_trees: int = 8,
+    num_leaves: int = 32,
+    num_clients: int = 4,
+    requests_per_client: int = 12,
+    overload_clients: int = 8,
+    fault_requests: int = 6,
+    seed: int = 17,
+) -> dict:
+    """Concurrent clients against the :class:`ServingGateway` (PR 10).
+
+    Three legs, each a census the CI gate reads directly:
+
+    * ``healthy`` — ``num_clients`` threads each issue
+      ``requests_per_client`` key-lookup requests through a generously
+      bounded gateway; reports p50/p99 request latency and asserts zero
+      sheds and zero degradations (nothing should fall off the primary
+      path on a healthy backend).
+    * ``overload`` — a gateway bound to one in-flight request and a
+      one-deep queue, with injected ``serve_key`` latency, takes
+      ``overload_clients`` simultaneous requests: the bound must *shed*
+      the excess immediately (``ServiceOverloadedError``), never park it
+      on an unbounded queue — the leg reports shed count and the worst
+      observed latency.
+    * ``fault`` — every ``serve_sql`` statement fails transiently;
+      each request must still be served, bit-identical to the healthy
+      compiled path, with the degradation stamped in the census and the
+      ``sql`` breaker tripped open.
+    """
+    db, graph = _star_schema(num_rows, seed=seed)
+    model = repro.train_gradient_boosting(
+        db,
+        graph,
+        {
+            "num_iterations": num_trees,
+            "num_leaves": num_leaves,
+            "min_data_in_leaf": 5,
+            "missing": "both",
+            "seed": seed,
+        },
+    )
+    healthy_service = PredictionService(db, graph)
+    healthy_service.deploy(model)
+    healthy_scores = healthy_service.score_all()
+
+    # Leg 1: healthy concurrency --------------------------------------
+    gateway = ServingGateway(
+        healthy_service,
+        max_in_flight=num_clients,
+        max_queue_depth=4 * num_clients,
+        deadline_seconds=30.0,
+    )
+    latencies: List[float] = []
+    latency_lock = threading.Lock()
+
+    def healthy_client(i: int) -> None:
+        rng = np.random.default_rng(seed + 100 + i)
+        for _ in range(requests_per_client):
+            key = int(rng.integers(0, 64))
+            start = time.perf_counter()
+            response = gateway.score_key({"k1": key})
+            elapsed = time.perf_counter() - start
+            if response.degraded:
+                raise AssertionError(
+                    f"unexplained degradation on healthy backend: "
+                    f"{response.degraded_reason}"
+                )
+            with latency_lock:
+                latencies.append(elapsed)
+
+    _client_threads(num_clients, healthy_client)
+    healthy_stats = gateway.stats()
+    healthy_leg = {
+        "num_clients": num_clients,
+        "requests_per_client": requests_per_client,
+        **_path_stats(latencies, 1),
+        "shed": healthy_stats["shed"],
+        "degraded": healthy_stats["degraded"],
+        "served": healthy_stats["served"],
+    }
+
+    # Leg 2: overload sheds, never hangs ------------------------------
+    slow_conn = wrap_with_chaos(
+        EmbeddedConnector(db=db),
+        "tag=serve_key:nth=1:times=1000000:kind=latency:delay=0.02",
+    )
+    slow_service = PredictionService(slow_conn, graph)
+    slow_service.deploy(model)
+    slow_gateway = ServingGateway(
+        slow_service,
+        max_in_flight=1,
+        max_queue_depth=1,
+        deadline_seconds=30.0,
+    )
+    overload_latencies: List[float] = []
+
+    def overload_client(i: int) -> None:
+        start = time.perf_counter()
+        try:
+            slow_gateway.score_key({"k1": i % 64})
+        except ServingError:
+            pass  # shed or deadline: the bound doing its job
+        with latency_lock:
+            overload_latencies.append(time.perf_counter() - start)
+
+    _client_threads(overload_clients, overload_client)
+    overload_stats = slow_gateway.stats()
+    overload_leg = {
+        "num_clients": overload_clients,
+        "max_in_flight": 1,
+        "max_queue_depth": 1,
+        "shed": overload_stats["shed"],
+        "served": overload_stats["served"],
+        "max_latency_seconds": max(overload_latencies),
+    }
+
+    # Leg 3: chaos faults degrade with bit-parity ----------------------
+    faulty_conn = wrap_with_chaos(
+        EmbeddedConnector(db=db),
+        "tag=serve_sql:nth=1:times=1000000:kind=transient",
+    )
+    faulty_service = PredictionService(faulty_conn, graph)
+    faulty_service.deploy(model)
+    fault_gateway = ServingGateway(
+        faulty_service,
+        breaker_policy=BreakerPolicy(failure_threshold=2, recovery_seconds=30.0),
+        deadline_seconds=30.0,
+    )
+    parity_failures = 0
+    for _ in range(fault_requests):
+        response = fault_gateway.score_sql()
+        if not np.array_equal(response.scores, healthy_scores):
+            parity_failures += 1
+    fault_stats = fault_gateway.stats()
+    fault_leg = {
+        "requests": fault_requests,
+        "served": fault_stats["served"],
+        "degraded": fault_stats["degraded"],
+        "parity_failures": parity_failures,
+        "breaker_opens": fault_stats["breakers"]["sql"]["opens"],
+        "breaker_state": fault_stats["breakers"]["sql"]["state"],
+        "serving_faults": fault_stats["service"]["serving_faults"],
+    }
+
+    return {
+        "num_rows": num_rows,
+        "num_trees": num_trees,
+        "num_leaves": num_leaves,
+        "healthy": healthy_leg,
+        "overload": overload_leg,
+        "fault": fault_leg,
+    }

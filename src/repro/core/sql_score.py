@@ -309,14 +309,21 @@ def _referenced_columns(model: object) -> List[Tuple[Optional[str], str]]:
 
 
 def sql_scores(
-    db, graph: JoinGraph, model, fact: Optional[str] = None
+    db,
+    graph: JoinGraph,
+    model,
+    fact: Optional[str] = None,
+    tag: str = "score",
 ) -> np.ndarray:
     """Score every fact row inside the DBMS; returns fact-row-aligned
     float64 scores.
 
     A temp copy of the fact's scoring columns gains a minted ``jb_sid``
     row id, so alignment survives backends that do not promise scan
-    order; the copy is dropped before returning.
+    order; the copy is dropped before returning.  The scoring SELECT
+    runs through ``execute_read`` — pooled reader connections on
+    backends that have them — tagged with ``tag`` so fault injection
+    and tracing can target serving traffic specifically.
     """
     fact = fact or graph.target_relation
     data = _scoring_input_columns(db, graph, model, fact)
@@ -331,7 +338,7 @@ def sql_scores(
             select_prefix=["t.jb_sid AS jb_sid"],
             order_by="jb_sid",
         )
-        result = db.execute(sql, tag="score")
+        result = db.execute_read(sql, tag=tag)
         if result is None:
             raise TrainingError("scoring query returned no result")
         sid = result.column("jb_sid").values.astype(np.int64)
@@ -350,6 +357,7 @@ def score_by_key(
     keys: Dict[str, object],
     fact: Optional[str] = None,
     extra_columns: Sequence[str] = (),
+    tag: str = "score",
 ):
     """The online semi-join path: score the fact rows matching ``keys``.
 
@@ -375,7 +383,7 @@ def score_by_key(
     sql = scoring_select_sql(
         graph, model, fact, select_prefix=prefix, where=condition
     )
-    result = db.execute(sql, tag="score")
+    result = db.execute_read(sql, tag=tag)
     if result is None:
         raise TrainingError("scoring query returned no result")
     return result

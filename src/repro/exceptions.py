@@ -90,6 +90,108 @@ class TransientBackendError(BackendExecutionError):
     """
 
 
+class ServingError(ReproError):
+    """The serving layer could not complete a scoring request.
+
+    Root of the serving taxonomy (PR 10): the gateway and the
+    prediction service never let raw backend or driver errors escape a
+    request path — scoring failures surface as :class:`ServingError`
+    subclasses with the underlying fault chained as ``__cause__``, so
+    callers (and the circuit breakers) can tell overload from deadline
+    from backend failure without string matching.
+    """
+
+
+class ServingBackendError(ServingError):
+    """A backend scoring call (``score_sql``/``score_key``) failed.
+
+    The serving twin of :class:`BackendExecutionError`: permanent —
+    retrying the same statement is not expected to help.  ``transient``
+    distinguishes the two fault classes for breaker accounting without
+    an ``isinstance`` ladder.
+    """
+
+    #: whether a retry of the same call is expected to succeed
+    transient: bool = False
+
+
+class TransientServingError(ServingBackendError):
+    """A backend scoring call failed in a retryable way.
+
+    Wraps :class:`TransientBackendError` (sqlite busy/locked, chaos
+    injection, a flaked reader cursor) crossing the serving boundary.
+    """
+
+    transient = True
+
+
+class ServiceOverloadedError(ServingError):
+    """Admission control shed the request: the bounded queue is full.
+
+    Shedding is the contract — a request past the queue bound fails
+    *immediately* with the queue-depth census attached, instead of
+    adding unbounded latency for every request behind it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queued: int = 0,
+        max_queue_depth: int = 0,
+        in_flight: int = 0,
+    ):
+        super().__init__(message)
+        self.queued = queued
+        self.max_queue_depth = max_queue_depth
+        self.in_flight = in_flight
+
+
+class DeadlineExceededError(ServingError):
+    """The request's deadline budget ran out before scoring completed.
+
+    The budget (``JOINBOOST_SERVE_DEADLINE`` or per-request) is checked
+    at admission and before every degradation-ladder step; a request
+    cannot sit in the queue or walk the ladder past its deadline.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deadline_seconds: float = 0.0,
+        elapsed_seconds: float = 0.0,
+    ):
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class CircuitOpenError(ServingError):
+    """The requested path's circuit breaker is open and the caller asked
+    for no degradation (``degrade=False``)."""
+
+
+class CanaryParityError(ServingError):
+    """A canary deploy was refused: shadow scores diverged from the live
+    version.
+
+    ``deploy(..., canary=True)`` scores a sample through the live and
+    the candidate kernels and promotes only on bit-parity; a changed
+    model must be promoted explicitly (``force=True``) or not at all.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        live_digest: str = "",
+        candidate_digest: str = "",
+        diverging_rows: int = 0,
+    ):
+        super().__init__(message)
+        self.live_digest = live_digest
+        self.candidate_digest = candidate_digest
+        self.diverging_rows = diverging_rows
+
+
 class StorageError(ReproError):
     """Low-level storage failure (column type mismatch, codec error, ...)."""
 

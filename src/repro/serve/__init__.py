@@ -1,15 +1,48 @@
-"""Model serving: digest-versioned deployment + warm compiled scoring.
+"""Model serving: versioned deploys + warm compiled scoring + gateway.
 
-See :mod:`repro.serve.service` for the batch scorer and
-:mod:`repro.serve.cache` for the compiled-model LRU.
+See :mod:`repro.serve.service` for the batch scorer (deploy, canary,
+rollback), :mod:`repro.serve.cache` for the compiled-model LRU with
+version pinning, :mod:`repro.serve.breaker` for the per-path circuit
+breakers, and :mod:`repro.serve.gateway` for the resilient front door
+(deadlines, admission control, degradation ladder).
 """
 
+from repro.serve.breaker import (
+    CLOSED,
+    DEFAULT_BREAKER_POLICY,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
 from repro.serve.cache import CompiledModelCache
-from repro.serve.service import DEFAULT_BATCH_ROWS, Deployment, PredictionService
+from repro.serve.gateway import (
+    DEADLINE_ENV,
+    DEFAULT_DEADLINE_SECONDS,
+    GatewayResponse,
+    ServingGateway,
+)
+from repro.serve.service import (
+    DEFAULT_BATCH_ROWS,
+    DEFAULT_RETAINED_VERSIONS,
+    Deployment,
+    PredictionService,
+)
 
 __all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "DEFAULT_BREAKER_POLICY",
     "CompiledModelCache",
+    "DEADLINE_ENV",
+    "DEFAULT_DEADLINE_SECONDS",
     "DEFAULT_BATCH_ROWS",
+    "DEFAULT_RETAINED_VERSIONS",
     "Deployment",
+    "GatewayResponse",
     "PredictionService",
+    "ServingGateway",
 ]

@@ -1,0 +1,199 @@
+"""Per-path circuit breakers for the serving gateway.
+
+A breaker protects one scoring path (``sql``, ``key``, ``compiled``)
+from a backend that has started failing: after ``failure_threshold``
+consecutive failures the breaker *opens* and the gateway stops sending
+requests down that path (degrading them instead), so a struggling
+backend is not hammered by retry traffic while every request eats a
+timeout.  After ``recovery_seconds`` the breaker goes *half-open* and
+admits a bounded number of probe requests; ``success_threshold``
+consecutive probe successes close it again, any probe failure re-opens
+it and restarts the recovery clock.
+
+Determinism is the same contract the chaos layer keeps: the clock is
+injectable (``clock=``, default :func:`time.monotonic`), so tests drive
+the open → half-open transition with a fake clock instead of sleeping,
+and every state transition is recorded in a bounded census trail that
+the gateway surfaces in :meth:`ServingGateway.stats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+#: breaker states (plain strings so snapshots JSON-serialize as-is)
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: maximum retained state-transition records per breaker
+_MAX_TRANSITIONS = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakerPolicy:
+    """When a breaker trips, recovers, and closes.
+
+    * ``failure_threshold`` — consecutive failures (in the closed
+      state) that open the breaker;
+    * ``recovery_seconds`` — how long an open breaker rejects before
+      going half-open;
+    * ``half_open_probes`` — how many in-flight probe requests the
+      half-open state admits at once;
+    * ``success_threshold`` — consecutive probe successes that close a
+      half-open breaker.
+    """
+
+    failure_threshold: int = 3
+    recovery_seconds: float = 1.0
+    half_open_probes: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be >= 0")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        if self.success_threshold < 1:
+            raise ValueError("success_threshold must be >= 1")
+
+
+#: the policy gateways use unless told otherwise
+DEFAULT_BREAKER_POLICY = BreakerPolicy()
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open state machine.
+
+    Call :meth:`allow` before attempting the protected operation (it
+    consumes a probe slot in the half-open state), then exactly one of
+    :meth:`record_success` / :meth:`record_failure` for the attempt.
+    """
+
+    def __init__(
+        self,
+        path: str = "default",
+        policy: BreakerPolicy = DEFAULT_BREAKER_POLICY,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.path = path
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.opens = 0
+        self.closes = 0
+        self.half_opens = 0
+        self.rejections = 0
+        self._transitions: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        # lock held by caller
+        if len(self._transitions) < _MAX_TRANSITIONS:
+            self._transitions.append(
+                {"from": self._state, "to": new_state, "at": self._clock()}
+            )
+        self._state = new_state
+        if new_state == OPEN:
+            self.opens += 1
+            self._opened_at = self._clock()
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        elif new_state == HALF_OPEN:
+            self.half_opens += 1
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        elif new_state == CLOSED:
+            self.closes += 1
+            self._consecutive_failures = 0
+            self._opened_at = None
+
+    def _advance(self) -> None:
+        # lock held by caller: an open breaker whose recovery window has
+        # elapsed becomes half-open (checked lazily — no timer thread)
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.policy.recovery_seconds:
+                self._transition(HALF_OPEN)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The current state, advancing open → half-open on the clock."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected path may be attempted right now.
+
+        Half-open admission consumes one of the bounded probe slots;
+        the caller must follow up with ``record_success`` or
+        ``record_failure`` to release it.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                self.rejections += 1
+                return False
+            if self._probes_in_flight >= self.policy.half_open_probes:
+                self.rejections += 1
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        """One attempt on the protected path succeeded."""
+        with self._lock:
+            self._advance()
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.policy.success_threshold:
+                    self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """One attempt on the protected path failed."""
+        with self._lock:
+            self._advance()
+            if self._state == HALF_OPEN:
+                # the probe failed: back to open, recovery clock restarts
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition(OPEN)
+            elif self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.policy.failure_threshold:
+                    self._transition(OPEN)
+            # failures observed while already open (an in-flight call
+            # admitted before the trip) do not re-stamp the clock
+
+    def snapshot(self) -> Dict[str, object]:
+        """Census copy: state, counters, and the transition trail."""
+        with self._lock:
+            self._advance()
+            return {
+                "path": self.path,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "closes": self.closes,
+                "half_opens": self.half_opens,
+                "rejections": self.rejections,
+                "transitions": [dict(t) for t in self._transitions],
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.path!r}, state={self.state!r})"

@@ -11,6 +11,13 @@ The cache is LRU-bounded by entry count and keeps census counters
 (hits, misses, stores, invalidations, evictions) in the same style as
 :class:`repro.engine.encodings.EncodingCache`, surfacing in
 :meth:`repro.serve.service.PredictionService.stats`.
+
+Versions the service retains (the live deployment and its bounded
+rollback history) are *pinned*: LRU eviction skips pinned digests, so a
+redeploy keeps the previous kernel warm and ``rollback`` is O(1) — no
+recompilation on the hot path.  Pins are reference counts (the same
+digest may be live under one name and history under another); an entry
+whose pins drop to zero rejoins normal LRU order.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ class CompiledModelCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._pins: Dict[str, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -50,17 +58,62 @@ class CompiledModelCache:
             return entry
 
     def put(self, digest: str, compiled: object) -> None:
-        """Store a compiled model, evicting the LRU entry beyond capacity."""
+        """Store a compiled model, evicting LRU *unpinned* entries beyond
+        capacity.
+
+        Pinned entries (retained versions) are never evicted; when every
+        entry is pinned the cache temporarily overflows ``max_entries``
+        rather than drop a version the service promised to keep warm.
+        """
         with self._lock:
             self._entries[digest] = compiled
             self._entries.move_to_end(digest)
             self.stores += 1
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                victim = next(
+                    (
+                        key
+                        for key in self._entries
+                        if self._pins.get(key, 0) == 0
+                    ),
+                    None,
+                )
+                if victim is None:
+                    break
+                del self._entries[victim]
                 self.evictions += 1
 
+    def pin(self, digest: str) -> None:
+        """Protect ``digest`` from LRU eviction (reference counted).
+
+        Pinning does not require the entry to exist yet — the service
+        pins a version at deploy time and the kernel may only compile on
+        first score.
+        """
+        with self._lock:
+            self._pins[digest] = self._pins.get(digest, 0) + 1
+
+    def unpin(self, digest: str) -> None:
+        """Drop one pin reference; at zero the entry rejoins LRU order."""
+        with self._lock:
+            count = self._pins.get(digest, 0) - 1
+            if count > 0:
+                self._pins[digest] = count
+            else:
+                self._pins.pop(digest, None)
+
+    def pinned(self, digest: str) -> bool:
+        """Whether ``digest`` currently holds at least one pin."""
+        with self._lock:
+            return self._pins.get(digest, 0) > 0
+
     def invalidate(self, digest: str) -> bool:
-        """Drop a stale version (e.g. after redeploy); True if present."""
+        """Drop a stale version (e.g. after redeploy); True if present.
+
+        Explicit invalidation wins over pinning — the service calls this
+        only once a version has left the deployment registry and its
+        retained history.
+        """
         with self._lock:
             if digest in self._entries:
                 del self._entries[digest]
@@ -78,6 +131,7 @@ class CompiledModelCache:
         with self._lock:
             return {
                 "entries": len(self._entries),
+                "pinned": len(self._pins),
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
